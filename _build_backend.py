@@ -1,0 +1,137 @@
+"""Minimal in-tree PEP 517 / PEP 660 build backend.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+the standard editable-install path (``setuptools.build_meta`` →
+``bdist_wheel``) cannot run.  This backend builds the needed wheels with
+nothing but the standard library:
+
+* ``build_editable`` produces a wheel containing a ``.pth`` file pointing at
+  ``src/`` — the classic editable mechanism.
+* ``build_wheel`` packages ``src/repro`` for a regular install.
+
+It is intentionally specific to this project (name/version are read from
+``pyproject.toml``) rather than a general-purpose backend.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+_ROOT = os.path.abspath(os.path.dirname(__file__))
+
+
+def _project_metadata():
+    with open(os.path.join(_ROOT, "pyproject.toml"), encoding="utf-8") as fh:
+        text = fh.read()
+    name = re.search(r'^name\s*=\s*"([^"]+)"', text, re.M).group(1)
+    version = re.search(r'^version\s*=\s*"([^"]+)"', text, re.M).group(1)
+    return name, version
+
+
+def _metadata_text(name: str, version: str) -> str:
+    return (
+        "Metadata-Version: 2.1\n"
+        f"Name: {name}\n"
+        f"Version: {version}\n"
+        "Requires-Dist: numpy>=1.21\n"
+    )
+
+
+def _wheel_text() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        "Generator: repro-in-tree-backend\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+
+
+def _record_entry(path: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=").decode()
+    return f"{path},sha256={digest},{len(data)}"
+
+
+def _write_wheel(wheel_path: str, dist_info: str, files: dict) -> None:
+    record_lines = []
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for path, data in files.items():
+            if isinstance(data, str):
+                data = data.encode("utf-8")
+            zf.writestr(path, data)
+            record_lines.append(_record_entry(path, data))
+        record_lines.append(f"{dist_info}/RECORD,,")
+        zf.writestr(f"{dist_info}/RECORD", "\n".join(record_lines) + "\n")
+
+
+def _dist_info(name: str, version: str) -> str:
+    return f"{name}-{version}.dist-info"
+
+
+def _wheel_name(name: str, version: str) -> str:
+    return f"{name}-{version}-py3-none-any.whl"
+
+
+# ----------------------------------------------------------------------
+# PEP 517 hooks
+# ----------------------------------------------------------------------
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    name, version = _project_metadata()
+    dist_info = _dist_info(name, version)
+    files = {
+        f"{name}_editable.pth": os.path.join(_ROOT, "src") + "\n",
+        f"{dist_info}/METADATA": _metadata_text(name, version),
+        f"{dist_info}/WHEEL": _wheel_text(),
+    }
+    wheel_name = _wheel_name(name, version)
+    _write_wheel(os.path.join(wheel_directory, wheel_name), dist_info, files)
+    return wheel_name
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    name, version = _project_metadata()
+    dist_info = _dist_info(name, version)
+    files = {}
+    src = os.path.join(_ROOT, "src")
+    for dirpath, _, filenames in os.walk(os.path.join(src, name)):
+        for filename in sorted(filenames):
+            if filename.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, src).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                files[rel] = fh.read()
+    files[f"{dist_info}/METADATA"] = _metadata_text(name, version)
+    files[f"{dist_info}/WHEEL"] = _wheel_text()
+    wheel_name = _wheel_name(name, version)
+    _write_wheel(os.path.join(wheel_directory, wheel_name), dist_info, files)
+    return wheel_name
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    import tarfile
+
+    name, version = _project_metadata()
+    sdist_name = f"{name}-{version}.tar.gz"
+    base = f"{name}-{version}"
+    with tarfile.open(os.path.join(sdist_directory, sdist_name), "w:gz") as tf:
+        for top in ("pyproject.toml", "setup.py", "README.md", "_build_backend.py", "src"):
+            full = os.path.join(_ROOT, top)
+            if os.path.exists(full):
+                tf.add(full, arcname=os.path.join(base, top))
+    return sdist_name

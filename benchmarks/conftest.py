@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Training is expensive on the NumPy substrate, so models trained once per
+session are shared across benchmarks through state dicts (every consumer
+clones into a fresh architecture via :mod:`bench_utils`, keeping benchmarks
+independent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.training import fit
+from repro.datasets import cifar10_like, make_loaders
+
+from bench_utils import fresh_resnet, fresh_vgg
+
+
+@pytest.fixture(scope="session")
+def cifar_loaders():
+    dataset = cifar10_like(train_per_class=48, test_per_class=12)
+    return make_loaders(dataset, batch_size=32, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_vgg_state(cifar_loaders):
+    train_loader, _ = cifar_loaders
+    model = fresh_vgg()
+    fit(model, train_loader, epochs=6, lr=0.08)
+    return model.state_dict()
+
+
+@pytest.fixture(scope="session")
+def trained_resnet_state(cifar_loaders):
+    train_loader, _ = cifar_loaders
+    model = fresh_resnet()
+    fit(model, train_loader, epochs=8, lr=0.08)
+    return model.state_dict()

@@ -1,0 +1,74 @@
+"""Fig. 3 regeneration: block sensitivity analysis.
+
+Sweeps the pruning ratio of one block at a time on trained VGG16 (5 blocks)
+and ResNet (3 groups), printing the accuracy-vs-ratio curve per block.  The
+paper's qualitative claims, asserted:
+
+* accuracy falls as the per-block ratio rises (monotone-ish trend);
+* blocks differ: deeper VGG blocks tolerate far higher ratios than early
+  blocks, so a single global ratio would be suboptimal (the motivation for
+  per-block targets);
+* the derived per-block upper bounds reproduce the paper's shape (later
+  blocks >= earlier blocks for VGG).
+"""
+
+import pytest
+
+from repro.core.pruning import PruningConfig, instrument_model
+from repro.core.sensitivity import block_sensitivity, suggest_upper_bounds
+
+from bench_utils import load_resnet, load_vgg
+
+RATIOS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+def report(name, result):
+    print(f"\n[Fig. 3 — {name} block sensitivity, baseline {result.baseline_accuracy:.3f}]")
+    print(f"  {'ratio':>8} " + "".join(f"{r:>7.1f}" for r in RATIOS))
+    for block, curve in sorted(result.curves.items()):
+        print(f"  block {block + 1}: " + "".join(f"{acc:>7.3f}" for _, acc in curve))
+
+
+def test_fig3_vgg_sensitivity(benchmark, cifar_loaders, trained_vgg_state):
+    _, test_loader = cifar_loaders
+    model = load_vgg(trained_vgg_state)
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+
+    result = benchmark.pedantic(
+        lambda: block_sensitivity(handle, test_loader, RATIOS, dimension="channel"),
+        rounds=1,
+        iterations=1,
+    )
+    report("VGG16", result)
+
+    bounds = suggest_upper_bounds(result, max_drop=0.15)
+    print(f"  upper bounds (drop tolerance 0.15): {bounds}")
+
+    # Deep blocks tolerate at least as much pruning as the first block —
+    # the pattern behind the paper's [0.2, 0.2, 0.6, 0.9, 0.9] vector.
+    assert bounds[3] >= bounds[0]
+    assert bounds[4] >= bounds[0]
+
+    # Accuracy at mild pruning dominates accuracy at extreme pruning.
+    for block in result.curves:
+        mild = result.accuracy_at(block, 0.1)
+        extreme = result.accuracy_at(block, 0.9)
+        assert mild >= extreme - 0.05
+
+
+def test_fig3_resnet_sensitivity(benchmark, cifar_loaders, trained_resnet_state):
+    _, test_loader = cifar_loaders
+    model = load_resnet(trained_resnet_state)
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+
+    result = benchmark.pedantic(
+        lambda: block_sensitivity(handle, test_loader, RATIOS, dimension="channel"),
+        rounds=1,
+        iterations=1,
+    )
+    report("ResNet", result)
+
+    assert set(result.curves) == {0, 1, 2}
+    assert result.baseline_accuracy > 0.5
+    for block in result.curves:
+        assert result.accuracy_at(block, 0.1) >= result.accuracy_at(block, 0.9) - 0.05

@@ -1,0 +1,54 @@
+"""Fig. 4 regeneration: redundancy composition across settings.
+
+The paper decomposes each setting's removed FLOPs into channel-wise and
+spatial-wise parts and finds the composition flips with input scale:
+
+* VGG16-ImageNet100: ~2.4% channel vs ~52.1% spatial (spatial dominates);
+* VGG16-CIFAR10/100: channel-only (all spatial ratios zero — small maps);
+* ResNet56-CIFAR10: a balanced mix (~18.2% channel, ~19.2% spatial).
+
+This benchmark reuses the Table I pipeline and asserts those shapes.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_table1_setting
+
+RUN_KWARGS = dict(pretrain_epochs=4, ttd_epochs_per_stage=1, ttd_final_epochs=4, ttd_step=0.3)
+
+
+def composition(key):
+    outcome = run_table1_setting(key, **RUN_KWARGS)
+    return outcome.full_scale_channel_pct, outcome.full_scale_spatial_pct
+
+
+def test_fig4_imagenet_is_spatial_dominated(benchmark):
+    channel, spatial = benchmark.pedantic(
+        lambda: composition("vgg16_imagenet100_s2"), rounds=1, iterations=1
+    )
+    print(f"\n[Fig. 4 — VGG16-ImageNet100] channel {channel:.1f}% spatial {spatial:.1f}% "
+          "(paper: 2.4% / 52.1%)")
+    assert spatial > 10 * channel, "ImageNet-scale redundancy must be overwhelmingly spatial"
+    assert spatial > 35.0
+    assert channel < 8.0
+
+
+def test_fig4_cifar_vgg_is_channel_only(benchmark):
+    channel, spatial = benchmark.pedantic(
+        lambda: composition("vgg16_cifar10"), rounds=1, iterations=1
+    )
+    print(f"\n[Fig. 4 — VGG16-CIFAR10] channel {channel:.1f}% spatial {spatial:.1f}% "
+          "(paper: all-channel)")
+    assert spatial == pytest.approx(0.0, abs=1e-9), "CIFAR-VGG spatial ratios are zero"
+    assert channel > 40.0
+
+
+def test_fig4_resnet_is_mixed(benchmark):
+    channel, spatial = benchmark.pedantic(
+        lambda: composition("resnet56_cifar10"), rounds=1, iterations=1
+    )
+    print(f"\n[Fig. 4 — ResNet56-CIFAR10] channel {channel:.1f}% spatial {spatial:.1f}% "
+          "(paper: 18.2% / 19.2%)")
+    # A genuine mix: both dimensions contribute, same order of magnitude.
+    assert channel > 8.0 and spatial > 8.0
+    assert 0.3 < channel / spatial < 3.0

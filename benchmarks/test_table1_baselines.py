@@ -1,0 +1,104 @@
+"""Table I baseline rows: the static methods on the same substrate.
+
+The paper's Table I quotes L1 [8], Taylor [19], GM [20] and FO [21] rows
+from the literature; here they are *re-run* on the shared harness (same
+model, same data, same FLOPs accounting as the 'Proposed' rows), plus the
+dynamic method at the paper's aggressive vector, printed in the paper's
+column layout.
+
+Shape claims asserted:
+
+* every static method reaches its ~30-45% reduction band with post-
+  fine-tune accuracy above 2.5x chance (the paper's baselines all work);
+* the dynamic method sustains a strictly more aggressive ratio vector at
+  comparable accuracy — Table I's headline comparison (53.5% vs 34-44%).
+"""
+
+import pytest
+
+from repro.analysis.tables import TableRow, format_table
+from repro.baselines import StaticFilterPruner
+from repro.core.pruning import PruningConfig, instrument_model
+from repro.core.training import evaluate
+from repro.core.flops import dynamic_flops
+from repro.core.ttd import RatioAscentSchedule, TTDTrainer
+
+from bench_utils import load_vgg
+
+# What the static methods can sustain (FO's published vector rounds to
+# roughly this) vs the paper's dynamic vector.
+STATIC_RATIOS = [0.2, 0.1, 0.1, 0.45, 0.65]
+DYNAMIC_RATIOS = [0.2, 0.2, 0.6, 0.9, 0.9]
+ZEROS = [0.0] * 5
+FINE_TUNE_EPOCHS = 5
+
+
+def run_static(method, state, train_loader, test_loader, baseline_acc):
+    model = load_vgg(state)
+    pruner = StaticFilterPruner(model, method, loader=train_loader)
+    result = pruner.apply(STATIC_RATIOS)
+    pruner.fine_tune(train_loader, epochs=FINE_TUNE_EPOCHS, lr=0.02)
+    accuracy = pruner.evaluate(test_loader).accuracy
+    return TableRow(
+        "VGG16-slim (synthetic C10)", f"{method.upper()} Pruning",
+        100 * baseline_acc, 100 * accuracy,
+        result.baseline_flops, result.effective_flops,
+    ), result.reduction_pct, accuracy
+
+
+def run_dynamic(state, train_loader, test_loader, baseline_acc):
+    model = load_vgg(state)
+    handle = instrument_model(model, PruningConfig.disabled(5))
+    trainer = TTDTrainer(
+        handle, train_loader, test_loader,
+        RatioAscentSchedule(DYNAMIC_RATIOS, warmup=0.1, step=0.25),
+        RatioAscentSchedule(ZEROS, warmup=0.1, step=0.25),
+        epochs_per_stage=1, final_stage_epochs=FINE_TUNE_EPOCHS + 3, lr=0.02,
+    )
+    trainer.train()
+    handle.set_block_ratios(DYNAMIC_RATIOS, ZEROS)
+    handle.reset_stats()
+    accuracy = evaluate(model, test_loader).accuracy
+    report = dynamic_flops(handle, (3, 32, 32))
+    return TableRow(
+        "VGG16-slim (synthetic C10)", "Proposed (dynamic)",
+        100 * baseline_acc, 100 * accuracy,
+        report.baseline_flops, report.effective_flops,
+    ), report.reduction_pct, accuracy
+
+
+def test_table1_baseline_rows(benchmark, cifar_loaders, trained_vgg_state):
+    train_loader, test_loader = cifar_loaders
+    baseline_model = load_vgg(trained_vgg_state)
+    baseline_acc = evaluate(baseline_model, test_loader).accuracy
+
+    rows = []
+    static_results = {}
+    for method in ("l1", "taylor", "gm", "fo"):
+        row, reduction, accuracy = run_static(
+            method, trained_vgg_state, train_loader, test_loader, baseline_acc
+        )
+        rows.append(row)
+        static_results[method] = (reduction, accuracy)
+
+    def dynamic_run():
+        return run_dynamic(trained_vgg_state, train_loader, test_loader, baseline_acc)
+
+    dynamic_row, dynamic_reduction, dynamic_acc = benchmark.pedantic(
+        dynamic_run, rounds=1, iterations=1
+    )
+    rows.append(dynamic_row)
+
+    print("\n" + format_table(rows, title="Table I (harness scale, synthetic CIFAR10)"))
+    print(f"  static ratio vector:  {STATIC_RATIOS}")
+    print(f"  dynamic ratio vector: {DYNAMIC_RATIOS}")
+
+    chance = 0.1
+    for method, (reduction, accuracy) in static_results.items():
+        assert 20.0 < reduction < 60.0, f"{method} reduction out of Table I band"
+        assert accuracy > 2.5 * chance, f"{method} failed to recover with fine-tuning"
+
+    # The dynamic method's headline: markedly higher reduction than the
+    # static band at usable accuracy (Table I: 53.5% vs 34.2-44.1%).
+    assert dynamic_reduction > max(r for r, _ in static_results.values()) + 5.0
+    assert dynamic_acc > 2.5 * chance

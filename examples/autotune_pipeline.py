@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The paper's full workflow, automated: autotune → TTD → deploy.
+
+Sec. IV-B picks per-block ratios by hand from sensitivity curves.  This
+example automates the loop end to end:
+
+1. pretrain a slim VGG16;
+2. run the greedy per-block ratio search (`repro.core.autotune`) for a
+   FLOPs-reduction target under an accuracy-drop budget;
+3. TTD ratio-ascent training toward the found vector;
+4. evaluate dynamically-pruned accuracy and the realized FLOPs reduction.
+"""
+
+from repro.core import (
+    PruningConfig,
+    RatioAscentSchedule,
+    TTDTrainer,
+    dynamic_flops,
+    evaluate,
+    fit,
+    greedy_ratio_search,
+    instrument_model,
+)
+from repro.datasets import cifar10_like, make_loaders
+from repro.models import vgg16
+
+TARGET_REDUCTION = 35.0  # percent
+# Sec. IV-B tolerates large *pre-TTD* drops when picking upper bounds (the
+# paper's threshold is "accuracy dropping to less than 70%"): TTD recovers
+# them. The search budget mirrors that.
+DROP_BUDGET = 0.6
+
+
+def main() -> None:
+    dataset = cifar10_like(train_per_class=48, test_per_class=12)
+    train_loader, test_loader = make_loaders(dataset, batch_size=32, seed=0)
+
+    print("== 1. pretraining slim VGG16 ==")
+    model = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+    fit(model, train_loader, epochs=6, lr=0.08)
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+    baseline = evaluate(model, test_loader).accuracy
+    print(f"baseline accuracy: {baseline:.3f}")
+
+    print(f"\n== 2. autotuning ratios (target {TARGET_REDUCTION:.0f}% reduction, "
+          f"drop budget {DROP_BUDGET}) ==")
+    result = greedy_ratio_search(
+        handle, test_loader, (3, 32, 32),
+        target_reduction_pct=TARGET_REDUCTION, max_drop=DROP_BUDGET, step=0.15,
+    )
+    print(f"found ratios {[round(r, 2) for r in result.ratios]} -> "
+          f"{result.reduction_pct:.1f}% reduction, pre-TTD accuracy {result.accuracy:.3f}")
+
+    print("\n== 3. TTD ratio ascent toward the found vector ==")
+    trainer = TTDTrainer(
+        handle, train_loader, test_loader,
+        RatioAscentSchedule(result.ratios, warmup=0.1, step=0.2),
+        RatioAscentSchedule([0.0] * len(result.ratios), warmup=0.1, step=0.2),
+        epochs_per_stage=1, final_stage_epochs=6, lr=0.02,
+    )
+    trainer.train(verbose=True)
+
+    print("\n== 4. deployment measurement ==")
+    handle.set_block_ratios(result.ratios, [0.0] * len(result.ratios))
+    handle.reset_stats()
+    pruned = evaluate(model, test_loader).accuracy
+    report = dynamic_flops(handle, (3, 32, 32))
+    print(f"pruned accuracy {pruned:.3f} (baseline {baseline:.3f}), "
+          f"FLOPs reduction {report.reduction_pct:.1f}%")
+    print("\nAutomated version of Sec. IV-B: sensitivity-guided ratio choice,"
+          " then targeted-dropout training — no manual curve reading.")
+
+
+if __name__ == "__main__":
+    main()

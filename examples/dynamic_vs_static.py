@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Dynamic (AntiDote) vs static pruning on identical substrate — mini Table I.
+
+Trains one slim VGG16, then compares on the *same* task:
+
+* static L1 / GM / Taylor / FO filter pruning with fine-tuning, at a uniform
+  per-block ratio;
+* AntiDote dynamic channel pruning (TTD-trained) at the paper's per-block
+  ratios.
+
+The paper's qualitative claim to check: the dynamic method sustains a much
+more aggressive ratio vector than static methods at comparable accuracy,
+because per-input redundancy exceeds whole-dataset redundancy.
+"""
+
+import copy
+
+from repro.analysis.tables import TableRow, format_table
+from repro.baselines import StaticFilterPruner
+from repro.core import (
+    PruningConfig,
+    RatioAscentSchedule,
+    TTDTrainer,
+    dynamic_flops,
+    evaluate,
+    fit,
+    instrument_model,
+)
+from repro.datasets import cifar10_like, make_loaders
+from repro.models import vgg16
+
+STATIC_RATIOS = [0.2, 0.2, 0.4, 0.5, 0.5]  # what static methods can sustain
+DYNAMIC_CHANNEL = [0.2, 0.2, 0.6, 0.9, 0.9]  # the paper's dynamic vector
+
+
+def train_base(train_loader):
+    model = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+    fit(model, train_loader, epochs=6, lr=0.08)
+    return model
+
+
+def run_static(method, base_state, train_loader, test_loader, baseline_acc):
+    model = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+    model.load_state_dict(base_state)
+    pruner = StaticFilterPruner(model, method, loader=train_loader)
+    result = pruner.apply(STATIC_RATIOS)
+    pruner.fine_tune(train_loader, epochs=4, lr=0.02)
+    accuracy = pruner.evaluate(test_loader).accuracy
+    return TableRow(
+        "VGG16-slim", f"{method} (static)", 100 * baseline_acc, 100 * accuracy,
+        result.baseline_flops, result.effective_flops,
+    )
+
+
+def run_dynamic(base_state, train_loader, test_loader, baseline_acc):
+    model = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+    model.load_state_dict(base_state)
+    handle = instrument_model(model, PruningConfig.disabled(5))
+    trainer = TTDTrainer(
+        handle, train_loader, test_loader,
+        RatioAscentSchedule(DYNAMIC_CHANNEL, warmup=0.1, step=0.2),
+        RatioAscentSchedule([0.0] * 5, warmup=0.1, step=0.2),
+        epochs_per_stage=2, final_stage_epochs=8, lr=0.02,
+    )
+    trainer.train()
+    handle.set_block_ratios(DYNAMIC_CHANNEL, [0.0] * 5)
+    handle.reset_stats()
+    accuracy = evaluate(model, test_loader).accuracy
+    report = dynamic_flops(handle, (3, 32, 32))
+    return TableRow(
+        "VGG16-slim", "AntiDote (dynamic)", 100 * baseline_acc, 100 * accuracy,
+        report.baseline_flops, report.effective_flops,
+    )
+
+
+def main() -> None:
+    dataset = cifar10_like(train_per_class=48, test_per_class=12)
+    train_loader, test_loader = make_loaders(dataset, batch_size=32, seed=0)
+
+    print("training shared base model...")
+    base = train_base(train_loader)
+    base_state = base.state_dict()
+    baseline_acc = evaluate(base, test_loader).accuracy
+    print(f"baseline accuracy: {baseline_acc:.3f}\n")
+
+    rows = []
+    for method in ("l1", "gm", "taylor", "fo"):
+        print(f"running static {method} pruning + fine-tune...")
+        rows.append(run_static(method, base_state, train_loader, test_loader, baseline_acc))
+    print("running AntiDote dynamic pruning (TTD)...")
+    rows.append(run_dynamic(base_state, train_loader, test_loader, baseline_acc))
+
+    print()
+    print(format_table(rows, title="Dynamic vs static pruning (slim VGG16, synthetic CIFAR10)"))
+    print(
+        "\nNote: dynamic runs the aggressive vector "
+        f"{DYNAMIC_CHANNEL} while static methods run {STATIC_RATIOS} — the "
+        "paper's point is exactly this ratio gap at comparable accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

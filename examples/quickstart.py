@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: the full AntiDote pipeline on a small synthetic task.
+
+Steps (mirroring the paper's Fig. 1 workflow):
+
+1. train a VGG16-style model on a CIFAR-like synthetic dataset;
+2. instrument it with attention-based dynamic pruning layers;
+3. run TTD (training with targeted dropout) with dropout-ratio ascent up to
+   the paper's per-block pruning ratios;
+4. evaluate with per-input dynamic pruning active — no fine-tuning;
+5. account the FLOPs actually saved from the recorded masks.
+
+Runs in a couple of minutes on CPU.
+"""
+
+from repro.analysis.tables import format_table, TableRow
+from repro.core import (
+    PruningConfig,
+    RatioAscentSchedule,
+    TTDTrainer,
+    dynamic_flops,
+    evaluate,
+    fit,
+    instrument_model,
+)
+from repro.datasets import cifar10_like, make_loaders
+from repro.models import vgg16
+
+
+def main() -> None:
+    # The paper's VGG16-CIFAR10 per-block ratios (Sec. V-B a).
+    channel_ratios = [0.2, 0.2, 0.6, 0.9, 0.9]
+    spatial_ratios = [0.0] * 5  # spatial pruning disabled on CIFAR VGG
+
+    print("== 1. data and model ==")
+    dataset = cifar10_like(train_per_class=48, test_per_class=12)
+    train_loader, test_loader = make_loaders(dataset, batch_size=32, seed=0)
+    model = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+    print(f"model: VGG16 (slim), {model.num_parameters():,} parameters")
+
+    print("== 2. pretraining ==")
+    fit(model, train_loader, epochs=6, lr=0.08, verbose=True)
+
+    print("== 3. instrument + baseline accuracy ==")
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+    baseline = evaluate(model, test_loader).accuracy
+    print(f"unpruned test accuracy: {baseline:.3f}")
+
+    print("== 4. TTD with ratio ascent ==")
+    trainer = TTDTrainer(
+        handle,
+        train_loader,
+        test_loader,
+        channel_schedule=RatioAscentSchedule(channel_ratios, warmup=0.1, step=0.2),
+        spatial_schedule=RatioAscentSchedule(spatial_ratios, warmup=0.1, step=0.2),
+        epochs_per_stage=2,
+        final_stage_epochs=8,
+        lr=0.02,
+    )
+    trainer.train(verbose=True)
+
+    print("== 5. dynamic pruning at test time ==")
+    handle.set_block_ratios(channel_ratios, spatial_ratios)
+    handle.reset_stats()
+    pruned = evaluate(model, test_loader).accuracy
+    report = dynamic_flops(handle, (3, 32, 32))
+    print(f"pruned test accuracy:   {pruned:.3f} (drop {baseline - pruned:+.3f})")
+    print(
+        f"FLOPs: {report.baseline_flops:.3e} -> {report.effective_flops:.3e} "
+        f"({report.reduction_pct:.1f}% reduction; paper reports 53.5% at full width)"
+    )
+    print()
+    print(
+        format_table(
+            [
+                TableRow("VGG16-slim", "Unpruned", 100 * baseline, 100 * baseline,
+                         report.baseline_flops, report.baseline_flops),
+                TableRow("VGG16-slim", "AntiDote dynamic", 100 * baseline, 100 * pruned,
+                         report.baseline_flops, report.effective_flops),
+            ],
+            title="Quickstart summary",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

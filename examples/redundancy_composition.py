@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Where does feature-map redundancy live? (the paper's Fig. 4 workflow).
+
+Sec. V-C: on CIFAR-scale inputs (32px) VGG's redundancy is almost entirely
+channel-wise, while at ImageNet scale (large spatial maps) it is mostly
+spatial; ResNet56 shows a balanced mix.  This example runs the paper's
+Table I ratio settings on synthetic stand-ins for each dataset and prints
+the measured channel/spatial decomposition of the removed FLOPs.
+"""
+
+from repro.analysis.experiments import TABLE1_SETTINGS, run_table1_setting
+
+
+def bar(pct: float, scale: float = 0.5) -> str:
+    return "#" * int(pct * scale)
+
+
+def main() -> None:
+    keys = [
+        ("vgg16_cifar10", "VGG16-CIFAR10  (32px, channel-only setting)"),
+        ("resnet56_cifar10", "ResNet56-CIFAR10 (mixed setting)"),
+        ("vgg16_imagenet100_s2", "VGG16-ImageNet100 (64px, spatial-heavy setting)"),
+    ]
+    print("running the three redundancy regimes (a few minutes on CPU)...\n")
+    print(f"{'setting':<45} {'channel%':>9} {'spatial%':>9} {'total%':>8}")
+    for key, label in keys:
+        outcome = run_table1_setting(
+            key, pretrain_epochs=4, ttd_epochs_per_stage=1, ttd_final_epochs=4, ttd_step=0.3
+        )
+        ch = outcome.full_scale_channel_pct
+        sp = outcome.full_scale_spatial_pct
+        print(f"{label:<45} {ch:>9.1f} {sp:>9.1f} {ch + sp:>8.1f}")
+        print(f"{'':<45} ch |{bar(ch)}")
+        print(f"{'':<45} sp |{bar(sp)}")
+    print(
+        "\nAs in Fig. 4: the redundancy dimension flips with input scale —"
+        " channel-dominated at CIFAR resolution, spatial-dominated at"
+        " ImageNet resolution, mixed on ResNet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Block sensitivity analysis (the paper's Fig. 3 workflow).
+
+Trains a slim VGG16 and a small ResNet, sweeps the pruning ratio of one
+block at a time, prints the per-block accuracy curves as ASCII, and derives
+per-block dropout upper bounds from an accuracy-drop tolerance — exactly
+how Sec. IV-B chooses the TTD targets.
+"""
+
+from repro.core import PruningConfig, block_sensitivity, fit, instrument_model, suggest_upper_bounds
+from repro.datasets import cifar10_like, make_loaders
+from repro.models import ResNet, vgg16
+
+RATIOS = [0.1, 0.3, 0.5, 0.7, 0.9]
+TOLERANCE = 0.15  # accuracy-drop tolerance for the upper-bound rule
+
+
+def ascii_curve(curve, width=40) -> str:
+    """Render (ratio, accuracy) pairs as a one-line bar chart."""
+    cells = []
+    for ratio, acc in curve:
+        bar = "#" * int(acc * 10)
+        cells.append(f"{ratio:.1f}:{bar:<10}({acc:.2f})")
+    return "  ".join(cells)
+
+
+def analyze(name, model, train_loader, test_loader, dimension):
+    print(f"\n== {name}: {dimension} sensitivity ==")
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+    result = block_sensitivity(handle, test_loader, RATIOS, dimension=dimension)
+    print(f"baseline accuracy: {result.baseline_accuracy:.3f}")
+    for block, curve in sorted(result.curves.items()):
+        print(f"  block {block + 1}: {ascii_curve(curve)}")
+    bounds = suggest_upper_bounds(result, max_drop=TOLERANCE)
+    print(f"suggested per-block upper bounds (tolerance {TOLERANCE}): {bounds}")
+    return bounds
+
+
+def main() -> None:
+    dataset = cifar10_like(train_per_class=48, test_per_class=12)
+    train_loader, test_loader = make_loaders(dataset, batch_size=32, seed=0)
+
+    vgg = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+    print("training slim VGG16...")
+    fit(vgg, train_loader, epochs=6, lr=0.08)
+    analyze("VGG16", vgg, train_loader, test_loader, "channel")
+
+    resnet = ResNet(2, num_classes=10, width_multiplier=0.5, seed=0)
+    print("\ntraining small ResNet...")
+    fit(resnet, train_loader, epochs=6, lr=0.08)
+    analyze("ResNet", resnet, train_loader, test_loader, "channel")
+
+    print(
+        "\nAs in Fig. 3: early blocks are the most sensitive; deep blocks"
+        " tolerate aggressive ratios, which motivates per-block targets."
+    )
+
+
+if __name__ == "__main__":
+    main()

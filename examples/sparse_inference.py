@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Realizing the FLOPs savings: sparse (skipping) inference.
+
+The paper reports *accounted* FLOPs reductions; this example closes the
+loop by running the pruned computation sparsely and timing it:
+
+1. build a VGG-style conv stack with AntiDote dynamic-pruning layers;
+2. verify the sparse executor's output matches the dense masked model
+   (channel skipping is numerically exact);
+3. time dense-masked vs sparse-skipped inference across pruning ratios.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.pruning import DynamicPruning
+from repro.core.sparse_exec import SparseSequentialExecutor, dense_reference_forward
+from repro.nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU, Sequential
+
+
+def build_stack(channel_ratio, width=64, depth=5, seed=0):
+    rng = np.random.default_rng(seed)
+    layers = [Conv2d(3, width, 3, padding=1, bias=False, rng=rng), BatchNorm2d(width), ReLU(),
+              DynamicPruning(channel_ratio=channel_ratio)]
+    for _ in range(depth - 2):
+        layers += [Conv2d(width, width, 3, padding=1, bias=False, rng=rng),
+                   BatchNorm2d(width), ReLU(), DynamicPruning(channel_ratio=channel_ratio)]
+    layers += [Conv2d(width, width, 3, padding=1, bias=False, rng=rng),
+               BatchNorm2d(width), ReLU(), GlobalAvgPool2d(), Linear(width, 10, rng=rng)]
+    stack = Sequential(*layers)
+    stack.eval()
+    return stack
+
+
+def timed(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    batch = np.random.default_rng(1).normal(size=(8, 3, 32, 32)).astype(np.float32)
+
+    print("== equivalence check (channel skipping is exact) ==")
+    stack = build_stack(channel_ratio=0.5)
+    executor = SparseSequentialExecutor(stack)
+    sparse_out = executor(batch)
+    dense_out = dense_reference_forward(stack, batch)
+    max_err = np.abs(sparse_out - dense_out).max()
+    print(f"max |sparse - dense| over logits: {max_err:.2e}")
+
+    print("\n== wall-clock sweep (batch of 8, 32x32, width-64 stack) ==")
+    print(f"{'channel ratio':>14} {'dense(ms)':>10} {'sparse(ms)':>11} {'speedup':>8}")
+    for ratio in (0.0, 0.3, 0.6, 0.9):
+        stack = build_stack(channel_ratio=ratio)
+        executor = SparseSequentialExecutor(stack)
+        t_dense = timed(lambda: dense_reference_forward(stack, batch))
+        t_sparse = timed(lambda: executor(batch))
+        print(f"{ratio:>14.1f} {t_dense * 1e3:>10.1f} {t_sparse * 1e3:>11.1f} "
+              f"{t_dense / t_sparse:>7.2f}x")
+
+    print(
+        "\nThe dense path computes every masked channel anyway (that is how"
+        "\nthe paper's PyTorch implementation works); the sparse executor"
+        "\ngathers only the kept channels, so runtime tracks the accounted"
+        "\nFLOPs — the paper's title claim realized."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""AntiDote reproduction: attention-based dynamic CNN optimization.
+
+Reproduces Yu et al., "AntiDote: Attention-based Dynamic Optimization for
+Neural Network Runtime Efficiency" (DATE 2020) on a from-scratch NumPy
+deep-learning substrate.
+
+Quickstart
+----------
+>>> from repro import models, datasets
+>>> from repro.core import instrument_model, PruningConfig, evaluate, dynamic_flops
+>>> model = models.vgg16_slim()
+>>> handle = instrument_model(model, PruningConfig(
+...     channel_ratios=[0.2, 0.2, 0.6, 0.9, 0.9],
+...     spatial_ratios=[0.0] * 5,
+... ))
+
+See ``examples/quickstart.py`` for the full train → TTD → prune → account
+pipeline, and DESIGN.md for the system inventory.
+"""
+
+from . import analysis, baselines, core, datasets, models, nn
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "core", "models", "datasets", "baselines", "analysis", "__version__"]

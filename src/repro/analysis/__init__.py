@@ -1,0 +1,35 @@
+"""Experiment orchestration and paper-style reporting."""
+
+from .experiments import (
+    TABLE1_SETTINGS,
+    Table1Outcome,
+    Table1Setting,
+    project_full_scale,
+    run_table1_setting,
+)
+from .figures import (
+    CriterionSweep,
+    fig2_series,
+    fig3_series,
+    fig4_composition,
+    render_series,
+    to_csv,
+)
+from .tables import PAPER_TABLE1, TableRow, format_table
+
+__all__ = [
+    "Table1Setting",
+    "Table1Outcome",
+    "TABLE1_SETTINGS",
+    "project_full_scale",
+    "run_table1_setting",
+    "TableRow",
+    "PAPER_TABLE1",
+    "format_table",
+    "CriterionSweep",
+    "fig2_series",
+    "fig3_series",
+    "fig4_composition",
+    "render_series",
+    "to_csv",
+]

@@ -1,0 +1,126 @@
+"""Figure-series extraction and text rendering for Figs. 2-4.
+
+Each ``figN_series`` function produces the data behind the corresponding
+figure of the paper on a given model/loader; ``render_series`` and
+``to_csv`` turn the result into an ASCII table or CSV text for terminals
+and logs (the offline environment has no plotting stack, and the benchmark
+harness asserts on the raw series anyway).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.pruning import InstrumentedModel
+from ..core.sensitivity import SensitivityResult, block_sensitivity
+from ..core.training import evaluate
+from ..nn.data import DataLoader
+
+__all__ = [
+    "CriterionSweep",
+    "fig2_series",
+    "fig3_series",
+    "fig4_composition",
+    "render_series",
+    "to_csv",
+]
+
+
+@dataclasses.dataclass
+class CriterionSweep:
+    """Fig. 2 data: accuracy per pruning criterion across a ratio sweep."""
+
+    ratios: List[float]
+    accuracy: Dict[str, List[float]]  # criterion -> accuracies
+
+    def gap(self, a: str, b: str, ratio: float) -> float:
+        """Accuracy gap between criteria at one swept ratio."""
+        index = self.ratios.index(ratio)
+        return self.accuracy[a][index] - self.accuracy[b][index]
+
+
+def fig2_series(
+    instrumented: InstrumentedModel,
+    loader: DataLoader,
+    ratios: Sequence[float],
+    target_block: int = -1,
+    criteria: Sequence[str] = ("attention", "random", "inverse"),
+    dimension: str = "channel",
+) -> CriterionSweep:
+    """Last-block criterion sweep (Sec. III-C / Fig. 2).
+
+    Prunes only ``target_block`` (default: the last block) at each ratio
+    under each criterion; all other blocks stay dense.  ``dimension``
+    selects channel pruning (the figure) or spatial column pruning (the
+    paper's "similar conclusions" claim for Sec. V).  The instrumented
+    model is restored to fully-disabled ratios afterwards.
+    """
+    if dimension not in ("channel", "spatial"):
+        raise ValueError("dimension must be 'channel' or 'spatial'")
+    num_blocks = instrumented.num_blocks
+    block = target_block % num_blocks
+    zeros = [0.0] * num_blocks
+    accuracy: Dict[str, List[float]] = {}
+    for criterion in criteria:
+        instrumented.set_criterion(criterion, seed=0)
+        accs = []
+        for ratio in ratios:
+            vector = list(zeros)
+            vector[block] = float(ratio)
+            if dimension == "channel":
+                instrumented.set_block_ratios(vector, zeros)
+            else:
+                instrumented.set_block_ratios(zeros, vector)
+            accs.append(evaluate(instrumented.model, loader).accuracy)
+        accuracy[criterion] = accs
+    instrumented.set_block_ratios(zeros, zeros)
+    instrumented.set_criterion("attention", seed=0)
+    return CriterionSweep(list(map(float, ratios)), accuracy)
+
+
+def fig3_series(
+    instrumented: InstrumentedModel,
+    loader: DataLoader,
+    ratios: Sequence[float],
+    dimension: str = "channel",
+) -> SensitivityResult:
+    """Per-block sensitivity curves (Fig. 3); thin wrapper for symmetry."""
+    return block_sensitivity(instrumented, loader, ratios, dimension=dimension)
+
+
+def fig4_composition(reduction_pairs: Dict[str, Tuple[float, float]]) -> str:
+    """Render Fig. 4's stacked composition as an ASCII chart.
+
+    ``reduction_pairs`` maps a setting label to its (channel%, spatial%)
+    FLOPs-reduction decomposition.
+    """
+    lines = [f"{'setting':<28} {'channel%':>9} {'spatial%':>9}  composition"]
+    for label, (channel, spatial) in reduction_pairs.items():
+        total = channel + spatial
+        bar_c = "C" * int(round(channel / 2))
+        bar_s = "S" * int(round(spatial / 2))
+        lines.append(f"{label:<28} {channel:>9.1f} {spatial:>9.1f}  |{bar_c}{bar_s}| {total:.1f}%")
+    return "\n".join(lines)
+
+
+def render_series(sweep: CriterionSweep, title: str = "") -> str:
+    """ASCII table of a Fig. 2 criterion sweep."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(f"{'ratio':>10} " + "".join(f"{r:>8.2f}" for r in sweep.ratios) + "\n")
+    for criterion, accs in sweep.accuracy.items():
+        out.write(f"{criterion:>10} " + "".join(f"{a:>8.3f}" for a in accs) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def to_csv(sweep: CriterionSweep) -> str:
+    """CSV text (header: ratio, then one column per criterion)."""
+    names = list(sweep.accuracy)
+    lines = ["ratio," + ",".join(names)]
+    for i, ratio in enumerate(sweep.ratios):
+        row = [f"{ratio:g}"] + [f"{sweep.accuracy[name][i]:.6f}" for name in names]
+        lines.append(",".join(row))
+    return "\n".join(lines)

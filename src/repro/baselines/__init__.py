@@ -1,0 +1,34 @@
+"""Static pruning baselines: L1 [8], Taylor [19], GM [20], FO [21], random."""
+
+from .criteria import (
+    DATA_CRITERIA,
+    WEIGHT_CRITERIA,
+    FilterStatsCollector,
+    activation_importance,
+    geometric_median,
+    l1_norm,
+    l2_norm,
+    random_scores,
+    taylor_expansion,
+)
+from .dynamic import FBSGate, GatedModel, SEBlock, instrument_with_gates
+from .static import STATIC_METHODS, StaticFilterPruner, StaticPruningResult
+
+__all__ = [
+    "l1_norm",
+    "l2_norm",
+    "geometric_median",
+    "taylor_expansion",
+    "activation_importance",
+    "random_scores",
+    "FilterStatsCollector",
+    "WEIGHT_CRITERIA",
+    "DATA_CRITERIA",
+    "StaticFilterPruner",
+    "StaticPruningResult",
+    "STATIC_METHODS",
+    "SEBlock",
+    "FBSGate",
+    "GatedModel",
+    "instrument_with_gates",
+]

@@ -1,0 +1,176 @@
+"""Filter-importance criteria for the static pruning baselines of Table I.
+
+Each criterion scores the filters of one convolution (higher = more
+important, pruned last):
+
+* :func:`l1_norm` — ℓ1 norm of the filter weights, Li et al. [8].
+* :func:`l2_norm` — ℓ2 variant (used by several follow-ups; kept for
+  ablations).
+* :func:`geometric_median` — distance to the other filters of the layer,
+  He et al. [20]: filters *closest* to the geometric median are the most
+  replaceable, so the score is the summed distance to all other filters.
+* :func:`taylor_expansion` — first-order Taylor criterion of Molchanov et
+  al. [19]: ``|activation * gradient|`` of the filter's feature map,
+  averaged over data (collected by :class:`FilterStatsCollector`).
+* :func:`activation_importance` — mean post-ReLU activation magnitude of
+  the filter's feature map.  This stands in for the functionality-oriented
+  (FO) pruning of Qin et al. [21], whose published criterion (per-class
+  functional contribution of each filter) reduces at harness scale to the
+  filter's measured contribution to the feature maps on real data.
+* :func:`random_scores` — control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn import Conv2d, Module, Sequential
+from ..nn import functional as F
+from ..nn.data import DataLoader
+from ..nn.tensor import Tensor
+from ..models.base import PrunableModel
+
+__all__ = [
+    "l1_norm",
+    "l2_norm",
+    "geometric_median",
+    "random_scores",
+    "FilterStatsCollector",
+    "taylor_expansion",
+    "activation_importance",
+    "WEIGHT_CRITERIA",
+    "DATA_CRITERIA",
+]
+
+
+# ----------------------------------------------------------------------
+# Weight-only criteria
+# ----------------------------------------------------------------------
+def l1_norm(conv: Conv2d) -> np.ndarray:
+    """Per-filter ℓ1 norm of the weights [8]."""
+    return np.abs(conv.weight.data).sum(axis=(1, 2, 3))
+
+
+def l2_norm(conv: Conv2d) -> np.ndarray:
+    """Per-filter ℓ2 norm of the weights."""
+    return np.sqrt((conv.weight.data ** 2).sum(axis=(1, 2, 3)))
+
+
+def geometric_median(conv: Conv2d) -> np.ndarray:
+    """Summed distance of each filter to the others [20].
+
+    Filters near the geometric median of the layer (small summed distance)
+    are considered redundant — they can be represented by the remaining
+    filters — so a *small* score means pruned first, consistent with the
+    higher-is-more-important convention.
+    """
+    flat = conv.weight.data.reshape(conv.out_channels, -1)
+    # Pairwise Euclidean distances via the Gram expansion.
+    sq = (flat ** 2).sum(axis=1)
+    gram = flat @ flat.T
+    d2 = np.maximum(sq[:, None] + sq[None, :] - 2.0 * gram, 0.0)
+    return np.sqrt(d2).sum(axis=1)
+
+
+def random_scores(conv: Conv2d, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform-random importance (control)."""
+    rng = rng or np.random.default_rng()
+    return rng.random(conv.out_channels)
+
+
+# ----------------------------------------------------------------------
+# Data-driven criteria
+# ----------------------------------------------------------------------
+class _Probe(Module):
+    """Pass-through layer recording per-filter activation/gradient stats."""
+
+    def __init__(self, channels: int):
+        super().__init__()
+        self.channels = channels
+        self.activation_sum = np.zeros(channels, dtype=np.float64)
+        self.taylor_sum = np.zeros(channels, dtype=np.float64)
+        self.samples = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        probe = self
+        act = x.data
+        n = act.shape[0]
+        probe.activation_sum += np.abs(act).mean(axis=(2, 3)).sum(axis=0)
+        probe.samples += n
+
+        def backward(g: np.ndarray) -> None:
+            # Taylor criterion: |mean_{spatial}(activation * gradient)| [19].
+            contribution = np.abs((act * g).mean(axis=(2, 3))).sum(axis=0)
+            probe.taylor_sum += contribution
+            x.accumulate_grad(g)
+
+        return Tensor.from_op(act, (x,), backward)
+
+
+class FilterStatsCollector:
+    """Collects activation/Taylor statistics at every pruning point.
+
+    Temporarily wraps each site with a :class:`_Probe`, runs forward (and,
+    for Taylor, backward) passes over a loader, then restores the model.
+    """
+
+    def __init__(self, model: PrunableModel):
+        self.model = model
+        self.points = model.pruning_points()
+        self._probes: Dict[str, _Probe] = {}
+
+    def collect(self, loader: DataLoader, max_batches: Optional[int] = None, backward: bool = True):
+        """Run data through the model, accumulating per-filter statistics."""
+        originals: Dict[str, Module] = {}
+        for point in self.points:
+            site = self.model.get_submodule(point.path)
+            probe = _Probe(point.out_channels)
+            self._probes[point.conv_path] = probe
+            originals[point.path] = site
+            self.model.set_submodule(point.path, Sequential(site, probe))
+        try:
+            self.model.train(backward)
+            for batch_index, (images, labels) in enumerate(loader):
+                if max_batches is not None and batch_index >= max_batches:
+                    break
+                x = Tensor(images, requires_grad=False)
+                logits = self.model(x)
+                if backward:
+                    loss = F.cross_entropy(logits, labels)
+                    # Gradients flow to the probes; parameters are cleared after.
+                    loss.backward()
+            if backward:
+                self.model.zero_grad()
+        finally:
+            for path, site in originals.items():
+                self.model.set_submodule(path, site)
+            self.model.eval()
+        return self
+
+    def taylor(self, conv_path: str) -> np.ndarray:
+        probe = self._probes[conv_path]
+        if probe.samples == 0:
+            raise RuntimeError("collect() must run before reading statistics")
+        return probe.taylor_sum / probe.samples
+
+    def activation(self, conv_path: str) -> np.ndarray:
+        probe = self._probes[conv_path]
+        if probe.samples == 0:
+            raise RuntimeError("collect() must run before reading statistics")
+        return probe.activation_sum / probe.samples
+
+
+def taylor_expansion(collector: FilterStatsCollector, conv_path: str) -> np.ndarray:
+    """First-order Taylor importance from collected statistics [19]."""
+    return collector.taylor(conv_path)
+
+
+def activation_importance(collector: FilterStatsCollector, conv_path: str) -> np.ndarray:
+    """Mean activation-magnitude importance (FO-pruning stand-in [21])."""
+    return collector.activation(conv_path)
+
+
+WEIGHT_CRITERIA = {"l1": l1_norm, "l2": l2_norm, "gm": geometric_median}
+DATA_CRITERIA = {"taylor": taylor_expansion, "fo": activation_importance}

@@ -1,0 +1,224 @@
+"""Static filter-pruning executor for the Table I baselines.
+
+Static methods evaluate filter significance once (from weights or a data
+pass), permanently remove the lowest-ranked filters, and usually fine-tune.
+This executor implements that pipeline on the same model/metadata the
+dynamic method uses, so both are measured on an identical substrate:
+
+1. rank filters of every producer convolution (``PruningPoint.conv_path``)
+   with the chosen criterion;
+2. zero the pruned filters' weights and the corresponding batch-norm
+   affine parameters (numerically identical to removing them — every
+   downstream contribution is zero);
+3. account FLOPs structurally: a conv keeping fraction ``o`` of its filters
+   and fed by a map keeping fraction ``i`` costs ``base * o * i``;
+4. optionally fine-tune, with the pruned filters frozen at zero.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.base import PrunableModel
+from ..nn import BatchNorm2d, Conv2d
+from ..nn.data import DataLoader
+from ..nn.optim import SGD, CosineAnnealingLR
+from ..core.flops import FlopsReport, count_flops
+from ..core.training import EpochStats, evaluate, train_epoch
+from .criteria import (
+    DATA_CRITERIA,
+    WEIGHT_CRITERIA,
+    FilterStatsCollector,
+    random_scores,
+)
+
+__all__ = ["StaticPruningResult", "StaticFilterPruner", "STATIC_METHODS"]
+
+STATIC_METHODS = ("l1", "l2", "gm", "taylor", "fo", "random")
+
+
+@dataclasses.dataclass
+class StaticPruningResult:
+    """Outcome of a static pruning run."""
+
+    method: str
+    kept_fraction: Dict[str, float]  # conv_path -> fraction of filters kept
+    baseline_flops: int
+    effective_flops: float
+
+    @property
+    def reduction_pct(self) -> float:
+        return 100.0 * (self.baseline_flops - self.effective_flops) / self.baseline_flops
+
+
+class StaticFilterPruner:
+    """Rank-and-remove static pruning over a model's pruning points.
+
+    Parameters
+    ----------
+    model:
+        An *uninstrumented* prunable model (static and dynamic pruning are
+        alternatives, not composed).
+    method:
+        One of :data:`STATIC_METHODS`.
+    loader:
+        Data loader for the data-driven criteria (``taylor``/``fo``);
+        weight-only criteria ignore it.
+    seed:
+        Seed for the ``random`` criterion.
+    """
+
+    def __init__(
+        self,
+        model: PrunableModel,
+        method: str,
+        loader: Optional[DataLoader] = None,
+        seed: Optional[int] = 0,
+        stat_batches: int = 4,
+    ):
+        if method not in STATIC_METHODS:
+            raise ValueError(f"unknown static method {method!r}; expected one of {STATIC_METHODS}")
+        if method in DATA_CRITERIA and loader is None:
+            raise ValueError(f"method {method!r} requires a data loader")
+        self.model = model
+        self.method = method
+        self.loader = loader
+        self.stat_batches = stat_batches
+        self._rng = np.random.default_rng(seed)
+        self.points = model.pruning_points()
+        self._keep_masks: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def rank(self) -> Dict[str, np.ndarray]:
+        """Importance scores per producer conv (higher = kept longer)."""
+        scores: Dict[str, np.ndarray] = {}
+        collector: Optional[FilterStatsCollector] = None
+        if self.method in DATA_CRITERIA:
+            collector = FilterStatsCollector(self.model).collect(
+                self.loader, max_batches=self.stat_batches, backward=(self.method == "taylor")
+            )
+        for point in self.points:
+            conv = self.model.get_submodule(point.conv_path)
+            if not isinstance(conv, Conv2d):
+                raise TypeError(f"{point.conv_path} is not a Conv2d")
+            if self.method in WEIGHT_CRITERIA:
+                scores[point.conv_path] = WEIGHT_CRITERIA[self.method](conv)
+            elif self.method in DATA_CRITERIA:
+                scores[point.conv_path] = DATA_CRITERIA[self.method](collector, point.conv_path)
+            else:  # random
+                scores[point.conv_path] = random_scores(conv, self._rng)
+        return scores
+
+    def apply(self, block_ratios: Sequence[float]) -> StaticPruningResult:
+        """Prune each block's producer convs at the given ratios.
+
+        Returns the structural FLOPs accounting; the model weights are
+        modified in place (pruned filters zeroed).
+        """
+        num_blocks = self.model.num_blocks
+        if len(block_ratios) != num_blocks:
+            raise ValueError(f"expected {num_blocks} block ratios, got {len(block_ratios)}")
+        scores = self.rank()
+
+        out_keep: Dict[str, float] = {}
+        in_keep: Dict[str, float] = {}
+        for point in self.points:
+            ratio = float(block_ratios[point.block_index])
+            if not 0.0 <= ratio <= 1.0:
+                raise ValueError(f"ratio {ratio} outside [0, 1]")
+            conv = self.model.get_submodule(point.conv_path)
+            keep = max(1, int(round((1.0 - ratio) * conv.out_channels)))
+            order = np.argsort(scores[point.conv_path])  # ascending: prune first
+            pruned_idx = order[: conv.out_channels - keep]
+            mask = np.ones(conv.out_channels, dtype=bool)
+            mask[pruned_idx] = False
+            self._keep_masks[point.conv_path] = mask
+            self._zero_filters(point.conv_path, point.path, mask)
+            fraction = mask.mean()
+            out_keep[point.conv_path] = float(fraction)
+            in_keep[point.next_conv_path] = float(fraction)
+
+        report = count_flops(self.model, self._input_shape())
+        effective = 0.0
+        for layer in report.layers:
+            factor = out_keep.get(layer.path, 1.0) * in_keep.get(layer.path, 1.0)
+            effective += layer.flops * factor
+        kept_fraction = {path: float(mask.mean()) for path, mask in self._keep_masks.items()}
+        return StaticPruningResult(
+            method=self.method,
+            kept_fraction=kept_fraction,
+            baseline_flops=report.total,
+            effective_flops=effective,
+        )
+
+    # ------------------------------------------------------------------
+    def _input_shape(self):
+        # The first conv in traversal order is the input stem (which may not
+        # be a pruning point, e.g. the ResNet stem).  Resolution does not
+        # change the *relative* reduction; use the CIFAR default unless the
+        # model remembers its input size.
+        first_conv = next(m for m in self.model.modules() if isinstance(m, Conv2d))
+        size = getattr(self.model, "input_size", 32)
+        return (first_conv.in_channels, size, size)
+
+    def _zero_filters(self, conv_path: str, site_path: str, keep_mask: np.ndarray) -> None:
+        conv = self.model.get_submodule(conv_path)
+        conv.weight.data[~keep_mask] = 0.0
+        if conv.bias is not None:
+            conv.bias.data[~keep_mask] = 0.0
+        # The batch-norm that follows the conv must also be silenced or its
+        # beta would re-introduce a constant signal on pruned channels.
+        parent_path, _, leaf = conv_path.rpartition(".")
+        parent = self.model.get_submodule(parent_path)
+        names = list(parent._modules)
+        idx = names.index(leaf) if leaf in names else -1
+        if idx >= 0 and idx + 1 < len(names):
+            candidate = parent._modules[names[idx + 1]]
+            if isinstance(candidate, BatchNorm2d):
+                candidate.gamma.data[~keep_mask] = 0.0
+                candidate.beta.data[~keep_mask] = 0.0
+        else:
+            # ResNet blocks name their norms explicitly.
+            block = self.model.get_submodule(conv_path.rpartition(".")[0])
+            bn = getattr(block, "bn1", None)
+            if isinstance(bn, BatchNorm2d) and bn.num_features == keep_mask.size:
+                bn.gamma.data[~keep_mask] = 0.0
+                bn.beta.data[~keep_mask] = 0.0
+
+    # ------------------------------------------------------------------
+    def fine_tune(
+        self,
+        train_loader: DataLoader,
+        epochs: int,
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 5e-4,
+    ) -> List[EpochStats]:
+        """Fine-tune after pruning, re-zeroing pruned filters every step.
+
+        Static methods require this recovery phase (Table I baselines); the
+        pruned filters are clamped to zero so the structural FLOPs
+        accounting stays valid.
+        """
+        optimizer = SGD(self.model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+        scheduler = CosineAnnealingLR(optimizer, t_max=max(1, epochs))
+        history: List[EpochStats] = []
+        for _ in range(epochs):
+            stats = train_epoch(self.model, train_loader, optimizer)
+            scheduler.step()
+            self._clamp_pruned()
+            history.append(stats)
+        return history
+
+    def _clamp_pruned(self) -> None:
+        for point in self.points:
+            mask = self._keep_masks.get(point.conv_path)
+            if mask is None:
+                continue
+            self._zero_filters(point.conv_path, point.path, mask)
+
+    def evaluate(self, loader: DataLoader) -> EpochStats:
+        return evaluate(self.model, loader)

@@ -1,0 +1,190 @@
+"""Command-line interface for the AntiDote reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table1 --setting vgg16_cifar10
+    python -m repro.cli table1 --all --fast
+    python -m repro.cli fig2 --arch vgg16
+    python -m repro.cli fig3 --arch resnet
+    python -m repro.cli fig4
+    python -m repro.cli autotune --target 30 --tolerance 0.15
+    python -m repro.cli quick
+
+Every subcommand trains at harness scale (slim models, synthetic data) and
+prints paper-reported vs measured numbers; see EXPERIMENTS.md for how to
+read them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.experiments import TABLE1_SETTINGS, run_table1_setting
+from .analysis.figures import fig2_series, fig3_series, fig4_composition, render_series
+from .core.pruning import PruningConfig, instrument_model
+from .core.sensitivity import suggest_upper_bounds
+from .core.training import fit
+from .datasets import cifar10_like, make_loaders
+from .models import ResNet, vgg16
+
+FAST = dict(pretrain_epochs=3, ttd_epochs_per_stage=1, ttd_final_epochs=3, ttd_step=0.4)
+FULL = dict(pretrain_epochs=6, ttd_epochs_per_stage=1, ttd_final_epochs=8, ttd_step=0.2)
+
+
+def _trained_handle(arch: str, epochs: int = 6):
+    train_loader, test_loader = make_loaders(
+        cifar10_like(train_per_class=48, test_per_class=12), batch_size=32, seed=0
+    )
+    if arch == "vgg16":
+        model = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+    elif arch == "resnet":
+        model = ResNet(2, num_classes=10, width_multiplier=0.5, seed=0)
+    else:
+        raise SystemExit(f"unknown arch {arch!r} (expected vgg16 or resnet)")
+    print(f"training slim {arch} ({epochs} epochs)...")
+    fit(model, train_loader, epochs=epochs, lr=0.08)
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+    return handle, test_loader
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    keys = list(TABLE1_SETTINGS) if args.all else [args.setting]
+    kwargs = FAST if args.fast else FULL
+    for key in keys:
+        if key not in TABLE1_SETTINGS:
+            print(f"unknown setting {key!r}; choose from {sorted(TABLE1_SETTINGS)}")
+            return 2
+        start = time.time()
+        outcome = run_table1_setting(key, **kwargs)
+        setting = outcome.setting
+        print(f"\n[{setting.name}]  ({time.time() - start:.0f}s)")
+        print(f"  ratios: ch={list(setting.channel_ratios)} sp={list(setting.spatial_ratios)}")
+        print(
+            f"  FLOPs reduction: paper {setting.paper_reduction_pct:.1f}% | "
+            f"projected {outcome.full_scale_reduction_pct:.1f}% "
+            f"(channel {outcome.full_scale_channel_pct:.1f}% + spatial {outcome.full_scale_spatial_pct:.1f}%)"
+        )
+        print(
+            f"  accuracy: baseline {outcome.baseline_accuracy:.3f} -> pruned {outcome.pruned_accuracy:.3f}"
+        )
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    handle, test_loader = _trained_handle(args.arch)
+    sweep = fig2_series(handle, test_loader, ratios=[0.1, 0.2, 0.4, 0.6, 0.8])
+    print(render_series(sweep, title=f"\nFig. 2 — {args.arch}, last-block channel pruning"))
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    handle, test_loader = _trained_handle(args.arch)
+    result = fig3_series(handle, test_loader, ratios=[0.1, 0.3, 0.5, 0.7, 0.9])
+    print(f"\nFig. 3 — {args.arch} block sensitivity (baseline {result.baseline_accuracy:.3f})")
+    for block, curve in sorted(result.curves.items()):
+        cells = "".join(f"  {r:.1f}:{acc:.3f}" for r, acc in curve)
+        print(f"  block {block + 1}:{cells}")
+    bounds = suggest_upper_bounds(result, max_drop=args.tolerance)
+    print(f"  suggested upper bounds (tolerance {args.tolerance}): {bounds}")
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    kwargs = FAST if args.fast else FULL
+    pairs = {}
+    for key, label in [
+        ("vgg16_cifar10", "VGG16-CIFAR10"),
+        ("resnet56_cifar10", "ResNet56-CIFAR10"),
+        ("vgg16_imagenet100_s2", "VGG16-ImageNet100"),
+    ]:
+        outcome = run_table1_setting(key, **kwargs)
+        pairs[label] = (outcome.full_scale_channel_pct, outcome.full_scale_spatial_pct)
+    print("\nFig. 4 — redundancy composition")
+    print(fig4_composition(pairs))
+    return 0
+
+
+def cmd_autotune(args: argparse.Namespace) -> int:
+    from .core.autotune import greedy_ratio_search
+
+    handle, test_loader = _trained_handle(args.arch)
+    result = greedy_ratio_search(
+        handle,
+        test_loader,
+        (3, 32, 32),
+        target_reduction_pct=args.target,
+        max_drop=args.tolerance,
+        step=args.step,
+    )
+    print(f"\nautotune ({args.arch}): target {args.target:.0f}% reduction, "
+          f"tolerance {args.tolerance}")
+    print(f"  found ratios: {[round(r, 2) for r in result.ratios]}")
+    print(f"  reduction {result.reduction_pct:.1f}% "
+          f"({'target reached' if result.target_reached else 'budget exhausted'})")
+    print(f"  accuracy {result.baseline_accuracy:.3f} -> {result.accuracy:.3f} "
+          "(pre-TTD; run TTD ratio ascent to recover)")
+    for step in result.history:
+        print(f"    block {step.block + 1} -> {step.ratio:.2f}: "
+              f"acc {step.accuracy:.3f}, red {step.reduction_pct:.1f}%")
+    return 0
+
+
+def cmd_quick(args: argparse.Namespace) -> int:
+    outcome = run_table1_setting("vgg16_cifar10", **FAST)
+    print(
+        f"\nquick check: VGG16-CIFAR10 projected reduction "
+        f"{outcome.full_scale_reduction_pct:.1f}% (paper 53.5%), "
+        f"pruned accuracy {outcome.pruned_accuracy:.3f} "
+        f"(baseline {outcome.baseline_accuracy:.3f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="regenerate Table I 'Proposed' rows")
+    p_table.add_argument("--setting", default="vgg16_cifar10",
+                         help=f"one of {sorted(TABLE1_SETTINGS)}")
+    p_table.add_argument("--all", action="store_true", help="run every setting")
+    p_table.add_argument("--fast", action="store_true", help="minimal training budget")
+    p_table.set_defaults(func=cmd_table1)
+
+    p_fig2 = sub.add_parser("fig2", help="attention vs random vs inverse sweep")
+    p_fig2.add_argument("--arch", default="vgg16", choices=["vgg16", "resnet"])
+    p_fig2.set_defaults(func=cmd_fig2)
+
+    p_fig3 = sub.add_parser("fig3", help="block sensitivity analysis")
+    p_fig3.add_argument("--arch", default="vgg16", choices=["vgg16", "resnet"])
+    p_fig3.add_argument("--tolerance", type=float, default=0.15)
+    p_fig3.set_defaults(func=cmd_fig3)
+
+    p_fig4 = sub.add_parser("fig4", help="redundancy composition")
+    p_fig4.add_argument("--fast", action="store_true")
+    p_fig4.set_defaults(func=cmd_fig4)
+
+    p_auto = sub.add_parser("autotune", help="greedy per-block ratio search")
+    p_auto.add_argument("--arch", default="vgg16", choices=["vgg16", "resnet"])
+    p_auto.add_argument("--target", type=float, default=30.0, help="FLOPs reduction %%")
+    p_auto.add_argument("--tolerance", type=float, default=0.15, help="accuracy-drop budget")
+    p_auto.add_argument("--step", type=float, default=0.15, help="ratio increment per move")
+    p_auto.set_defaults(func=cmd_autotune)
+
+    p_quick = sub.add_parser("quick", help="one fast end-to-end sanity run")
+    p_quick.set_defaults(func=cmd_quick)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Attention coefficients for dynamic significance evaluation (Sec. III-A).
+
+Channel attention (Eq. 1) is the spatial mean of each channel::
+
+    A_channel(F, c) = 1/(H*W) * sum_ij F_c(i, j)
+
+Spatial attention (Eq. 2) is the channel mean of each spatial column::
+
+    A_spatial(F, h, w) = 1/C * sum_i F_{h,w}(i)
+
+Both operate on raw post-ReLU feature maps, so coefficients are
+non-negative and larger means "more activated by this input".  The paper
+binarizes these (Sec. III) instead of the sigmoid re-weighting SENET [10]
+uses, because re-weighting alone cannot *remove* computation.
+
+The module also provides the two control criteria of Sec. III-C: random
+scores and inverse attention (negated coefficients, so top-k selects the
+*least* attended components first).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "channel_attention",
+    "spatial_attention",
+    "make_criterion",
+    "CRITERIA",
+]
+
+
+def channel_attention(feature_map: np.ndarray) -> np.ndarray:
+    """Eq. 1: per-channel attention vector.
+
+    Parameters
+    ----------
+    feature_map:
+        NCHW activation array.
+
+    Returns
+    -------
+    Array of shape ``(N, C)``.
+    """
+    if feature_map.ndim != 4:
+        raise ValueError(f"expected NCHW feature map, got shape {feature_map.shape}")
+    return feature_map.mean(axis=(2, 3))
+
+
+def spatial_attention(feature_map: np.ndarray) -> np.ndarray:
+    """Eq. 2: per-column attention heat map.
+
+    Returns
+    -------
+    Array of shape ``(N, H, W)``.
+    """
+    if feature_map.ndim != 4:
+        raise ValueError(f"expected NCHW feature map, got shape {feature_map.shape}")
+    return feature_map.mean(axis=1)
+
+
+ScoreFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+def make_criterion(name: str, rng: Optional[np.random.Generator] = None) -> ScoreFn:
+    """Build a scoring function ``feature_map -> (channel_scores, spatial_scores)``.
+
+    ``"attention"`` is the paper's criterion; ``"random"`` and ``"inverse"``
+    are the Sec. III-C controls.  Higher score = kept earlier.
+    """
+    if name == "attention":
+
+        def score(fm: np.ndarray):
+            return channel_attention(fm), spatial_attention(fm)
+
+    elif name == "inverse":
+
+        def score(fm: np.ndarray):
+            return -channel_attention(fm), -spatial_attention(fm)
+
+    elif name == "random":
+        generator = rng or np.random.default_rng()
+
+        def score(fm: np.ndarray):
+            n, c, h, w = fm.shape
+            return generator.random((n, c)), generator.random((n, h, w))
+
+    else:
+        raise ValueError(f"unknown criterion {name!r}; expected one of {sorted(CRITERIA)}")
+    return score
+
+
+CRITERIA: Dict[str, str] = {
+    "attention": "paper criterion (Eqs. 1-2)",
+    "random": "uniform random control (Sec. III-C)",
+    "inverse": "inverse-attention control (Sec. III-C)",
+}

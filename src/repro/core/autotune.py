@@ -1,0 +1,159 @@
+"""Automatic per-block ratio search.
+
+The paper selects its per-block pruning vectors by hand from the Fig. 3
+sensitivity curves ("we set this threshold as the upper bound pruning
+ratio", Sec. IV-B).  This module automates that selection: a greedy
+coordinate ascent raises one block's ratio at a time — always the block
+whose increase currently costs the least accuracy — until a FLOPs-reduction
+target is met or the accuracy-drop budget is exhausted.
+
+The search runs on the *unadapted* model (like the sensitivity analysis),
+so the resulting vector is a starting point for TTD, exactly matching the
+paper's workflow: sensitivity → ratio vector → TTD ratio ascent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..nn.data import DataLoader
+from .flops import count_flops, dynamic_flops
+from .pruning import InstrumentedModel
+from .training import evaluate
+
+__all__ = ["AutotuneStep", "AutotuneResult", "greedy_ratio_search"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AutotuneStep:
+    """One accepted move of the greedy search."""
+
+    block: int
+    ratio: float
+    accuracy: float
+    reduction_pct: float
+
+
+@dataclasses.dataclass
+class AutotuneResult:
+    """Outcome of :func:`greedy_ratio_search`."""
+
+    ratios: List[float]
+    accuracy: float
+    reduction_pct: float
+    baseline_accuracy: float
+    target_reached: bool
+    history: List[AutotuneStep]
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.baseline_accuracy - self.accuracy
+
+
+def _measure(
+    instrumented: InstrumentedModel,
+    loader: DataLoader,
+    input_shape,
+    ratios: List[float],
+    dimension: str,
+    static_report,
+) -> Tuple[float, float]:
+    zeros = [0.0] * len(ratios)
+    if dimension == "channel":
+        instrumented.set_block_ratios(ratios, zeros)
+    else:
+        instrumented.set_block_ratios(zeros, ratios)
+    instrumented.reset_stats()
+    accuracy = evaluate(instrumented.model, loader).accuracy
+    reduction = dynamic_flops(instrumented, input_shape, report=static_report).reduction_pct
+    return accuracy, reduction
+
+
+def greedy_ratio_search(
+    instrumented: InstrumentedModel,
+    loader: DataLoader,
+    input_shape,
+    target_reduction_pct: float,
+    max_drop: float,
+    step: float = 0.1,
+    max_ratio: float = 0.9,
+    dimension: str = "channel",
+) -> AutotuneResult:
+    """Greedy coordinate ascent over per-block pruning ratios.
+
+    Parameters
+    ----------
+    instrumented:
+        Handle from :func:`repro.core.pruning.instrument_model`; ratios are
+        left at the best found vector on return.
+    loader:
+        Evaluation data (a held-out split; the search never trains).
+    input_shape:
+        (C, H, W) for FLOPs accounting.
+    target_reduction_pct:
+        Stop once the dynamic FLOPs reduction reaches this many percent.
+    max_drop:
+        Accuracy-drop budget relative to the unpruned baseline; candidate
+        moves that exceed it are rejected.
+    step / max_ratio:
+        Ratio increment per move and per-block ceiling.
+    dimension:
+        ``"channel"`` or ``"spatial"`` — which ratio vector to search.
+
+    Returns
+    -------
+    :class:`AutotuneResult` with the chosen vector and the accepted moves.
+    """
+    if dimension not in ("channel", "spatial"):
+        raise ValueError("dimension must be 'channel' or 'spatial'")
+    if step <= 0 or not 0 < max_ratio <= 1:
+        raise ValueError("step must be positive and max_ratio in (0, 1]")
+    if max_drop < 0:
+        raise ValueError("max_drop must be non-negative")
+
+    num_blocks = instrumented.num_blocks
+    static_report = count_flops(instrumented.model, tuple(input_shape))
+    zeros = [0.0] * num_blocks
+    instrumented.set_block_ratios(zeros, zeros)
+    baseline_accuracy = evaluate(instrumented.model, loader).accuracy
+    floor = baseline_accuracy - max_drop
+
+    ratios = [0.0] * num_blocks
+    current_reduction = 0.0
+    history: List[AutotuneStep] = []
+
+    while current_reduction < target_reduction_pct:
+        best: Optional[Tuple[float, float, int, float]] = None  # (acc, red, block, ratio)
+        for block in range(num_blocks):
+            candidate_ratio = min(max_ratio, ratios[block] + step)
+            if candidate_ratio <= ratios[block] + 1e-12:
+                continue
+            trial = list(ratios)
+            trial[block] = candidate_ratio
+            accuracy, reduction = _measure(
+                instrumented, loader, input_shape, trial, dimension, static_report
+            )
+            if accuracy < floor or reduction <= current_reduction + 1e-9:
+                continue
+            key = (accuracy, reduction)
+            if best is None or key > (best[0], best[1]):
+                best = (accuracy, reduction, block, candidate_ratio)
+        if best is None:
+            break
+        accuracy, reduction, block, candidate_ratio = best
+        ratios[block] = candidate_ratio
+        current_reduction = reduction
+        history.append(AutotuneStep(block, candidate_ratio, accuracy, reduction))
+
+    final_accuracy, final_reduction = _measure(
+        instrumented, loader, input_shape, ratios, dimension, static_report
+    )
+    return AutotuneResult(
+        ratios=ratios,
+        accuracy=final_accuracy,
+        reduction_pct=final_reduction,
+        baseline_accuracy=baseline_accuracy,
+        target_reached=final_reduction >= target_reduction_pct,
+        history=history,
+    )

@@ -1,0 +1,149 @@
+"""Binary pruning masks from attention coefficients (Eqs. 3-4).
+
+The paper keeps the top-k scored components, with ``k = int(p * total)``
+where ``p`` is the *reserved* percentage.  Everything in this repo is
+parameterized by the complementary **pruning ratio** ``r = 1 - p`` because
+that is what the paper's tables report (e.g. per-block channel ratios
+``[0.2, 0.2, 0.6, 0.9, 0.9]``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "reserved_count",
+    "topk_mask",
+    "channel_mask",
+    "spatial_mask",
+    "keep_fraction",
+    "threshold_mask",
+    "threshold_channel_mask",
+    "threshold_spatial_mask",
+    "batch_union",
+]
+
+
+def reserved_count(total: int, prune_ratio: float) -> int:
+    """Number of components kept for a given pruning ratio.
+
+    Implements ``k = int(p * total)`` from Eq. 3 with ``p = 1 - prune_ratio``,
+    clamped so at least one component always survives (a fully-masked feature
+    map would zero the forward signal entirely).
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if not 0.0 <= prune_ratio <= 1.0:
+        raise ValueError(f"prune ratio must be in [0, 1], got {prune_ratio}")
+    return max(1, int((1.0 - prune_ratio) * total))
+
+
+def topk_mask(scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise boolean mask keeping the ``k`` largest entries.
+
+    ``scores`` has shape ``(N, M)``; ties are broken by index order
+    (``argpartition``), which matches the deterministic behaviour of
+    ``torch.topk`` closely enough for the algorithms here.
+    """
+    n, m = scores.shape
+    if not 1 <= k <= m:
+        raise ValueError(f"k={k} out of range for {m} components")
+    mask = np.zeros((n, m), dtype=bool)
+    if k == m:
+        mask[:] = True
+        return mask
+    # argpartition puts the k largest (unordered) in the last k slots.
+    top_idx = np.argpartition(scores, m - k, axis=1)[:, m - k :]
+    np.put_along_axis(mask, top_idx, True, axis=1)
+    return mask
+
+
+def channel_mask(channel_scores: np.ndarray, prune_ratio: float) -> np.ndarray:
+    """Eq. 3: per-input binary channel mask.
+
+    Parameters
+    ----------
+    channel_scores:
+        ``(N, C)`` attention coefficients.
+    prune_ratio:
+        Fraction of channels removed.
+
+    Returns
+    -------
+    Boolean array of shape ``(N, C)``.
+    """
+    n, c = channel_scores.shape
+    return topk_mask(channel_scores, reserved_count(c, prune_ratio))
+
+
+def spatial_mask(spatial_scores: np.ndarray, prune_ratio: float) -> np.ndarray:
+    """Eq. 4: per-input binary spatial column mask.
+
+    Parameters
+    ----------
+    spatial_scores:
+        ``(N, H, W)`` attention heat maps.
+    prune_ratio:
+        Fraction of spatial columns removed.
+
+    Returns
+    -------
+    Boolean array of shape ``(N, H, W)``.
+    """
+    n, h, w = spatial_scores.shape
+    flat = spatial_scores.reshape(n, h * w)
+    k = reserved_count(h * w, prune_ratio)
+    return topk_mask(flat, k).reshape(n, h, w)
+
+
+def keep_fraction(mask: np.ndarray) -> float:
+    """Mean kept fraction of a boolean mask (per batch)."""
+    return float(mask.mean())
+
+
+# ----------------------------------------------------------------------
+# Extensions beyond the paper's Eq. 3/4 top-k rule
+# ----------------------------------------------------------------------
+def threshold_mask(scores: np.ndarray, threshold: float) -> np.ndarray:
+    """Row-wise mask keeping entries with score strictly above ``threshold``.
+
+    An *input-adaptive* alternative to the paper's fixed top-k: easy inputs
+    (few strongly-activated components) get more pruning than hard ones, so
+    the keep fraction — and hence the per-input FLOPs — varies.  Rows where
+    nothing clears the threshold keep their single best entry, preserving
+    the at-least-one invariant of :func:`reserved_count`.
+    """
+    if scores.ndim != 2:
+        raise ValueError("scores must be 2-D (rows = batch)")
+    mask = scores > threshold
+    empty = ~mask.any(axis=1)
+    if empty.any():
+        best = scores[empty].argmax(axis=1)
+        mask[np.flatnonzero(empty), best] = True
+    return mask
+
+
+def threshold_channel_mask(channel_scores: np.ndarray, threshold: float) -> np.ndarray:
+    """Threshold variant of Eq. 3 over ``(N, C)`` channel attention."""
+    return threshold_mask(channel_scores, threshold)
+
+
+def threshold_spatial_mask(spatial_scores: np.ndarray, threshold: float) -> np.ndarray:
+    """Threshold variant of Eq. 4 over ``(N, H, W)`` spatial attention."""
+    n, h, w = spatial_scores.shape
+    return threshold_mask(spatial_scores.reshape(n, h * w), threshold).reshape(n, h, w)
+
+
+def batch_union(mask: np.ndarray) -> np.ndarray:
+    """Broadcast the union of per-input masks to the whole batch.
+
+    Per-input masks defeat batched dense kernels (every sample selects
+    different channels).  The batch-union relaxation keeps a component if
+    *any* sample in the batch needs it — a strictly larger mask (less
+    saving) that permits one gather per batch.  Masks of shape ``(N, ...)``
+    come back with the same shape, every row identical.
+    """
+    union = mask.any(axis=0, keepdims=True)
+    return np.broadcast_to(union, mask.shape)

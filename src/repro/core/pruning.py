@@ -1,0 +1,408 @@
+"""Dynamic feature-map pruning layers and model instrumentation (Sec. III).
+
+:class:`DynamicPruning` is the layer Fig. 1 inserts between consecutive
+convolutions.  On every forward pass it recomputes channel and spatial
+attention for the *current* input, builds the binarized top-k masks
+(Eqs. 3-4) and multiplies them onto the feature map (Eq. 5).  The same layer
+serves both phases of the paper:
+
+* **testing phase** — per-input dynamic pruning (Sec. III-B);
+* **training phase** — the targeted-dropout layer of TTD (Sec. IV-A), which
+  is the identical masking with regular back-propagation through the kept
+  entries.
+
+Numerically the masked feature map is equivalent to skipping the pruned
+channels/columns in the next convolution (zeroed channels contribute zero
+to every output).  The computation saving is therefore *accounted
+analytically* from the recorded masks by :mod:`repro.core.flops`, exactly
+as the paper reports FLOPs reductions.
+
+:func:`instrument_model` wraps every pruning point the model declares
+(:meth:`~repro.models.base.PrunableModel.pruning_points`) and returns a
+handle exposing the inserted pruners for ratio control and statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.base import PrunableModel, PruningPoint
+from ..nn import Module, Sequential
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .attention import make_criterion
+from .masks import (
+    batch_union,
+    channel_mask,
+    spatial_mask,
+    threshold_channel_mask,
+    threshold_spatial_mask,
+)
+
+__all__ = [
+    "DynamicPruning",
+    "PruningConfig",
+    "InstrumentedModel",
+    "instrument_model",
+    "pooled_keep_fraction",
+    "calibrate_thresholds",
+]
+
+
+def pooled_keep_fraction(mask: np.ndarray, pool_factor: int) -> float:
+    """Kept fraction of a spatial mask after max-pooling by ``pool_factor``.
+
+    When a pooling layer sits between the pruned feature map and the next
+    convolution (VGG block boundaries), a pooled output column must still be
+    computed if *any* column in its pooling window survived.  This is the
+    fraction that scales the next layer's FLOPs.
+    """
+    if pool_factor <= 1:
+        return float(mask.mean())
+    n, h, w = mask.shape
+    ph, pw = h // pool_factor, w // pool_factor
+    if ph == 0 or pw == 0:
+        return float(mask.mean())
+    trimmed = mask[:, : ph * pool_factor, : pw * pool_factor]
+    windows = trimmed.reshape(n, ph, pool_factor, pw, pool_factor)
+    pooled = windows.any(axis=(2, 4))
+    return float(pooled.mean())
+
+
+class DynamicPruning(Module):
+    """Attention-based dynamic channel + spatial column pruning layer.
+
+    Parameters
+    ----------
+    channel_ratio:
+        Fraction of channels pruned per input (0 disables channel pruning).
+    spatial_ratio:
+        Fraction of spatial columns pruned per input (0 disables).
+    criterion:
+        ``"attention"`` (paper), ``"random"`` or ``"inverse"`` (controls).
+    pool_between:
+        Downsampling factor between this site and the next convolution;
+        used when accumulating effective spatial keep fractions.
+    seed:
+        Seed for the random-criterion generator.
+    mask_mode:
+        ``"topk"`` (the paper's Eq. 3/4) or ``"threshold"`` — an extension
+        where components scoring above ``threshold`` survive, so the keep
+        fraction adapts per input (easy inputs prune harder).
+    threshold:
+        Attention cut-off for ``mask_mode="threshold"`` (post-ReLU
+        attention is non-negative, so 0.0 keeps everything activated).
+    granularity:
+        ``"input"`` (per-input masks, the paper) or ``"batch"`` — the
+        union of the batch's masks, identical for every sample; keeps more
+        (saves less) but admits batched dense kernels at deployment.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; a disabled layer is an identity (used to measure the
+        unpruned baseline on the same instrumented model).
+    last_channel_mask / last_spatial_mask:
+        Masks from the most recent forward pass (or ``None``).
+    """
+
+    def __init__(
+        self,
+        channel_ratio: float = 0.0,
+        spatial_ratio: float = 0.0,
+        criterion: str = "attention",
+        pool_between: int = 1,
+        seed: Optional[int] = None,
+        mask_mode: str = "topk",
+        threshold: float = 0.0,
+        granularity: str = "input",
+    ):
+        super().__init__()
+        if mask_mode not in ("topk", "threshold"):
+            raise ValueError(f"mask_mode must be 'topk' or 'threshold', got {mask_mode!r}")
+        if granularity not in ("input", "batch"):
+            raise ValueError(f"granularity must be 'input' or 'batch', got {granularity!r}")
+        self.set_ratios(channel_ratio, spatial_ratio)
+        self.criterion_name = criterion
+        self._score = make_criterion(criterion, np.random.default_rng(seed))
+        self.pool_between = pool_between
+        self.mask_mode = mask_mode
+        self.threshold = float(threshold)
+        self.granularity = granularity
+        self.enabled = True
+        self.last_channel_mask: Optional[np.ndarray] = None
+        self.last_spatial_mask: Optional[np.ndarray] = None
+        self.reset_stats()
+
+    # ------------------------------------------------------------------
+    def set_ratios(self, channel_ratio: float, spatial_ratio: float) -> None:
+        for name, value in (("channel", channel_ratio), ("spatial", spatial_ratio)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} prune ratio must be in [0, 1], got {value}")
+        self.channel_ratio = float(channel_ratio)
+        self.spatial_ratio = float(spatial_ratio)
+
+    def set_criterion(self, criterion: str, seed: Optional[int] = None) -> None:
+        self.criterion_name = criterion
+        self._score = make_criterion(criterion, np.random.default_rng(seed))
+
+    def reset_stats(self) -> None:
+        """Clear the accumulated keep-fraction statistics."""
+        self._samples = 0
+        self._channel_keep_sum = 0.0
+        self._spatial_keep_sum = 0.0
+        self._spatial_keep_pooled_sum = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the layer prunes.
+
+        In ``threshold`` mode the ratios act purely as per-dimension on/off
+        switches (the cut-off, not the ratio, decides how much survives).
+        """
+        return self.enabled and (self.channel_ratio > 0.0 or self.spatial_ratio > 0.0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.active:
+            return x
+        fm = x.data
+        n, c, h, w = fm.shape
+        ch_scores, sp_scores = self._score(fm)
+
+        mask = None
+        ch_keep = 1.0
+        sp_keep = 1.0
+        sp_keep_pooled = 1.0
+        if self.channel_ratio > 0.0:
+            if self.mask_mode == "topk":
+                cm = channel_mask(ch_scores, self.channel_ratio)
+            else:
+                cm = threshold_channel_mask(ch_scores, self.threshold)
+            if self.granularity == "batch":
+                cm = batch_union(cm)
+            self.last_channel_mask = cm
+            ch_keep = cm.mean()
+            mask = cm[:, :, None, None].astype(fm.dtype)
+        else:
+            self.last_channel_mask = None
+        if self.spatial_ratio > 0.0:
+            if self.mask_mode == "topk":
+                sm = spatial_mask(sp_scores, self.spatial_ratio)
+            else:
+                sm = threshold_spatial_mask(sp_scores, self.threshold)
+            if self.granularity == "batch":
+                sm = batch_union(sm)
+            self.last_spatial_mask = sm
+            sp_keep = sm.mean()
+            sp_keep_pooled = pooled_keep_fraction(sm, self.pool_between)
+            sp_broadcast = sm[:, None, :, :].astype(fm.dtype)
+            mask = sp_broadcast if mask is None else mask * sp_broadcast
+        else:
+            self.last_spatial_mask = None
+
+        self._samples += n
+        self._channel_keep_sum += float(ch_keep) * n
+        self._spatial_keep_sum += float(sp_keep) * n
+        self._spatial_keep_pooled_sum += float(sp_keep_pooled) * n
+        return F.apply_mask(x, mask)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_channel_keep(self) -> float:
+        """Average kept channel fraction over recorded samples."""
+        return self._channel_keep_sum / self._samples if self._samples else 1.0
+
+    @property
+    def mean_spatial_keep(self) -> float:
+        """Average kept spatial-column fraction over recorded samples."""
+        return self._spatial_keep_sum / self._samples if self._samples else 1.0
+
+    @property
+    def mean_spatial_keep_pooled(self) -> float:
+        """Average kept fraction after the intervening pooling (FLOPs basis)."""
+        return self._spatial_keep_pooled_sum / self._samples if self._samples else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicPruning(channel={self.channel_ratio}, spatial={self.spatial_ratio}, "
+            f"criterion={self.criterion_name!r})"
+        )
+
+
+@dataclasses.dataclass
+class PruningConfig:
+    """Per-block dynamic pruning configuration (the paper's ratio vectors).
+
+    ``channel_ratios[b]`` / ``spatial_ratios[b]`` give the pruning ratio for
+    every site in block ``b``.  Vectors shorter than the model's block count
+    are rejected to avoid silently unpruned blocks.
+    """
+
+    channel_ratios: Sequence[float]
+    spatial_ratios: Sequence[float]
+    criterion: str = "attention"
+    seed: Optional[int] = 0
+
+    def validate(self, num_blocks: int) -> None:
+        for name, ratios in (("channel", self.channel_ratios), ("spatial", self.spatial_ratios)):
+            if len(ratios) != num_blocks:
+                raise ValueError(
+                    f"{name}_ratios has {len(ratios)} entries but the model has {num_blocks} blocks"
+                )
+            for r in ratios:
+                if not 0.0 <= r <= 1.0:
+                    raise ValueError(f"{name} ratio {r} outside [0, 1]")
+
+    @staticmethod
+    def disabled(num_blocks: int) -> "PruningConfig":
+        return PruningConfig([0.0] * num_blocks, [0.0] * num_blocks)
+
+
+class InstrumentedModel:
+    """A model with dynamic-pruning layers inserted at its pruning points.
+
+    Wraps the underlying :class:`~repro.models.base.PrunableModel` and the
+    inserted :class:`DynamicPruning` layers, providing ratio control,
+    statistics collection and enable/disable switching for baseline
+    measurements on identical weights.
+    """
+
+    def __init__(self, model: PrunableModel, pruners: List[Tuple[PruningPoint, DynamicPruning]]):
+        self.model = model
+        self.pruners = pruners
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.model(x)
+
+    # ------------------------------------------------------------------
+    def set_block_ratios(
+        self,
+        channel_ratios: Sequence[float],
+        spatial_ratios: Sequence[float],
+    ) -> None:
+        """Apply per-block ratio vectors to every pruner."""
+        for point, pruner in self.pruners:
+            pruner.set_ratios(channel_ratios[point.block_index], spatial_ratios[point.block_index])
+
+    def set_enabled(self, enabled: bool) -> None:
+        for _, pruner in self.pruners:
+            pruner.enabled = enabled
+
+    def reset_stats(self) -> None:
+        for _, pruner in self.pruners:
+            pruner.reset_stats()
+
+    def set_criterion(self, criterion: str, seed: Optional[int] = None) -> None:
+        for i, (_, pruner) in enumerate(self.pruners):
+            pruner.set_criterion(criterion, None if seed is None else seed + i)
+
+    # ------------------------------------------------------------------
+    def pruner_for_block(self, block_index: int) -> List[DynamicPruning]:
+        return [p for point, p in self.pruners if point.block_index == block_index]
+
+    def keep_fractions(self) -> Dict[str, Tuple[float, float]]:
+        """Recorded (channel, pooled-spatial) keep fractions per site path."""
+        return {
+            point.path: (pruner.mean_channel_keep, pruner.mean_spatial_keep_pooled)
+            for point, pruner in self.pruners
+        }
+
+    @property
+    def num_blocks(self) -> int:
+        return self.model.num_blocks
+
+
+def calibrate_thresholds(
+    instrumented: InstrumentedModel,
+    images: np.ndarray,
+    fraction: float = 0.6,
+) -> Dict[str, float]:
+    """Switch every pruner to threshold mode with data-calibrated cut-offs.
+
+    Attention magnitudes differ per layer (deeper maps are flatter), so a
+    single global threshold either over- or under-prunes.  This runs one
+    calibration batch through the model, records the batch-median channel
+    attention at every site, and sets each pruner's threshold to
+    ``fraction * median``.  Lower fractions keep more (higher accuracy,
+    less saving); see ``benchmarks/test_ablations.py`` for the trade-off.
+
+    Returns the per-site thresholds keyed by pruning-point path.  Pruner
+    ratios are left untouched (they act as on/off switches in threshold
+    mode); stats are reset so subsequent FLOPs accounting starts clean.
+    """
+    if fraction <= 0:
+        raise ValueError("fraction must be positive")
+    from ..nn import Tensor, no_grad
+
+    # Capture per-site medians via temporary score wrappers; pruners must
+    # be active for their score function to run.
+    saved: List[Tuple[DynamicPruning, object, float, float]] = []
+    medians: Dict[int, float] = {}
+    for index, (_, pruner) in enumerate(instrumented.pruners):
+        original_score = pruner._score
+        saved.append((pruner, original_score, pruner.channel_ratio, pruner.spatial_ratio))
+
+        def wrapped(fm, _index=index, _orig=original_score):
+            channel_scores, spatial_scores = _orig(fm)
+            medians[_index] = float(np.median(channel_scores))
+            return channel_scores, spatial_scores
+
+        pruner._score = wrapped
+        if not pruner.active:
+            # A vanishing ratio activates scoring while keeping everything.
+            pruner.set_ratios(max(pruner.channel_ratio, 1e-9), pruner.spatial_ratio)
+
+    try:
+        instrumented.model.eval()
+        with no_grad():
+            instrumented.model(Tensor(np.asarray(images, dtype=np.float32)))
+    finally:
+        for pruner, original_score, channel_ratio, spatial_ratio in saved:
+            pruner._score = original_score
+            pruner.set_ratios(channel_ratio, spatial_ratio)
+
+    thresholds: Dict[str, float] = {}
+    for index, (point, pruner) in enumerate(instrumented.pruners):
+        pruner.mask_mode = "threshold"
+        pruner.threshold = fraction * medians.get(index, 0.0)
+        thresholds[point.path] = pruner.threshold
+    instrumented.reset_stats()
+    return thresholds
+
+
+def instrument_model(
+    model: PrunableModel,
+    config: Optional[PruningConfig] = None,
+) -> InstrumentedModel:
+    """Insert a :class:`DynamicPruning` layer at every pruning point.
+
+    Every site module is replaced by ``Sequential(site, DynamicPruning)``;
+    calling this twice on the same model raises, since double-wrapped sites
+    would prune twice.
+    """
+    points = model.pruning_points()
+    if config is None:
+        config = PruningConfig.disabled(model.num_blocks)
+    config.validate(model.num_blocks)
+
+    pruners: List[Tuple[PruningPoint, DynamicPruning]] = []
+    for i, point in enumerate(points):
+        site = model.get_submodule(point.path)
+        if isinstance(site, Sequential) and any(
+            isinstance(m, DynamicPruning) for m in site.children()
+        ):
+            raise RuntimeError(f"model already instrumented at {point.path}")
+        pruner = DynamicPruning(
+            channel_ratio=config.channel_ratios[point.block_index],
+            spatial_ratio=config.spatial_ratios[point.block_index],
+            criterion=config.criterion,
+            pool_between=point.pool_between,
+            seed=None if config.seed is None else config.seed + i,
+        )
+        model.set_submodule(point.path, Sequential(site, pruner))
+        pruners.append((point, pruner))
+    return InstrumentedModel(model, pruners)

@@ -1,0 +1,86 @@
+"""Block sensitivity analysis (Sec. IV-B, Fig. 3).
+
+Different blocks tolerate very different pruning ratios: Fig. 3 sweeps the
+pruning ratio of one block at a time and records the accuracy drop.  The
+paper uses these curves to pick an aggressive per-block dropout upper bound
+(the largest ratio whose accuracy stays above a tolerance threshold), which
+then parameterizes the TTD ratio-ascent schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from ..nn.data import DataLoader
+from .pruning import InstrumentedModel
+from .training import evaluate
+
+__all__ = ["SensitivityResult", "block_sensitivity", "suggest_upper_bounds"]
+
+
+@dataclasses.dataclass
+class SensitivityResult:
+    """Accuracy-vs-ratio curves, one per block, for one pruning dimension."""
+
+    dimension: str  # "channel" | "spatial"
+    baseline_accuracy: float
+    curves: Dict[int, List[Tuple[float, float]]]  # block -> [(ratio, accuracy)]
+
+    def accuracy_at(self, block: int, ratio: float) -> float:
+        for r, acc in self.curves[block]:
+            if abs(r - ratio) < 1e-9:
+                return acc
+        raise KeyError(f"ratio {ratio} not swept for block {block}")
+
+
+def block_sensitivity(
+    instrumented: InstrumentedModel,
+    loader: DataLoader,
+    ratios: Sequence[float],
+    dimension: str = "channel",
+) -> SensitivityResult:
+    """Sweep pruning ratios one block at a time (all other blocks unpruned).
+
+    The instrumented model's ratios are restored to fully-disabled on exit,
+    so the sweep is side-effect free on the handle.
+    """
+    if dimension not in ("channel", "spatial"):
+        raise ValueError("dimension must be 'channel' or 'spatial'")
+    num_blocks = instrumented.num_blocks
+    zeros = [0.0] * num_blocks
+
+    instrumented.set_block_ratios(zeros, zeros)
+    baseline = evaluate(instrumented.model, loader).accuracy
+
+    curves: Dict[int, List[Tuple[float, float]]] = {}
+    for block in range(num_blocks):
+        curve: List[Tuple[float, float]] = []
+        for ratio in ratios:
+            channel = list(zeros)
+            spatial = list(zeros)
+            (channel if dimension == "channel" else spatial)[block] = float(ratio)
+            instrumented.set_block_ratios(channel, spatial)
+            accuracy = evaluate(instrumented.model, loader).accuracy
+            curve.append((float(ratio), accuracy))
+        curves[block] = curve
+    instrumented.set_block_ratios(zeros, zeros)
+    return SensitivityResult(dimension=dimension, baseline_accuracy=baseline, curves=curves)
+
+
+def suggest_upper_bounds(result: SensitivityResult, max_drop: float) -> List[float]:
+    """Per-block upper-bound ratios from a sensitivity sweep.
+
+    Returns, for every block, the largest swept ratio whose accuracy stays
+    within ``max_drop`` (absolute) of the unpruned baseline — the paper's
+    "accuracy drop tolerance" line in Fig. 3.  Blocks that tolerate no
+    swept ratio get 0.
+    """
+    if max_drop < 0:
+        raise ValueError("max_drop must be non-negative")
+    bounds: List[float] = []
+    floor = result.baseline_accuracy - max_drop
+    for block in sorted(result.curves):
+        tolerated = [r for r, acc in result.curves[block] if acc >= floor]
+        bounds.append(max(tolerated) if tolerated else 0.0)
+    return bounds

@@ -1,0 +1,327 @@
+"""Sparse inference execution: actually *skipping* the pruned computation.
+
+The training-side implementation of AntiDote (like the paper's own PyTorch
+implementation) applies binary masks and lets the dense convolution run —
+FLOPs savings are *accounted* analytically.  This module provides the
+inference-side executor that realizes those savings on CPU:
+
+* **Channel skipping** (:func:`sparse_conv2d`, ``channel_mask``): a zeroed
+  input channel contributes nothing to any output, so gathering the kept
+  channels and the matching weight slices is *numerically identical* to the
+  dense masked convolution while doing ``kept/C`` of the work.
+* **Column skipping** (``spatial_mask``): the paper's operational semantics
+  (Sec. III-B) — output positions whose corresponding input column was
+  removed are skipped entirely and treated as zero downstream.  At kept
+  positions the result is identical to the dense masked convolution only
+  when the dropped columns are exactly zero in the input, which is how the
+  masks are applied; across a *chain* of layers the zero-treatment at
+  skipped positions is the paper's approximation, and
+  :class:`SparseSequentialExecutor` reproduces it faithfully.
+
+The executor is eval-only and operates on raw NumPy arrays (no autograd),
+which is exactly the deployment setting the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..models.resnet import BasicBlock, ResNet
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..nn import functional as F
+from .pruning import DynamicPruning
+
+__all__ = [
+    "sparse_conv2d",
+    "SparseSequentialExecutor",
+    "SparseResNetExecutor",
+    "dense_reference_forward",
+]
+
+
+def _padded(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+
+
+def sparse_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    channel_mask: Optional[np.ndarray] = None,
+    spatial_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Convolution that skips pruned input channels and spatial columns.
+
+    Parameters
+    ----------
+    x:
+        Input batch, NCHW.
+    weight / bias / stride / padding:
+        Convolution parameters (weight ``(Cout, Cin, k, k)``).
+    channel_mask:
+        Optional ``(N, Cin)`` boolean mask; computation runs only over kept
+        channels (exactly equivalent to the dense masked conv).
+    spatial_mask:
+        Optional ``(N, H, W)`` boolean mask over the *input* columns; output
+        positions mapping to dropped columns are skipped and left zero (the
+        paper's skip semantics).  With ``stride > 1`` the mask is
+        subsampled to the output grid.  For the kept positions to agree
+        exactly with the dense masked convolution, the input must already
+        have its dropped columns zeroed (receptive fields overlap columns;
+        :class:`SparseSequentialExecutor` applies the mask before calling).
+
+    Returns
+    -------
+    Output batch ``(N, Cout, OH, OW)``.
+    """
+    n, c, h, w = x.shape
+    out_c, in_c, k, _ = weight.shape
+    if in_c != c:
+        raise ValueError(f"weight expects {in_c} input channels, got {c}")
+    oh, ow = F.conv_output_shape(h, w, k, stride, padding)
+    out = np.zeros((n, out_c, oh, ow), dtype=x.dtype)
+    w_mat_full = weight.reshape(out_c, -1)
+
+    for i in range(n):
+        xp = _padded(x[i], padding)
+        if channel_mask is not None:
+            kept_c = np.flatnonzero(channel_mask[i])
+            if kept_c.size == 0:
+                continue
+            xp_kept = xp[kept_c]
+            w_sub = weight[:, kept_c].reshape(out_c, -1)
+        else:
+            xp_kept = xp
+            w_sub = w_mat_full
+
+        # (C_kept, OH', OW', k, k) sliding windows — a strided view, O(1).
+        windows = sliding_window_view(xp_kept, (k, k), axis=(1, 2))
+        windows = windows[:, ::stride, ::stride]
+
+        if spatial_mask is not None:
+            keep2d = spatial_mask[i][::stride, ::stride][:oh, :ow]
+            ys, xs = np.nonzero(keep2d)
+            if ys.size == 0:
+                continue
+            patches = windows[:, ys, xs]  # (C_kept, P, k, k)
+            patches = patches.transpose(1, 0, 2, 3).reshape(ys.size, -1)
+            vals = patches @ w_sub.T  # (P, Cout)
+            if bias is not None:
+                vals = vals + bias
+            out[i, :, ys, xs] = vals
+        else:
+            patches = windows.transpose(1, 2, 0, 3, 4).reshape(oh * ow, -1)
+            vals = patches @ w_sub.T
+            if bias is not None:
+                vals = vals + bias
+            out[i] = vals.T.reshape(out_c, oh, ow)
+    return out
+
+
+def _bn_eval(x: np.ndarray, bn: BatchNorm2d) -> np.ndarray:
+    """Inference batch-norm on a raw array using running statistics."""
+    c = bn.num_features
+    scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+    shift = bn.beta.data - bn.running_mean * scale
+    return x * scale.reshape(1, c, 1, 1) + shift.reshape(1, c, 1, 1)
+
+
+def _max_pool(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    oh, ow = F.conv_output_shape(h, w, kernel, stride, 0)
+    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+    return windows[:, :, :oh, :ow].max(axis=(4, 5))
+
+
+class SparseSequentialExecutor:
+    """Mask-skipping inference over a Sequential conv stack.
+
+    Interprets a (possibly instrumented) ``Sequential`` of ``Conv2d``,
+    ``BatchNorm2d``, ``ReLU``, ``MaxPool2d``, ``GlobalAvgPool2d``,
+    ``Linear`` and ``DynamicPruning`` layers.  When a ``DynamicPruning``
+    layer fires, its masks are computed exactly as in the dense path, the
+    kept entries are recorded, and the *next convolution runs sparsely*:
+    only kept input channels are multiplied and only kept columns'  output
+    positions are computed.
+
+    This is the deployment interpreter for the paper's Fig. 1 — the dense
+    instrumented model is the training/verification vehicle, this executor
+    is what "the computation related can be thus skipped for efficiency"
+    means operationally.
+    """
+
+    SUPPORTED = (Conv2d, BatchNorm2d, ReLU, MaxPool2d, GlobalAvgPool2d, Linear, DynamicPruning)
+
+    def __init__(self, layers: Sequential):
+        self.layers: List[Module] = []
+        for layer in layers:
+            if isinstance(layer, Sequential):
+                self.layers.extend(list(layer))
+            else:
+                self.layers.append(layer)
+        for layer in self.layers:
+            if not isinstance(layer, self.SUPPORTED):
+                raise TypeError(
+                    f"SparseSequentialExecutor cannot interpret {type(layer).__name__}"
+                )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run inference, skipping masked work.  Input/output are arrays."""
+        pending_channel: Optional[np.ndarray] = None
+        pending_spatial: Optional[np.ndarray] = None
+        for layer in self.layers:
+            if isinstance(layer, Conv2d):
+                x = sparse_conv2d(
+                    x,
+                    layer.weight.data,
+                    None if layer.bias is None else layer.bias.data,
+                    layer.stride,
+                    layer.padding,
+                    channel_mask=pending_channel,
+                    spatial_mask=pending_spatial,
+                )
+                pending_channel = None
+                pending_spatial = None
+            elif isinstance(layer, BatchNorm2d):
+                x = _bn_eval(x, layer)
+            elif isinstance(layer, ReLU):
+                x = np.maximum(x, 0.0)
+            elif isinstance(layer, MaxPool2d):
+                x = _max_pool(x, layer.kernel_size, layer.stride)
+                if pending_spatial is not None:
+                    # Pool the pending mask with any-semantics so column
+                    # skipping stays aligned with the feature map.
+                    n, h, w = pending_spatial.shape
+                    ph = h // layer.stride
+                    pw = w // layer.stride
+                    trimmed = pending_spatial[:, : ph * layer.stride, : pw * layer.stride]
+                    pending_spatial = trimmed.reshape(
+                        n, ph, layer.stride, pw, layer.stride
+                    ).any(axis=(2, 4))
+            elif isinstance(layer, GlobalAvgPool2d):
+                x = x.mean(axis=(2, 3))
+            elif isinstance(layer, Linear):
+                x = x @ layer.weight.data.T
+                if layer.bias is not None:
+                    x = x + layer.bias.data
+            elif isinstance(layer, DynamicPruning):
+                if not layer.active:
+                    continue
+                ch_scores, sp_scores = layer._score(x)
+                if layer.channel_ratio > 0.0:
+                    from .masks import channel_mask as make_channel_mask
+
+                    pending_channel = make_channel_mask(ch_scores, layer.channel_ratio)
+                    x = x * pending_channel[:, :, None, None]
+                if layer.spatial_ratio > 0.0:
+                    from .masks import spatial_mask as make_spatial_mask
+
+                    pending_spatial = make_spatial_mask(sp_scores, layer.spatial_ratio)
+                    x = x * pending_spatial[:, None, :, :]
+        return x
+
+    __call__ = forward
+
+
+class SparseResNetExecutor:
+    """Mask-skipping inference over a (possibly instrumented) CIFAR ResNet.
+
+    Interprets the paper's actual ResNet structure: stem → three groups of
+    :class:`~repro.models.resnet.BasicBlock` → global pool → classifier.
+    When a block's ``relu1`` site carries a :class:`DynamicPruning` layer
+    (the paper prunes only those "odd layers", Sec. V-B b), the block's
+    second convolution runs sparsely over the kept channels/columns; the
+    skip connection is untouched, exactly as the paper requires.
+    """
+
+    def __init__(self, model: ResNet):
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def _conv(self, conv: Conv2d, x: np.ndarray,
+              channel_mask: Optional[np.ndarray] = None,
+              spatial_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        return sparse_conv2d(
+            x,
+            conv.weight.data,
+            None if conv.bias is None else conv.bias.data,
+            conv.stride,
+            conv.padding,
+            channel_mask=channel_mask,
+            spatial_mask=spatial_mask,
+        )
+
+    def _block(self, block: BasicBlock, x: np.ndarray) -> np.ndarray:
+        out = self._conv(block.conv1, x)
+        out = _bn_eval(out, block.bn1)
+        out = np.maximum(out, 0.0)
+
+        channel_mask = None
+        spatial_mask = None
+        site = block.relu1
+        if isinstance(site, Sequential):
+            for sub in site:
+                if isinstance(sub, DynamicPruning) and sub.active:
+                    ch_scores, sp_scores = sub._score(out)
+                    if sub.channel_ratio > 0.0:
+                        from .masks import channel_mask as make_channel_mask
+
+                        channel_mask = make_channel_mask(ch_scores, sub.channel_ratio)
+                        out = out * channel_mask[:, :, None, None]
+                    if sub.spatial_ratio > 0.0:
+                        from .masks import spatial_mask as make_spatial_mask
+
+                        spatial_mask = make_spatial_mask(sp_scores, sub.spatial_ratio)
+                        out = out * spatial_mask[:, None, :, :]
+
+        out = self._conv(block.conv2, out, channel_mask=channel_mask, spatial_mask=spatial_mask)
+        out = _bn_eval(out, block.bn2)
+
+        if isinstance(block.shortcut, Identity):
+            shortcut = x
+        else:
+            projection, norm = list(block.shortcut)
+            shortcut = _bn_eval(self._conv(projection, x), norm)
+        return np.maximum(out + shortcut, 0.0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        model = self.model
+        out = self._conv(model.conv1, x)
+        out = _bn_eval(out, model.bn1)
+        out = np.maximum(out, 0.0)
+        for group in (model.group1, model.group2, model.group3):
+            for block in group:
+                out = self._block(block, out)
+        out = out.mean(axis=(2, 3))
+        out = out @ model.fc.weight.data.T
+        if model.fc.bias is not None:
+            out = out + model.fc.bias.data
+        return out
+
+    __call__ = forward
+
+
+def dense_reference_forward(layers: Sequential, x: np.ndarray) -> np.ndarray:
+    """Dense (masked but unskipped) forward for equivalence checks."""
+    from ..nn import Tensor, no_grad
+
+    with no_grad():
+        out = layers(Tensor(x.astype(np.float32)))
+    return out.data

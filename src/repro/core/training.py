@@ -1,0 +1,97 @@
+"""Generic training and evaluation loops.
+
+Shared by the TTD trainer (:mod:`repro.core.ttd`), the static-pruning
+baselines and the benchmark harness.  The recipe mirrors the paper's setup:
+SGD with momentum and cosine learning-rate decay [17], cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..nn import Module, no_grad
+from ..nn import functional as F
+from ..nn.data import DataLoader
+from ..nn.optim import CosineAnnealingLR, SGD
+from ..nn.tensor import Tensor
+
+__all__ = ["EpochStats", "train_epoch", "evaluate", "fit"]
+
+
+@dataclasses.dataclass
+class EpochStats:
+    """Loss/accuracy bookkeeping for one pass over a loader."""
+
+    loss: float
+    accuracy: float
+    samples: int
+
+
+def train_epoch(model: Module, loader: DataLoader, optimizer) -> EpochStats:
+    """One optimization pass; returns mean loss and training accuracy."""
+    model.train()
+    total_loss = 0.0
+    correct = 0
+    samples = 0
+    for images, labels in loader:
+        x = Tensor(images)
+        logits = model(x)
+        loss = F.cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        n = len(labels)
+        samples += n
+        total_loss += float(loss.data) * n
+        correct += int((logits.data.argmax(axis=1) == labels).sum())
+    if samples == 0:
+        raise ValueError("empty training loader")
+    return EpochStats(total_loss / samples, correct / samples, samples)
+
+
+def evaluate(model: Module, loader: DataLoader) -> EpochStats:
+    """Accuracy/loss on a loader with the model in eval mode, grad-free."""
+    model.eval()
+    total_loss = 0.0
+    correct = 0
+    samples = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            n = len(labels)
+            samples += n
+            total_loss += float(loss.data) * n
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+    if samples == 0:
+        raise ValueError("empty evaluation loader")
+    return EpochStats(total_loss / samples, correct / samples, samples)
+
+
+def fit(
+    model: Module,
+    train_loader: DataLoader,
+    epochs: int,
+    lr: float = 0.1,
+    momentum: float = 0.9,
+    weight_decay: float = 5e-4,
+    cosine: bool = True,
+    test_loader: Optional[DataLoader] = None,
+    verbose: bool = False,
+) -> List[EpochStats]:
+    """Train with the paper's recipe; returns per-epoch training stats."""
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    scheduler = CosineAnnealingLR(optimizer, t_max=epochs) if cosine else None
+    history: List[EpochStats] = []
+    for epoch in range(epochs):
+        stats = train_epoch(model, train_loader, optimizer)
+        history.append(stats)
+        if scheduler is not None:
+            scheduler.step()
+        if verbose:
+            message = f"epoch {epoch + 1}/{epochs}: loss={stats.loss:.4f} acc={stats.accuracy:.3f}"
+            if test_loader is not None:
+                message += f" test_acc={evaluate(model, test_loader).accuracy:.3f}"
+            print(message)
+    return history

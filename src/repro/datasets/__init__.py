@@ -1,0 +1,19 @@
+"""Synthetic datasets standing in for CIFAR-10/100 and ImageNet100."""
+
+from .synthetic import (
+    SyntheticImageClassification,
+    SyntheticSpec,
+    cifar10_like,
+    cifar100_like,
+    imagenet100_like,
+    make_loaders,
+)
+
+__all__ = [
+    "SyntheticSpec",
+    "SyntheticImageClassification",
+    "cifar10_like",
+    "cifar100_like",
+    "imagenet100_like",
+    "make_loaders",
+]

@@ -1,0 +1,70 @@
+"""Shared model infrastructure: pruning-point metadata.
+
+AntiDote inserts dynamic-pruning layers *between consecutive convolutional
+layers* (Fig. 1).  Each model in the zoo declares where those insertion
+sites are via :meth:`PrunableModel.pruning_points`, so the instrumentation
+pass in :mod:`repro.core.pruning` and the FLOPs accounting in
+:mod:`repro.core.flops` stay architecture-agnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..nn import Module
+
+__all__ = ["PruningPoint", "PrunableModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PruningPoint:
+    """One legal insertion site for a dynamic-pruning layer.
+
+    Attributes
+    ----------
+    path:
+        Dotted submodule path of the activation after which the feature map
+        may be pruned (the site module gets wrapped into
+        ``Sequential(site, DynamicPruning)``).
+    block_index:
+        Index of the paper-level block/group the site belongs to.  The
+        paper's pruning-ratio vectors are per block (Sec. IV-B).
+    layer_index:
+        Index of the producing conv layer within the whole network (for
+        reporting).
+    out_channels:
+        Channel count of the feature map at the site.
+    next_conv_path:
+        Dotted path of the convolution whose computation the pruning reduces
+        (the paper's "next layer").
+    pool_between:
+        Spatial downsampling factor applied between the site and
+        ``next_conv_path`` (1 when they see the same resolution; 2 when a
+        2x2 max-pool sits between, as at VGG block boundaries).
+    conv_path:
+        Dotted path of the convolution that *produces* the feature map at
+        this site.  Static filter-pruning baselines rank and remove this
+        conv's filters; dynamic pruning itself never touches it.
+    """
+
+    path: str
+    block_index: int
+    layer_index: int
+    out_channels: int
+    next_conv_path: str
+    pool_between: int = 1
+    conv_path: str = ""
+
+
+class PrunableModel(Module):
+    """Base class for models that support AntiDote instrumentation."""
+
+    def pruning_points(self) -> List[PruningPoint]:
+        raise NotImplementedError
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of paper-level blocks (length of per-block ratio vectors)."""
+        points = self.pruning_points()
+        return max(p.block_index for p in points) + 1 if points else 0

@@ -1,0 +1,124 @@
+"""VGG models (CIFAR-style) with AntiDote pruning-point metadata.
+
+The paper's VGG16 has 13 convolutional layers arranged in 5 blocks of
+2-2-3-3-3 layers with 64-128-256-512-512 filters (3x3), a 2x2 max-pool at
+the end of each block (Sec. IV-B / V-B).  The classifier here is a global
+average pool followed by a single linear layer — the standard CIFAR-VGG
+head — so the FLOPs budget is dominated by the convolutions the paper
+prunes.
+
+``width_multiplier`` scales every channel count; the slim variants keep the
+block structure (and hence the paper's per-block ratio vectors meaningful)
+while making CPU training tractable on the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, MaxPool2d, Module, ReLU, Sequential
+from ..nn.tensor import Tensor
+from .base import PrunableModel, PruningPoint
+
+__all__ = ["VGG", "vgg16", "vgg16_slim", "vgg11", "VGG16_BLOCKS", "VGG11_BLOCKS"]
+
+# Paper block structure: (layers per block, output channels per block).
+VGG16_BLOCKS: Sequence[tuple] = ((2, 64), (2, 128), (3, 256), (3, 512), (3, 512))
+VGG11_BLOCKS: Sequence[tuple] = ((1, 64), (1, 128), (2, 256), (2, 512), (2, 512))
+
+
+class VGG(PrunableModel):
+    """Configurable VGG with batch-norm and per-block max-pooling.
+
+    Parameters
+    ----------
+    blocks:
+        Sequence of ``(num_layers, out_channels)`` per block.
+    num_classes:
+        Classifier output width.
+    in_channels:
+        Input image channels.
+    width_multiplier:
+        Scales all channel counts (minimum of 4 channels per layer).
+    seed:
+        Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[tuple] = VGG16_BLOCKS,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        seed: Optional[int] = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.block_spec = [
+            (layers, max(4, int(round(channels * width_multiplier))))
+            for layers, channels in blocks
+        ]
+        self.num_classes = num_classes
+
+        layers: List[Module] = []
+        self._points: List[PruningPoint] = []
+        conv_positions: List[tuple] = []  # (feature_index, block_index, out_channels)
+        current = in_channels
+        for block_index, (num_layers, out_channels) in enumerate(self.block_spec):
+            for _ in range(num_layers):
+                layers.append(Conv2d(current, out_channels, 3, padding=1, bias=False, rng=rng))
+                conv_positions.append((len(layers) - 1, block_index, out_channels))
+                layers.append(BatchNorm2d(out_channels))
+                layers.append(ReLU())
+                current = out_channels
+            layers.append(MaxPool2d(2))
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(current, num_classes, rng=rng)
+
+        # A pruning point sits after every conv's ReLU except the last
+        # conv of the network (its map feeds only the classifier).
+        for layer_index, (conv_pos, block_index, out_channels) in enumerate(conv_positions[:-1]):
+            next_conv_pos, _, _ = conv_positions[layer_index + 1]
+            # Count pools strictly between this ReLU and the next conv.
+            relu_pos = conv_pos + 2
+            pool_between = 1
+            for i in range(relu_pos + 1, next_conv_pos):
+                if isinstance(self.features[i], MaxPool2d):
+                    pool_between *= self.features[i].stride
+            self._points.append(
+                PruningPoint(
+                    path=f"features.{relu_pos}",
+                    block_index=block_index,
+                    layer_index=layer_index,
+                    out_channels=out_channels,
+                    next_conv_path=f"features.{next_conv_pos}",
+                    pool_between=pool_between,
+                    conv_path=f"features.{conv_pos}",
+                )
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+    def pruning_points(self) -> List[PruningPoint]:
+        return list(self._points)
+
+
+def vgg16(num_classes: int = 10, width_multiplier: float = 1.0, seed: Optional[int] = 0) -> VGG:
+    """The paper's VGG16 (13 conv layers, blocks 2-2-3-3-3)."""
+    return VGG(VGG16_BLOCKS, num_classes=num_classes, width_multiplier=width_multiplier, seed=seed)
+
+
+def vgg16_slim(num_classes: int = 10, seed: Optional[int] = 0) -> VGG:
+    """Width-scaled VGG16 (1/8 channels) for CPU-feasible training runs."""
+    return VGG(VGG16_BLOCKS, num_classes=num_classes, width_multiplier=0.125, seed=seed)
+
+
+def vgg11(num_classes: int = 10, width_multiplier: float = 1.0, seed: Optional[int] = 0) -> VGG:
+    """Shallower VGG variant used by fast integration tests."""
+    return VGG(VGG11_BLOCKS, num_classes=num_classes, width_multiplier=width_multiplier, seed=seed)

@@ -1,0 +1,47 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+This package replaces the PyTorch stack the AntiDote paper builds on:
+reverse-mode autograd (:mod:`repro.nn.tensor`), CNN operations
+(:mod:`repro.nn.functional`), a module system (:mod:`repro.nn.modules`),
+optimizers/schedules (:mod:`repro.nn.optim`) and a data pipeline
+(:mod:`repro.nn.data`).
+"""
+
+from . import functional
+from .tensor import Tensor, as_tensor, concat, no_grad
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Sequential",
+]

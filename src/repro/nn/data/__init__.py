@@ -1,0 +1,16 @@
+"""Datasets, loaders and transforms."""
+
+from .dataset import Dataset, Subset, TensorDataset
+from .dataloader import DataLoader
+from .transforms import Compose, Normalize, RandomCrop, RandomHorizontalFlip
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "Subset",
+    "DataLoader",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+]

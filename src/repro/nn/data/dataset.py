@@ -1,0 +1,73 @@
+"""Dataset abstractions for the ``repro.nn`` substrate.
+
+Minimal torch-style datasets: map-style access by index, with an optional
+per-sample transform applied on read (so augmentation is re-randomized each
+epoch, exactly as the paper's CIFAR pipeline does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "TensorDataset", "Subset"]
+
+Sample = Tuple[np.ndarray, int]
+
+
+class Dataset:
+    """Map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Sample:
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """In-memory dataset of (images, labels) with an optional transform.
+
+    ``images`` is an NCHW float array and ``labels`` an integer vector of the
+    same leading length.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) length mismatch"
+            )
+        self.images = images
+        self.labels = labels
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Sample:
+        image = self.images[index]
+        if self.transform is not None:
+            image = self.transform(image)
+        return image, int(self.labels[index])
+
+
+class Subset(Dataset):
+    """View onto a subset of another dataset (for splits and smoke tests)."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self.dataset[self.indices[index]]

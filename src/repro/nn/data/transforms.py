@@ -1,0 +1,89 @@
+"""Image transforms reproducing the paper's CIFAR augmentation pipeline.
+
+Sec. V-A: "we use the similar data augmentation including random horizontal
+flip, random crop and 4-pixel padding".  Transforms operate on single CHW
+float arrays and are composed with :class:`Compose`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "Normalize",
+]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class RandomHorizontalFlip:
+    """Flip the width axis with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("flip probability must be in [0, 1]")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size.
+
+    With the paper's CIFAR setting (crop 32, padding 4) this is the standard
+    translation augmentation.
+    """
+
+    def __init__(self, size: int, padding: int = 4, seed: Optional[int] = None):
+        if size <= 0 or padding < 0:
+            raise ValueError("invalid crop size/padding")
+        self.size = size
+        self.padding = padding
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        c, h, w = image.shape
+        if self.padding:
+            image = np.pad(
+                image,
+                ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+            )
+        max_y = image.shape[1] - self.size
+        max_x = image.shape[2] - self.size
+        if max_y < 0 or max_x < 0:
+            raise ValueError(f"crop size {self.size} larger than padded image {image.shape[1:]}")
+        y = int(self._rng.integers(0, max_y + 1))
+        x = int(self._rng.integers(0, max_x + 1))
+        return np.ascontiguousarray(image[:, y : y + self.size, x : x + self.size])
+
+
+class Normalize:
+    """Per-channel standardization ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std

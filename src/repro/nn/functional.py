@@ -1,0 +1,355 @@
+"""Differentiable neural-network operations for the ``repro.nn`` substrate.
+
+These functions extend the elementwise/shape primitives in
+:mod:`repro.nn.tensor` with the CNN-specific operations the AntiDote paper
+relies on: im2col convolution, pooling, batch normalization, the softmax
+cross-entropy loss, and (non-targeted) dropout.  All functions take and
+return :class:`~repro.nn.tensor.Tensor` and participate in autograd.
+
+Layout convention is NCHW throughout, matching the paper's formulation of
+feature maps ``F ∈ R^{C*H*W}`` (batch axis prepended).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv_output_shape",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "dropout",
+    "apply_mask",
+    "one_hot",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im (pure NumPy; used inside conv/pool autograd closures)
+# ----------------------------------------------------------------------
+def conv_output_shape(h: int, w: int, kernel: int, stride: int, padding: int) -> Tuple[int, int]:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel={kernel}, stride={stride}, padding={padding} does not fit input {h}x{w}"
+        )
+    return out_h, out_w
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold NCHW image batches into a patch matrix.
+
+    Returns an array of shape ``(N * out_h * out_w, C * kernel * kernel)``
+    where each row is one receptive field, so convolution becomes a single
+    matrix multiply against the reshaped filter bank.
+    """
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    col = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            col[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a patch-matrix gradient back onto the (padded) input.
+
+    Inverse of :func:`im2col` under summation: overlapping patch positions
+    accumulate, which is exactly the convolution input gradient.
+    """
+    n, c, h, w = input_shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    col = col.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=col.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += col[:, :, ky, kx, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution and linear
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) over an NCHW batch.
+
+    ``weight`` has shape ``(out_channels, in_channels, k, k)``.
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    out_c, in_c, kh, kw = weight.shape
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    if in_c != c:
+        raise ValueError(f"input has {c} channels but weight expects {in_c}")
+    kernel = kh
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+
+    col = im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(out_c, -1)
+    out = col @ w_mat.T
+    if bias is not None:
+        out = out + bias.data
+    out = out.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, out_c)
+        if bias is not None:
+            bias.accumulate_grad(g_mat.sum(axis=0))
+        if weight.requires_grad:
+            weight.accumulate_grad((g_mat.T @ col).reshape(weight.shape))
+        if x.requires_grad:
+            dcol = g_mat @ w_mat
+            x.accumulate_grad(col2im(dcol, (n, c, h, w), kernel, stride, padding))
+
+    return Tensor.from_op(np.ascontiguousarray(out), parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    x = as_tensor(x)
+
+    def backward(g: np.ndarray) -> None:
+        if bias is not None:
+            bias.accumulate_grad(g.sum(axis=0))
+        if weight.requires_grad:
+            weight.accumulate_grad(g.T @ x.data)
+        if x.requires_grad:
+            x.accumulate_grad(g @ weight.data)
+
+    out = x.data @ weight.data.T
+    if bias is not None:
+        out = out + bias.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor.from_op(out, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over NCHW input; default stride equals the kernel size."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, 0)
+
+    col = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    argmax = col.argmax(axis=1)
+    out = col[np.arange(col.shape[0]), argmax]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(g: np.ndarray) -> None:
+        dcol = np.zeros_like(col)
+        dcol[np.arange(col.shape[0]), argmax] = g.reshape(-1)
+        dx = col2im(dcol, (n * c, 1, h, w), kernel, stride, 0)
+        x.accumulate_grad(dx.reshape(n, c, h, w))
+
+    return Tensor.from_op(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over NCHW input; default stride equals the kernel."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, 0)
+
+    col = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    out = col.mean(axis=1).reshape(n, c, out_h, out_w)
+    window = kernel * kernel
+
+    def backward(g: np.ndarray) -> None:
+        dcol = np.repeat(g.reshape(-1, 1) / window, window, axis=1)
+        dx = col2im(dcol, (n * c, 1, h, w), kernel, stride, 0)
+        x.accumulate_grad(dx.reshape(n, c, h, w))
+
+    return Tensor.from_op(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Spatial mean of every channel — the paper's Eq. 1 building block."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel axis of an NCHW tensor.
+
+    ``running_mean``/``running_var`` are updated *in place* during training
+    (they are module buffers, not autograd leaves).
+    """
+    n, c, h, w = x.shape
+    axes = (0, 2, 3)
+    count = n * h * w
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        # Unbiased variance for the running estimate, as torch does.
+        unbiased = var * count / max(count - 1, 1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    mean_b = mean.reshape(1, c, 1, 1)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    inv_std_b = inv_std.reshape(1, c, 1, 1)
+    x_hat = (x.data - mean_b) * inv_std_b
+    out = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+
+    def backward(g: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma.accumulate_grad((g * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            beta.accumulate_grad(g.sum(axis=axes))
+        if not x.requires_grad:
+            return
+        gamma_b = gamma.data.reshape(1, c, 1, 1)
+        if training:
+            # Full batch-norm backward: mean and var depend on x.
+            dxhat = g * gamma_b
+            term1 = dxhat
+            term2 = dxhat.mean(axis=axes, keepdims=True)
+            term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+            x.accumulate_grad((term1 - term2 - term3) * inv_std_b)
+        else:
+            x.accumulate_grad(g * gamma_b * inv_std_b)
+
+    return Tensor.from_op(out, (x, gamma, beta), backward)
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of an integer label vector."""
+    labels = np.asarray(labels)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy with integer targets (fused, stable)."""
+    labels = np.asarray(labels)
+    n, k = logits.shape
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(exp.sum(axis=1, keepdims=True))
+    loss = -log_probs[np.arange(n), labels].mean()
+
+    def backward(g: np.ndarray) -> None:
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        logits.accumulate_grad(grad * (float(g) / n))
+
+    return Tensor.from_op(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood over integer targets."""
+    labels = np.asarray(labels)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+# ----------------------------------------------------------------------
+# Dropout and masking
+# ----------------------------------------------------------------------
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Standard inverted dropout (the *random* kind, for regularization).
+
+    The paper's *targeted* dropout lives in :mod:`repro.core.ttd`; it uses
+    :func:`apply_mask` with an attention-derived mask instead of a Bernoulli
+    mask.
+    """
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return apply_mask(x, keep)
+
+
+def apply_mask(x: Tensor, mask: np.ndarray) -> Tensor:
+    """Multiply ``x`` by a constant (non-differentiable) mask.
+
+    Implements the paper's Eq. 5 element-wise product ``F ⊗ M`` with NumPy
+    broadcasting: channel masks of shape ``(N, C, 1, 1)`` and spatial masks
+    of shape ``(N, 1, H, W)`` broadcast across the remaining axes.  Gradients
+    flow through the kept entries only — the regular back-propagation the
+    paper specifies for the targeted-dropout layer.
+    """
+    mask = np.asarray(mask, dtype=x.dtype)
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g * mask)
+
+    return Tensor.from_op(x.data * mask, (x,), backward)

@@ -1,0 +1,64 @@
+"""Weight initialization schemes for ``repro.nn`` modules.
+
+Implements the initializers the paper's PyTorch stack uses by default:
+Kaiming (He) initialization for convolutions feeding ReLU nonlinearities and
+uniform fan-in initialization for linear layers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "uniform_fan_in",
+    "compute_fans",
+]
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of ``shape``.
+
+    Convolution weights ``(out, in, k, k)`` count the receptive field in both
+    fans, matching ``torch.nn.init._calculate_fan_in_and_fan_out``.
+    """
+    if len(shape) < 2:
+        raise ValueError("fan computation requires at least 2 dimensions")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator, nonlinearity: str = "relu") -> np.ndarray:
+    """He-normal initialization: ``std = gain / sqrt(fan_in)``."""
+    fan_in, _ = compute_fans(shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, a: float = math.sqrt(5)) -> np.ndarray:
+    """He-uniform initialization with leaky-ReLU gain (torch's conv default)."""
+    fan_in, _ = compute_fans(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization for tanh/sigmoid-style layers."""
+    fan_in, fan_out = compute_fans(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_fan_in(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform ``[-1/sqrt(fan_in), 1/sqrt(fan_in)]`` — torch's bias default."""
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

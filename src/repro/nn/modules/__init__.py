@@ -1,0 +1,32 @@
+"""Neural-network modules for the ``repro.nn`` substrate."""
+
+from .module import Module, Parameter
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Sequential",
+]

@@ -1,0 +1,179 @@
+"""Base class for neural-network modules.
+
+A light re-implementation of ``torch.nn.Module`` sufficient for the AntiDote
+framework: recursive parameter/buffer registration, train/eval mode
+propagation, named traversal (used by the model-instrumentation pass that
+inserts dynamic-pruning layers), and state-dict (de)serialization.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Module", "Parameter"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Composable unit of computation with trainable state.
+
+    Subclasses implement :meth:`forward`; assignment of :class:`Parameter`,
+    :class:`Module` or (via :meth:`register_buffer`) ``numpy.ndarray``
+    attributes registers them for recursive traversal.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable persistent state (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            # Read through the attribute so in-place replacement is visible.
+            yield prefix + name, getattr(self, name)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def get_submodule(self, target: str) -> "Module":
+        module: Module = self
+        if target:
+            for part in target.split("."):
+                module = module._modules[part]
+        return module
+
+    def set_submodule(self, target: str, replacement: "Module") -> None:
+        """Replace the submodule at dotted path ``target`` (used by
+        :func:`repro.core.pruning.instrument_model`)."""
+        parent_path, _, leaf = target.rpartition(".")
+        parent = self.get_submodule(parent_path)
+        parent.add_module(leaf, replacement)
+
+    # ------------------------------------------------------------------
+    # Mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = {name: None for name, _ in self.named_buffers()}
+        for key, value in state.items():
+            if key in own_params:
+                param = own_params[key]
+                if param.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: {param.data.shape} vs {value.shape}"
+                    )
+                param.data = value.astype(param.data.dtype).copy()
+            elif key in own_buffers:
+                self._assign_buffer(key, value)
+            else:
+                raise KeyError(f"unexpected key in state dict: {key}")
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        if missing:
+            raise KeyError(f"missing keys in state dict: {sorted(missing)}")
+
+    def _assign_buffer(self, dotted: str, value: np.ndarray) -> None:
+        path, _, leaf = dotted.rpartition(".")
+        module = self.get_submodule(path)
+        buf = getattr(module, leaf)
+        np.copyto(buf, value)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child}")
+        lines.append(")")
+        return "\n".join(lines) if self._modules else self.__class__.__name__ + "()"
+
+    def num_parameters(self) -> int:
+        """Total trainable parameter count."""
+        return sum(p.data.size for p in self.parameters())

@@ -1,0 +1,14 @@
+"""Optimizers and learning-rate schedules."""
+
+from .optimizers import Adam, Optimizer, SGD
+from .schedulers import CosineAnnealingLR, LinearWarmup, LRScheduler, StepLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "LinearWarmup",
+]

@@ -1,0 +1,76 @@
+"""Learning-rate schedules.
+
+The paper uses cosine learning-rate decay (0.1 → 0) for all TTD training
+runs, citing SGDR [17]; :class:`CosineAnnealingLR` reproduces that schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optimizers import Optimizer
+
+__all__ = ["LRScheduler", "CosineAnnealingLR", "StepLR", "LinearWarmup"]
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch (or per iteration)."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps [17]."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.last_epoch, self.t_max)
+        cos = (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+        return self.eta_min + (self.base_lr - self.eta_min) * cos
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class LinearWarmup(LRScheduler):
+    """Linear ramp from ``start_factor * base_lr`` to ``base_lr``, then flat."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, start_factor: float = 0.1):
+        super().__init__(optimizer)
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.warmup_steps = warmup_steps
+        self.start_factor = start_factor
+
+    def get_lr(self) -> float:
+        if self.last_epoch >= self.warmup_steps:
+            return self.base_lr
+        frac = self.last_epoch / self.warmup_steps
+        return self.base_lr * (self.start_factor + (1.0 - self.start_factor) * frac)

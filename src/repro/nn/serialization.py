@@ -1,0 +1,69 @@
+"""Checkpoint (de)serialization for modules and training runs.
+
+Checkpoints are ``.npz`` archives holding the model's state dict plus an
+optional JSON-encoded metadata blob (epoch, ratios, accuracy, ...), so TTD
+runs and benchmark harness stages can be saved and resumed without pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .modules.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a raw state dict to an ``.npz`` archive."""
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not use the reserved key {_META_KEY!r}")
+    np.savez(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a raw state dict written by :func:`save_state_dict`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files if key != _META_KEY}
+
+
+def save_checkpoint(
+    model: Module,
+    path: str,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Save a module's parameters/buffers plus JSON metadata.
+
+    ``metadata`` must be JSON-serializable (no arrays — put those in the
+    model).  The file is written atomically via a temp file so an
+    interrupted save never corrupts an existing checkpoint.
+    """
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"model state dict uses the reserved key {_META_KEY!r}")
+    payload = dict(state)
+    meta_json = json.dumps(metadata or {})
+    payload[_META_KEY] = np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8)
+    tmp_path = path + ".tmp"
+    np.savez(tmp_path, **payload)
+    # np.savez appends .npz to paths without the suffix.
+    actual_tmp = tmp_path if tmp_path.endswith(".npz") else tmp_path + ".npz"
+    os.replace(actual_tmp, path)
+
+
+def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
+    """Restore a module from :func:`save_checkpoint`; returns the metadata."""
+    with np.load(path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        else:
+            metadata = {}
+    model.load_state_dict(state)
+    return metadata

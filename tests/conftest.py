@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticImageClassification, SyntheticSpec
+from repro.nn.data import DataLoader
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SyntheticImageClassification:
+    """4-class, 32x32 dataset small enough for in-test training.
+
+    32px is the minimum resolution VGG16's five pooling stages support.
+    """
+    return SyntheticImageClassification(
+        SyntheticSpec(
+            num_classes=4,
+            image_size=32,
+            train_per_class=12,
+            test_per_class=6,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture
+def tiny_loaders(tiny_dataset):
+    # Function-scoped: the train loader's shuffle stream is stateful, and a
+    # shared instance would make training tests order-dependent.
+    train, test = tiny_dataset.splits()
+    return (
+        DataLoader(train, batch_size=16, shuffle=True, seed=3),
+        DataLoader(test, batch_size=16, shuffle=False),
+    )

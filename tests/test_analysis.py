@@ -1,0 +1,138 @@
+"""Unit tests for the analysis/reporting layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    TABLE1_SETTINGS,
+    project_full_scale,
+    run_table1_setting,
+)
+from repro.analysis.tables import PAPER_TABLE1, TableRow, format_table
+from repro.core.masks import reserved_count
+from repro.core.pruning import PruningConfig, instrument_model
+from repro.nn import Tensor, no_grad
+
+
+class TestTableRow:
+    def test_accuracy_drop(self):
+        row = TableRow("m", "x", 93.3, 93.1)
+        assert row.accuracy_drop == pytest.approx(0.2)
+
+    def test_reduction_from_pct(self):
+        row = TableRow("m", "x", 90, 90, flops_reduction_pct=41.5)
+        assert row.reduction() == 41.5
+
+    def test_reduction_from_flops(self):
+        row = TableRow("m", "x", 90, 90, baseline_flops=100.0, final_flops=60.0)
+        assert row.reduction() == pytest.approx(40.0)
+
+    def test_reduction_requires_flops(self):
+        with pytest.raises(ValueError):
+            TableRow("m", "x", 90, 90).reduction()
+
+
+class TestPaperTable:
+    def test_all_four_settings_present(self):
+        assert set(PAPER_TABLE1) == {
+            "VGG16 (CIFAR10)",
+            "ResNet56 (CIFAR10)",
+            "VGG16 (CIFAR100)",
+            "VGG16 (ImageNet100)",
+        }
+
+    def test_proposed_rows_match_headline_numbers(self):
+        proposed = [r for r in PAPER_TABLE1["VGG16 (CIFAR10)"] if r.method == "Proposed"]
+        assert proposed[0].reduction() == pytest.approx(53.5)
+        in100 = [r for r in PAPER_TABLE1["VGG16 (ImageNet100)"] if "Setting-2" in r.method]
+        assert in100[0].reduction() == pytest.approx(54.5)
+
+    def test_flops_reduction_consistent_with_flops_columns(self):
+        # Where both absolute FLOPs are transcribed, the reduction column
+        # must be consistent with them (sanity on the transcription).
+        for rows in PAPER_TABLE1.values():
+            for row in rows:
+                if row.baseline_flops and row.final_flops:
+                    derived = 100.0 * (1.0 - row.final_flops / row.baseline_flops)
+                    assert derived == pytest.approx(row.flops_reduction_pct, abs=1.0)
+
+    def test_format_table_renders_all_rows(self):
+        text = format_table(PAPER_TABLE1["ResNet56 (CIFAR10)"], title="t")
+        assert text.count("\n") == 3 + len(PAPER_TABLE1["ResNet56 (CIFAR10)"]) - 1
+        assert "Proposed" in text
+
+
+class TestSettings:
+    def test_all_six_settings(self):
+        assert set(TABLE1_SETTINGS) == {
+            "vgg16_cifar10",
+            "resnet56_cifar10",
+            "vgg16_cifar100_s1",
+            "vgg16_cifar100_s2",
+            "vgg16_imagenet100_s1",
+            "vgg16_imagenet100_s2",
+        }
+
+    def test_paper_ratio_vectors_transcribed(self):
+        s = TABLE1_SETTINGS["vgg16_cifar10"]
+        assert s.channel_ratios == (0.2, 0.2, 0.6, 0.9, 0.9)
+        assert all(r == 0 for r in s.spatial_ratios)
+        r = TABLE1_SETTINGS["resnet56_cifar10"]
+        assert r.channel_ratios == (0.3, 0.3, 0.6)
+        assert r.spatial_ratios == (0.6, 0.6, 0.6)
+
+    def test_ratio_lengths_match_block_counts(self):
+        for setting in TABLE1_SETTINGS.values():
+            model = setting.harness_model()
+            assert len(setting.channel_ratios) == model.num_blocks
+            assert len(setting.spatial_ratios) == model.num_blocks
+
+
+class TestProjection:
+    def test_channel_only_projection_is_exact_arithmetic(self):
+        setting = TABLE1_SETTINGS["vgg16_cifar10"]
+        harness = setting.harness_model()
+        handle = instrument_model(
+            harness,
+            PruningConfig(list(setting.channel_ratios), list(setting.spatial_ratios)),
+        )
+        total, channel, spatial = project_full_scale(setting, handle)
+        assert spatial == 0.0
+        assert total == pytest.approx(channel)
+        # Hand-check one layer: block 5 ratio 0.9 on 512 channels.
+        assert reserved_count(512, 0.9) == 51
+        # The projected value must be in the paper's ballpark by construction.
+        assert total == pytest.approx(setting.paper_reduction_pct, abs=4.0)
+
+    def test_projection_uses_harness_spatial_stats(self):
+        setting = TABLE1_SETTINGS["resnet56_cifar10"]
+        harness = setting.harness_model()
+        handle = instrument_model(
+            harness,
+            PruningConfig(list(setting.channel_ratios), list(setting.spatial_ratios)),
+        )
+        # Without any recorded samples the spatial stats default to keep=1.
+        total_before, _, spatial_before = project_full_scale(setting, handle)
+        assert spatial_before == 0.0
+        rng = np.random.default_rng(0)
+        harness.eval()
+        with no_grad():
+            harness(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        total_after, _, spatial_after = project_full_scale(setting, handle)
+        assert spatial_after > 10.0
+        assert total_after > total_before
+
+
+class TestEndToEndSetting:
+    def test_run_table1_setting_minimal_budget(self):
+        outcome = run_table1_setting(
+            "vgg16_cifar10", pretrain_epochs=1, ttd_epochs_per_stage=1,
+            ttd_final_epochs=1, ttd_step=0.5,
+        )
+        assert 0.0 <= outcome.pruned_accuracy <= 1.0
+        assert outcome.full_scale_reduction_pct == pytest.approx(53.5, abs=5.0)
+        assert outcome.instrumented is not None
+
+    def test_unknown_setting_key(self):
+        with pytest.raises(KeyError):
+            run_table1_setting("vgg19_mnist")

@@ -1,0 +1,160 @@
+"""Unit tests for attention criteria (Eqs. 1-2) and mask generation (Eqs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import CRITERIA, channel_attention, make_criterion, spatial_attention
+from repro.core.masks import channel_mask, keep_fraction, reserved_count, spatial_mask, topk_mask
+
+
+class TestChannelAttention:
+    def test_matches_brute_force(self, rng):
+        fm = rng.normal(size=(2, 5, 4, 6))
+        att = channel_attention(fm)
+        expected = np.array([[fm[n, c].mean() for c in range(5)] for n in range(2)])
+        np.testing.assert_allclose(att, expected, rtol=1e-6)
+
+    def test_shape(self, rng):
+        assert channel_attention(rng.normal(size=(3, 7, 2, 2))).shape == (3, 7)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            channel_attention(np.zeros((3, 4, 5)))
+
+    def test_constant_channel_value(self):
+        fm = np.zeros((1, 2, 3, 3))
+        fm[0, 1] = 5.0
+        np.testing.assert_allclose(channel_attention(fm), [[0.0, 5.0]])
+
+
+class TestSpatialAttention:
+    def test_matches_brute_force(self, rng):
+        fm = rng.normal(size=(2, 3, 4, 5))
+        att = spatial_attention(fm)
+        np.testing.assert_allclose(att, fm.mean(axis=1), rtol=1e-6)
+
+    def test_shape(self, rng):
+        assert spatial_attention(rng.normal(size=(2, 3, 6, 7))).shape == (2, 6, 7)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            spatial_attention(np.zeros((4, 5)))
+
+
+class TestCriteria:
+    def test_attention_criterion(self, rng):
+        fm = rng.normal(size=(2, 3, 4, 4))
+        ch, sp = make_criterion("attention")(fm)
+        np.testing.assert_allclose(ch, channel_attention(fm))
+        np.testing.assert_allclose(sp, spatial_attention(fm))
+
+    def test_inverse_negates(self, rng):
+        fm = rng.normal(size=(1, 3, 2, 2))
+        ch, sp = make_criterion("inverse")(fm)
+        np.testing.assert_allclose(ch, -channel_attention(fm))
+        np.testing.assert_allclose(sp, -spatial_attention(fm))
+
+    def test_random_is_seeded(self, rng):
+        fm = rng.normal(size=(1, 4, 3, 3))
+        a = make_criterion("random", np.random.default_rng(0))(fm)
+        b = make_criterion("random", np.random.default_rng(0))(fm)
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_random_ignores_features(self, rng):
+        crit = make_criterion("random", np.random.default_rng(0))
+        a = crit(np.zeros((1, 4, 2, 2)))
+        b = crit(np.zeros((1, 4, 2, 2)))
+        assert not np.allclose(a[0], b[0])  # stream advances
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            make_criterion("magic")
+
+    def test_registry_lists_all(self):
+        assert set(CRITERIA) == {"attention", "random", "inverse"}
+
+
+class TestReservedCount:
+    def test_paper_arithmetic(self):
+        # Eq. 3: k = int(p * C); ratio 0.9 on 512 channels keeps 51.
+        assert reserved_count(512, 0.9) == 51
+        assert reserved_count(64, 0.2) == 51  # int(0.8 * 64) = 51
+        assert reserved_count(10, 0.0) == 10
+
+    def test_at_least_one_kept(self):
+        assert reserved_count(10, 1.0) == 1
+        assert reserved_count(3, 0.99) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            reserved_count(0, 0.5)
+        with pytest.raises(ValueError):
+            reserved_count(10, 1.5)
+
+
+class TestTopkMask:
+    def test_keeps_largest(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.3]])
+        mask = topk_mask(scores, 2)
+        np.testing.assert_array_equal(mask, [[False, True, True, False]])
+
+    def test_row_independent(self):
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        mask = topk_mask(scores, 1)
+        np.testing.assert_array_equal(mask, [[True, False], [False, True]])
+
+    def test_k_equals_m(self):
+        assert topk_mask(np.zeros((2, 3)), 3).all()
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            topk_mask(np.zeros((1, 3)), 0)
+        with pytest.raises(ValueError):
+            topk_mask(np.zeros((1, 3)), 4)
+
+    def test_exact_count_per_row(self, rng):
+        scores = rng.normal(size=(5, 20))
+        mask = topk_mask(scores, 7)
+        np.testing.assert_array_equal(mask.sum(axis=1), 7)
+
+    def test_kept_minimum_exceeds_dropped_maximum(self, rng):
+        scores = rng.normal(size=(4, 30))
+        mask = topk_mask(scores, 10)
+        for row, m in zip(scores, mask):
+            assert row[m].min() >= row[~m].max()
+
+
+class TestChannelMask:
+    def test_per_input_variation(self):
+        # Different inputs activate different channels -> different masks;
+        # this is the "dynamic" in dynamic pruning (Sec. III-B).
+        scores = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+        mask = channel_mask(scores, prune_ratio=0.5)
+        assert mask[0].tolist() != mask[1].tolist()
+
+    def test_ratio_zero_keeps_all(self, rng):
+        assert channel_mask(rng.normal(size=(2, 8)), 0.0).all()
+
+    def test_keep_count(self, rng):
+        mask = channel_mask(rng.normal(size=(3, 64)), 0.9)
+        np.testing.assert_array_equal(mask.sum(axis=1), reserved_count(64, 0.9))
+
+
+class TestSpatialMask:
+    def test_shape_preserved(self, rng):
+        mask = spatial_mask(rng.normal(size=(2, 6, 5)), 0.5)
+        assert mask.shape == (2, 6, 5)
+
+    def test_keep_count_over_columns(self, rng):
+        mask = spatial_mask(rng.normal(size=(2, 8, 8)), 0.6)
+        np.testing.assert_array_equal(mask.reshape(2, -1).sum(axis=1), reserved_count(64, 0.6))
+
+    def test_keeps_hottest_column(self):
+        scores = np.zeros((1, 4, 4))
+        scores[0, 2, 3] = 10.0
+        mask = spatial_mask(scores, 0.9)
+        assert mask[0, 2, 3]
+
+    def test_keep_fraction_helper(self):
+        mask = np.array([[True, False], [False, False]])
+        assert keep_fraction(mask) == pytest.approx(0.25)

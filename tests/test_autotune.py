@@ -1,0 +1,100 @@
+"""Unit tests for the greedy per-block ratio search."""
+
+import pytest
+
+from repro.core.autotune import AutotuneResult, greedy_ratio_search
+from repro.core.pruning import PruningConfig, instrument_model
+from repro.core.training import fit
+from repro.models import VGG
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_dataset):
+    from repro.nn.data import DataLoader
+
+    train, test = tiny_dataset.splits()
+    train_loader = DataLoader(train, batch_size=16, shuffle=True, seed=3)
+    test_loader = DataLoader(test, batch_size=16)
+    model = VGG(num_classes=4, width_multiplier=0.1, seed=0)
+    fit(model, train_loader, epochs=6, lr=0.05)
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+    return handle, test_loader
+
+
+class TestValidation:
+    def test_bad_dimension(self, trained):
+        handle, loader = trained
+        with pytest.raises(ValueError):
+            greedy_ratio_search(handle, loader, (3, 32, 32), 10, 0.1, dimension="depth")
+
+    def test_bad_step(self, trained):
+        handle, loader = trained
+        with pytest.raises(ValueError):
+            greedy_ratio_search(handle, loader, (3, 32, 32), 10, 0.1, step=0.0)
+
+    def test_bad_drop(self, trained):
+        handle, loader = trained
+        with pytest.raises(ValueError):
+            greedy_ratio_search(handle, loader, (3, 32, 32), 10, -0.5)
+
+
+class TestSearch:
+    def test_reaches_modest_target(self, trained):
+        handle, loader = trained
+        result = greedy_ratio_search(
+            handle, loader, (3, 32, 32),
+            target_reduction_pct=10.0, max_drop=0.3, step=0.2,
+        )
+        assert isinstance(result, AutotuneResult)
+        assert result.target_reached
+        assert result.reduction_pct >= 10.0
+        assert result.accuracy >= result.baseline_accuracy - 0.3 - 1e-9
+
+    def test_history_is_monotone_in_reduction(self, trained):
+        handle, loader = trained
+        result = greedy_ratio_search(
+            handle, loader, (3, 32, 32),
+            target_reduction_pct=15.0, max_drop=0.4, step=0.2,
+        )
+        reductions = [step.reduction_pct for step in result.history]
+        assert reductions == sorted(reductions)
+        assert len(result.history) >= 1
+
+    def test_zero_budget_yields_conservative_vector(self, trained):
+        # With a tiny accuracy budget the search must stop early rather
+        # than violate the floor.
+        handle, loader = trained
+        result = greedy_ratio_search(
+            handle, loader, (3, 32, 32),
+            target_reduction_pct=60.0, max_drop=0.0, step=0.3,
+        )
+        assert result.accuracy >= result.baseline_accuracy - 1e-9
+        if not result.target_reached:
+            assert result.reduction_pct < 60.0
+
+    def test_ratios_respect_ceiling(self, trained):
+        handle, loader = trained
+        result = greedy_ratio_search(
+            handle, loader, (3, 32, 32),
+            target_reduction_pct=40.0, max_drop=0.5, step=0.25, max_ratio=0.5,
+        )
+        assert all(r <= 0.5 + 1e-9 for r in result.ratios)
+
+    def test_handle_left_at_found_vector(self, trained):
+        handle, loader = trained
+        result = greedy_ratio_search(
+            handle, loader, (3, 32, 32),
+            target_reduction_pct=8.0, max_drop=0.3, step=0.2,
+        )
+        for point, pruner in handle.pruners:
+            assert pruner.channel_ratio == pytest.approx(result.ratios[point.block_index])
+
+    def test_spatial_dimension_search(self, trained):
+        handle, loader = trained
+        result = greedy_ratio_search(
+            handle, loader, (3, 32, 32),
+            target_reduction_pct=5.0, max_drop=0.4, step=0.3, dimension="spatial",
+        )
+        for point, pruner in handle.pruners:
+            assert pruner.spatial_ratio == pytest.approx(result.ratios[point.block_index])
+            assert pruner.channel_ratio == 0.0

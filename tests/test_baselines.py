@@ -1,0 +1,177 @@
+"""Unit tests for the static-pruning baselines (Table I comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FilterStatsCollector,
+    StaticFilterPruner,
+    geometric_median,
+    l1_norm,
+    l2_norm,
+    random_scores,
+)
+from repro.core.flops import count_flops
+from repro.core.training import evaluate, fit
+from repro.models import VGG, resnet8, vgg11
+from repro.nn import BatchNorm2d, Conv2d, Tensor, no_grad
+
+
+class TestWeightCriteria:
+    def _conv(self):
+        conv = Conv2d(2, 3, 3, rng=np.random.default_rng(0))
+        conv.weight.data[0] = 0.0
+        conv.weight.data[1] = 1.0
+        conv.weight.data[2] = -2.0
+        return conv
+
+    def test_l1_hand_math(self):
+        scores = l1_norm(self._conv())
+        np.testing.assert_allclose(scores, [0.0, 18.0, 36.0])
+
+    def test_l2_hand_math(self):
+        scores = l2_norm(self._conv())
+        np.testing.assert_allclose(scores, [0.0, np.sqrt(18.0), np.sqrt(4 * 18.0)])
+
+    def test_gm_identifies_redundant_filter(self):
+        conv = Conv2d(1, 3, 1, rng=np.random.default_rng(0))
+        conv.weight.data[0, 0, 0, 0] = 1.0
+        conv.weight.data[1, 0, 0, 0] = 1.01  # near-duplicate of filter 0
+        conv.weight.data[2, 0, 0, 0] = 9.0  # outlier carries unique info
+        scores = geometric_median(conv)
+        # The near-duplicates have the smallest distance sums.
+        assert scores[2] > scores[0]
+        assert scores[2] > scores[1]
+
+    def test_gm_matches_brute_force(self):
+        conv = Conv2d(2, 4, 3, rng=np.random.default_rng(1))
+        flat = conv.weight.data.reshape(4, -1)
+        expected = np.array(
+            [sum(np.linalg.norm(flat[i] - flat[j]) for j in range(4)) for i in range(4)]
+        )
+        np.testing.assert_allclose(geometric_median(conv), expected, rtol=1e-4)
+
+    def test_random_seeded(self):
+        conv = Conv2d(1, 5, 1)
+        a = random_scores(conv, np.random.default_rng(3))
+        b = random_scores(conv, np.random.default_rng(3))
+        np.testing.assert_allclose(a, b)
+
+
+class TestFilterStatsCollector:
+    def test_collects_and_restores(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = VGG(num_classes=4, width_multiplier=0.06, seed=0)
+        sites_before = [type(model.get_submodule(p.path)).__name__ for p in model.pruning_points()]
+        collector = FilterStatsCollector(model).collect(train_loader, max_batches=1)
+        sites_after = [type(model.get_submodule(p.path)).__name__ for p in model.pruning_points()]
+        assert sites_before == sites_after  # probes removed
+
+        point = model.pruning_points()[0]
+        taylor = collector.taylor(point.conv_path)
+        activation = collector.activation(point.conv_path)
+        assert taylor.shape == (point.out_channels,)
+        assert activation.shape == (point.out_channels,)
+        assert (activation >= 0).all()
+        assert activation.max() > 0
+
+    def test_reading_before_collect_raises(self, tiny_loaders):
+        model = VGG(num_classes=4, width_multiplier=0.06, seed=0)
+        collector = FilterStatsCollector(model)
+        point = model.pruning_points()[0]
+        with pytest.raises(KeyError):
+            collector.taylor(point.conv_path)
+
+
+class TestStaticFilterPruner:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            StaticFilterPruner(vgg11(width_multiplier=0.1), "mystery")
+
+    def test_data_method_requires_loader(self):
+        with pytest.raises(ValueError):
+            StaticFilterPruner(vgg11(width_multiplier=0.1), "taylor")
+
+    def test_apply_zeroes_filters_and_bn(self):
+        model = vgg11(width_multiplier=0.1, seed=0)
+        pruner = StaticFilterPruner(model, "l1")
+        result = pruner.apply([0.5, 0.5, 0.5, 0.5, 0.5])
+        point = model.pruning_points()[0]
+        conv = model.get_submodule(point.conv_path)
+        mask = pruner._keep_masks[point.conv_path]
+        assert 0 < mask.sum() < conv.out_channels
+        np.testing.assert_allclose(conv.weight.data[~mask], 0.0)
+        bn = model.get_submodule(point.conv_path.replace(point.conv_path.split(".")[-1],
+                                 str(int(point.conv_path.split(".")[-1]) + 1)))
+        assert isinstance(bn, BatchNorm2d)
+        np.testing.assert_allclose(bn.gamma.data[~mask], 0.0)
+
+    def test_flops_reduction_hand_math(self):
+        model = vgg11(width_multiplier=0.1, seed=0)
+        pruner = StaticFilterPruner(model, "l1")
+        result = pruner.apply([0.5] * 5)
+        # All producer convs keep ~0.5 of filters; consumers lose the same
+        # fraction of inputs. Expect substantial (>30%) reduction.
+        assert 30.0 < result.reduction_pct < 80.0
+        assert result.baseline_flops == count_flops(model, (3, 32, 32)).total
+
+    def test_zero_ratio_no_reduction(self):
+        model = vgg11(width_multiplier=0.1, seed=0)
+        result = StaticFilterPruner(model, "l1").apply([0.0] * 5)
+        assert result.reduction_pct == pytest.approx(0.0)
+        assert all(f == 1.0 for f in result.kept_fraction.values())
+
+    def test_l1_keeps_largest_filters(self):
+        model = vgg11(width_multiplier=0.1, seed=0)
+        point = model.pruning_points()[0]
+        conv = model.get_submodule(point.conv_path)
+        norms = np.abs(conv.weight.data).sum(axis=(1, 2, 3))
+        pruner = StaticFilterPruner(model, "l1")
+        pruner.apply([0.5, 0.0, 0.0, 0.0, 0.0])
+        mask = pruner._keep_masks[point.conv_path]
+        assert norms[mask].min() >= norms[~mask].max()
+
+    def test_ratio_vector_length_checked(self):
+        with pytest.raises(ValueError):
+            StaticFilterPruner(vgg11(width_multiplier=0.1), "l1").apply([0.5])
+
+    def test_resnet_static_pruning(self):
+        model = resnet8(width_multiplier=0.5, seed=0)
+        result = StaticFilterPruner(model, "l1").apply([0.5, 0.5, 0.5])
+        assert result.reduction_pct > 5.0
+        # Model still runs after pruning.
+        with no_grad():
+            out = model(Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32)))
+        assert out.shape == (1, 10)
+
+    @pytest.mark.parametrize("method", ["taylor", "fo"])
+    def test_data_driven_methods_run(self, method, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = VGG(num_classes=4, width_multiplier=0.06, seed=0)
+        fit(model, train_loader, epochs=2, lr=0.05)
+        pruner = StaticFilterPruner(model, method, loader=train_loader, stat_batches=1)
+        result = pruner.apply([0.3] * 5)
+        assert result.reduction_pct > 10.0
+
+    def test_fine_tune_clamps_pruned_filters(self, tiny_loaders):
+        train_loader, test_loader = tiny_loaders
+        model = VGG(num_classes=4, width_multiplier=0.06, seed=0)
+        fit(model, train_loader, epochs=2, lr=0.05)
+        pruner = StaticFilterPruner(model, "l1")
+        pruner.apply([0.4] * 5)
+        pruner.fine_tune(train_loader, epochs=2, lr=0.02)
+        for point in model.pruning_points():
+            mask = pruner._keep_masks[point.conv_path]
+            conv = model.get_submodule(point.conv_path)
+            np.testing.assert_allclose(conv.weight.data[~mask], 0.0)
+
+    def test_fine_tune_recovers_accuracy(self, tiny_loaders):
+        train_loader, test_loader = tiny_loaders
+        model = VGG(num_classes=4, width_multiplier=0.12, seed=0)
+        fit(model, train_loader, epochs=5, lr=0.05)
+        pruner = StaticFilterPruner(model, "l1")
+        pruner.apply([0.2, 0.2, 0.4, 0.6, 0.6])
+        before = pruner.evaluate(test_loader).accuracy
+        pruner.fine_tune(train_loader, epochs=4, lr=0.02)
+        after = pruner.evaluate(test_loader).accuracy
+        assert after >= before

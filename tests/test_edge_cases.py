@@ -1,0 +1,126 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import reserved_count
+from repro.core.pruning import DynamicPruning
+from repro.nn import BatchNorm2d, Conv2d, Linear, Sequential, Tensor, no_grad
+from repro.nn import functional as F
+
+
+class TestDegenerateInputs:
+    def test_pruning_all_zero_feature_map(self):
+        # Attention ties everywhere; the layer must still keep exactly k
+        # channels and not crash or emit NaNs.
+        layer = DynamicPruning(channel_ratio=0.5, spatial_ratio=0.5)
+        x = Tensor(np.zeros((2, 8, 4, 4), dtype=np.float32))
+        out = layer(x)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_array_equal(
+            layer.last_channel_mask.sum(axis=1), reserved_count(8, 0.5)
+        )
+
+    def test_pruning_constant_feature_map(self):
+        layer = DynamicPruning(channel_ratio=0.75)
+        x = Tensor(np.full((1, 8, 2, 2), 3.0, dtype=np.float32))
+        out = layer(x)
+        assert layer.last_channel_mask.sum() == reserved_count(8, 0.75)
+        kept_values = out.data[0][layer.last_channel_mask[0]]
+        np.testing.assert_allclose(kept_values, 3.0)
+
+    def test_batch_size_one_conv(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(1, 3, 5, 5)).astype(np.float32)))
+        assert out.shape == (1, 4, 5, 5)
+
+    def test_batch_size_one_batchnorm_training(self, rng):
+        # A 1-sample batch has per-pixel variance only; must stay finite.
+        bn = BatchNorm2d(2)
+        bn.train()
+        out = bn(Tensor(rng.normal(size=(1, 2, 4, 4)).astype(np.float32)))
+        assert np.isfinite(out.data).all()
+
+    def test_single_pixel_spatial_map(self):
+        layer = DynamicPruning(spatial_ratio=0.9)
+        x = Tensor(np.ones((1, 4, 1, 1), dtype=np.float32))
+        out = layer(x)  # one column total; must keep it
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_cross_entropy_single_sample(self, rng):
+        logits = Tensor(rng.normal(size=(1, 5)).astype(np.float32), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([2]))
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_minimum_channels_after_extreme_ratio(self):
+        # Ratio 1.0 must never zero the whole map (reserved_count >= 1).
+        layer = DynamicPruning(channel_ratio=1.0)
+        x = Tensor(np.abs(np.random.default_rng(0).normal(size=(2, 16, 3, 3))).astype(np.float32))
+        out = layer(x)
+        assert layer.last_channel_mask.sum(axis=1).min() == 1
+        assert np.abs(out.data).sum() > 0
+
+
+class TestNumericalRobustness:
+    def test_large_activation_attention_finite(self):
+        layer = DynamicPruning(channel_ratio=0.5)
+        x = Tensor(np.full((1, 4, 2, 2), 1e30, dtype=np.float32))
+        out = layer(x)
+        assert np.isfinite(layer.mean_channel_keep)
+
+    def test_softmax_extreme_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4, 0.0]], dtype=np.float32))
+        probs = F.softmax(logits)
+        assert np.isfinite(probs.data).all()
+        assert probs.data[0, 0] == pytest.approx(1.0)
+
+    def test_bn_eval_tiny_running_var(self, rng):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        bn.running_var[:] = 1e-12
+        out = bn(Tensor(rng.normal(size=(2, 2, 3, 3)).astype(np.float32)))
+        assert np.isfinite(out.data).all()  # eps floors the denominator
+
+    def test_deep_sequential_forward_backward(self, rng):
+        # 60 layers: gradient must survive end to end without recursion
+        # errors or NaNs (He init keeps scales sane).
+        layers = []
+        gen = np.random.default_rng(0)
+        for _ in range(30):
+            layers += [Linear(16, 16, rng=gen)]
+        model = Sequential(*layers)
+        x = Tensor(rng.normal(size=(2, 16)).astype(np.float32), requires_grad=True)
+        (model(x) ** 2).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+
+class TestInterfaceMisuse:
+    def test_conv_wrong_input_rank(self):
+        conv = Conv2d(3, 4, 3)
+        with pytest.raises(Exception):
+            conv(Tensor(np.zeros((3, 8, 8), dtype=np.float32)))
+
+    def test_kernel_larger_than_input(self):
+        conv = Conv2d(1, 1, 5)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 3, 3), dtype=np.float32)))
+
+    def test_instrument_requires_prunable_model(self):
+        from repro.core.pruning import instrument_model
+
+        plain = Sequential(Conv2d(3, 4, 3))
+        with pytest.raises(AttributeError):
+            instrument_model(plain)  # no pruning_points()
+
+    def test_flops_before_any_forward_uses_full_keep(self):
+        # dynamic_flops on a never-run handle reports zero reduction
+        # (keep fractions default to 1), not an error.
+        from repro.core.flops import dynamic_flops
+        from repro.core.pruning import PruningConfig, instrument_model
+        from repro.models import vgg11
+
+        model = vgg11(width_multiplier=0.1)
+        handle = instrument_model(model, PruningConfig([0.5] * 5, [0.0] * 5))
+        report = dynamic_flops(handle, (3, 32, 32))
+        assert report.reduction_pct == pytest.approx(0.0)

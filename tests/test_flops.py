@@ -1,0 +1,146 @@
+"""Unit tests for FLOPs accounting — including the paper's baseline numbers."""
+
+import numpy as np
+import pytest
+
+from repro.core.flops import count_flops, dynamic_flops
+from repro.core.pruning import PruningConfig, instrument_model
+from repro.models import resnet20, resnet56, vgg16, vgg16_slim
+from repro.nn import Conv2d, Linear, MaxPool2d, ReLU, Sequential, Tensor, no_grad
+
+
+class TestStaticCounting:
+    def test_single_conv_hand_math(self):
+        model = Sequential(Conv2d(3, 8, 3, stride=1, padding=1))
+        report = count_flops(model, (3, 10, 10))
+        assert report.total == 3 * 3 * 3 * 8 * 10 * 10
+
+    def test_strided_conv(self):
+        model = Sequential(Conv2d(4, 4, 3, stride=2, padding=1))
+        report = count_flops(model, (4, 8, 8))
+        assert report.layers[0].output_shape == (4, 4, 4)
+        assert report.total == 4 * 9 * 4 * 4 * 4
+
+    def test_linear(self):
+        from repro.nn import GlobalAvgPool2d
+
+        model = Sequential(Conv2d(2, 3, 1), GlobalAvgPool2d(), Linear(3, 7))
+        report = count_flops(model, (2, 4, 4))
+        linear = [layer for layer in report.layers if layer.kind == "linear"][0]
+        assert linear.flops == 21
+
+    def test_pool_changes_shape_not_flops(self):
+        model = Sequential(Conv2d(2, 2, 3, padding=1), MaxPool2d(2), Conv2d(2, 2, 3, padding=1))
+        report = count_flops(model, (2, 8, 8))
+        first, second = report.conv_layers()
+        assert first.output_shape == (2, 8, 8)
+        assert second.output_shape == (2, 4, 4)
+        assert second.flops == first.flops // 4
+
+    def test_channel_mismatch_detected(self):
+        model = Sequential(Conv2d(3, 4, 3), Conv2d(5, 4, 3))
+        with pytest.raises(ValueError):
+            count_flops(model, (3, 16, 16))
+
+    def test_unknown_module_rejected(self):
+        class Exotic:  # not a Module the tracer knows
+            pass
+
+        from repro.nn import Module
+
+        class Custom(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(TypeError):
+            count_flops(Custom(), (1, 2, 2))
+
+    def test_input_shape_validation(self):
+        with pytest.raises(ValueError):
+            count_flops(vgg16_slim(), (3, 32))
+
+
+class TestPaperBaselines:
+    """The paper's 'Baseline FLOPs' column must reproduce from architecture."""
+
+    def test_vgg16_cifar(self):
+        total = count_flops(vgg16(), (3, 32, 32)).total
+        assert total == pytest.approx(3.13e8, rel=0.01)
+
+    def test_resnet56_cifar(self):
+        total = count_flops(resnet56(), (3, 32, 32)).total
+        assert total == pytest.approx(1.28e8, rel=0.02)
+
+    def test_vgg16_imagenet224(self):
+        total = count_flops(vgg16(num_classes=100), (3, 224, 224)).total
+        assert total == pytest.approx(1.52e10, rel=0.02)
+
+    def test_instrumentation_does_not_change_flops(self):
+        model = vgg16_slim()
+        before = count_flops(model, (3, 32, 32)).total
+        instrument_model(model)
+        after = count_flops(model, (3, 32, 32)).total
+        assert before == after
+
+
+class TestDynamicAccounting:
+    def _run(self, channel, spatial, model=None, size=32, batches=2):
+        model = model or vgg16_slim(seed=0)
+        handle = instrument_model(
+            model, PruningConfig([channel] * model.num_blocks, [spatial] * model.num_blocks)
+        )
+        model.eval()
+        rng = np.random.default_rng(0)
+        with no_grad():
+            for _ in range(batches):
+                model(Tensor(rng.normal(size=(2, 3, size, size)).astype(np.float32)))
+        return handle, dynamic_flops(handle, (3, size, size))
+
+    def test_no_pruning_no_reduction(self):
+        _, report = self._run(0.0, 0.0)
+        assert report.reduction_pct == pytest.approx(0.0)
+        assert report.effective_flops == report.baseline_flops
+
+    def test_channel_only_reduction_matches_mask_arithmetic(self):
+        handle, report = self._run(0.5, 0.0)
+        # Every affected conv scales by its recorded channel keep fraction.
+        expected = 0.0
+        static = count_flops(handle.model, (3, 32, 32))
+        for point, pruner in handle.pruners:
+            base = static.by_path[point.next_conv_path].flops
+            expected += base * (1.0 - pruner.mean_channel_keep)
+        assert report.reduction == pytest.approx(expected)
+        assert report.spatial_reduction == 0.0
+
+    def test_spatial_only_reduction(self):
+        _, report = self._run(0.0, 0.5)
+        assert report.channel_reduction == 0.0
+        assert report.spatial_reduction_pct > 10.0
+
+    def test_decomposition_sums_to_total(self):
+        _, report = self._run(0.4, 0.4)
+        assert report.channel_reduction + report.spatial_reduction == pytest.approx(
+            report.reduction, rel=1e-9
+        )
+
+    def test_effective_below_baseline_when_pruning(self):
+        _, report = self._run(0.3, 0.0)
+        assert 0 < report.effective_flops < report.baseline_flops
+
+    def test_resnet_dynamic(self):
+        model = resnet20(width_multiplier=0.5, seed=0)
+        handle, report = self._run(0.5, 0.5, model=model)
+        assert report.reduction_pct > 5.0
+        # Only conv2 layers (the paper's even layers) are reduced.
+        assert all(path.endswith("conv2") for path in report.per_conv)
+
+    def test_reduction_monotone_in_ratio(self):
+        _, low = self._run(0.2, 0.0)
+        _, high = self._run(0.8, 0.0)
+        assert high.reduction_pct > low.reduction_pct
+
+    def test_vgg_channel_ratio_reduction_scale(self):
+        # With uniform channel ratio r and no spatial pruning, the reduction
+        # over affected convs is ~r; the unaffected first/last convs dilute it.
+        _, report = self._run(0.5, 0.0)
+        assert 30.0 < report.reduction_pct < 55.0

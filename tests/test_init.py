@@ -1,0 +1,78 @@
+"""Unit tests for weight initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.init import (
+    compute_fans,
+    kaiming_normal,
+    kaiming_uniform,
+    uniform_fan_in,
+    xavier_uniform,
+)
+
+
+class TestComputeFans:
+    def test_linear_weight(self):
+        assert compute_fans((10, 5)) == (5, 10)
+
+    def test_conv_weight_counts_receptive_field(self):
+        # (out=8, in=4, 3, 3): fan_in = 4*9, fan_out = 8*9.
+        assert compute_fans((8, 4, 3, 3)) == (36, 72)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            compute_fans((5,))
+
+
+class TestKaimingNormal:
+    def test_std_matches_relu_gain(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((256, 64, 3, 3), rng)
+        expected = math.sqrt(2.0 / (64 * 9))
+        assert w.std() == pytest.approx(expected, rel=0.05)
+        assert w.dtype == np.float32
+
+    def test_linear_gain(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((512, 512), rng, nonlinearity="linear")
+        assert w.std() == pytest.approx(1.0 / math.sqrt(512), rel=0.05)
+
+    def test_zero_mean(self):
+        w = kaiming_normal((128, 128), np.random.default_rng(1))
+        assert abs(w.mean()) < 0.01
+
+
+class TestKaimingUniform:
+    def test_bound_respected(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((64, 32), rng)
+        gain = math.sqrt(2.0 / (1.0 + 5.0))
+        bound = gain * math.sqrt(3.0 / 32)
+        assert np.abs(w).max() <= bound
+        # Values actually fill the range.
+        assert np.abs(w).max() > 0.8 * bound
+
+
+class TestXavierUniform:
+    def test_bound(self):
+        w = xavier_uniform((40, 60), np.random.default_rng(0))
+        bound = math.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound
+
+
+class TestUniformFanIn:
+    def test_bias_range(self):
+        b = uniform_fan_in((128,), 64, np.random.default_rng(0))
+        assert np.abs(b).max() <= 1.0 / 8.0
+
+    def test_zero_fan_in_gives_zeros(self):
+        b = uniform_fan_in((4,), 0, np.random.default_rng(0))
+        np.testing.assert_allclose(b, 0.0)
+
+    def test_deterministic_per_seed(self):
+        a = uniform_fan_in((8,), 16, np.random.default_rng(5))
+        b = uniform_fan_in((8,), 16, np.random.default_rng(5))
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,162 @@
+"""Integration tests: cross-module pipelines at miniature scale.
+
+These exercise the same paths the benchmarks measure, but with budgets small
+enough for the unit-test suite (seconds, not minutes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StaticFilterPruner
+from repro.core import (
+    PruningConfig,
+    RatioAscentSchedule,
+    TTDTrainer,
+    block_sensitivity,
+    count_flops,
+    dynamic_flops,
+    evaluate,
+    fit,
+    instrument_model,
+)
+from repro.datasets import SyntheticImageClassification, SyntheticSpec
+from repro.models import ResNet, VGG
+from repro.nn import Tensor, no_grad
+from repro.nn.data import DataLoader
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = SyntheticSpec(num_classes=4, image_size=32, train_per_class=12, test_per_class=6, seed=7)
+    train, test = SyntheticImageClassification(spec).splits()
+    train_loader = DataLoader(train, batch_size=16, shuffle=True, seed=3)
+    test_loader = DataLoader(test, batch_size=16)
+    model = VGG(num_classes=4, width_multiplier=0.12, seed=0)
+    fit(model, train_loader, epochs=5, lr=0.05)
+    return model.state_dict(), train_loader, test_loader
+
+
+def clone_vgg(state):
+    model = VGG(num_classes=4, width_multiplier=0.12, seed=0)
+    model.load_state_dict(state)
+    return model
+
+
+class TestPruneAccountPipeline:
+    def test_flops_reduction_matches_mask_statistics(self, setup):
+        state, _, test_loader = setup
+        model = clone_vgg(state)
+        handle = instrument_model(model, PruningConfig([0.5] * 5, [0.0] * 5))
+        evaluate(model, test_loader)
+        report = dynamic_flops(handle, (3, 32, 32))
+        assert 0 < report.reduction_pct < 100
+        # Accounting is consistent with the static trace.
+        static = count_flops(model, (3, 32, 32))
+        assert report.baseline_flops == static.total
+
+    def test_masking_is_equivalent_to_skipping_channels(self, setup):
+        # Core soundness claim: zeroed input channels contribute nothing, so
+        # the masked forward equals a forward where those channels' weights
+        # are removed from the next conv.
+        state, _, _ = setup
+        model = clone_vgg(state)
+        model.eval()
+        handle = instrument_model(model, PruningConfig([0.5, 0, 0, 0, 0], [0.0] * 5))
+        point, pruner = handle.pruners[0]
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            out_masked = model(x).data.copy()
+        mask = pruner.last_channel_mask[0]
+
+        # Physically zero the next conv's weights on pruned input channels;
+        # with the mask applied the output must be identical.
+        next_conv = model.get_submodule(point.next_conv_path)
+        next_conv.weight.data[:, ~mask] = 0.0
+        with no_grad():
+            out_skipped = model(x).data
+        np.testing.assert_allclose(out_masked, out_skipped, rtol=1e-5, atol=1e-5)
+
+    def test_eval_does_not_mutate_weights(self, setup):
+        state, _, test_loader = setup
+        model = clone_vgg(state)
+        instrument_model(model, PruningConfig([0.5] * 5, [0.0] * 5))
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        evaluate(model, test_loader)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestAttentionBeatsRandomIntegration:
+    def test_ordering_on_trained_model(self, setup):
+        state, _, test_loader = setup
+        accs = {}
+        for criterion in ("attention", "random", "inverse"):
+            model = clone_vgg(state)
+            handle = instrument_model(
+                model,
+                PruningConfig([0.0, 0.0, 0.0, 0.5, 0.5], [0.0] * 5, criterion=criterion),
+            )
+            accs[criterion] = evaluate(model, test_loader).accuracy
+        assert accs["attention"] >= accs["random"] - 0.02
+        assert accs["attention"] >= accs["inverse"]
+
+
+class TestTTDPipeline:
+    def test_full_ttd_then_flops(self, setup):
+        state, train_loader, test_loader = setup
+        model = clone_vgg(state)
+        handle = instrument_model(model, PruningConfig.disabled(5))
+        targets = [0.2, 0.2, 0.4, 0.6, 0.6]
+        trainer = TTDTrainer(
+            handle, train_loader, test_loader,
+            RatioAscentSchedule(targets, warmup=0.2, step=0.2),
+            RatioAscentSchedule([0.0] * 5, warmup=0.2, step=0.2),
+            epochs_per_stage=1, final_stage_epochs=2, lr=0.02,
+        )
+        history = trainer.train()
+        handle.set_block_ratios(targets, [0.0] * 5)
+        handle.reset_stats()
+        accuracy = evaluate(model, test_loader).accuracy
+        report = dynamic_flops(handle, (3, 32, 32))
+        assert accuracy > 0.4
+        assert report.reduction_pct > 15.0
+        assert len(history) == trainer.num_stages
+
+
+class TestStaticVsDynamicIntegration:
+    def test_both_run_on_resnet(self, setup):
+        _, train_loader, test_loader = setup
+        model = ResNet(1, num_classes=4, width_multiplier=0.5, seed=0)
+        fit(model, train_loader, epochs=3, lr=0.05)
+        state = model.state_dict()
+
+        static_model = ResNet(1, num_classes=4, width_multiplier=0.5, seed=0)
+        static_model.load_state_dict(state)
+        static = StaticFilterPruner(static_model, "l1").apply([0.4] * 3)
+
+        dyn_model = ResNet(1, num_classes=4, width_multiplier=0.5, seed=0)
+        dyn_model.load_state_dict(state)
+        handle = instrument_model(dyn_model, PruningConfig([0.4] * 3, [0.0] * 3))
+        evaluate(dyn_model, test_loader)
+        dynamic = dynamic_flops(handle, (3, 32, 32))
+
+        # Same ratio vector, same consumer convs: reductions are comparable.
+        assert static.reduction_pct == pytest.approx(dynamic.reduction_pct, abs=15.0)
+
+
+class TestSensitivityIntegration:
+    def test_sensitivity_guides_ttd_targets(self, setup):
+        # The Sec. IV-B loop: sensitivity -> upper bounds -> TTD schedule.
+        from repro.core import suggest_upper_bounds
+
+        state, train_loader, test_loader = setup
+        model = clone_vgg(state)
+        handle = instrument_model(model, PruningConfig.disabled(5))
+        result = block_sensitivity(handle, test_loader, [0.3, 0.7], dimension="channel")
+        bounds = suggest_upper_bounds(result, max_drop=0.2)
+        assert len(bounds) == 5
+        schedule = RatioAscentSchedule(bounds, warmup=0.1, step=0.3)
+        assert schedule.num_stages >= 1
+        final = schedule.ratios_at(schedule.num_stages - 1)
+        assert final == [pytest.approx(b) for b in bounds]

@@ -1,0 +1,204 @@
+"""Unit tests for the threshold-mask and batch-granularity extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import (
+    batch_union,
+    threshold_channel_mask,
+    threshold_mask,
+    threshold_spatial_mask,
+)
+from repro.core.pruning import DynamicPruning
+from repro.nn import Tensor
+
+
+class TestThresholdMask:
+    def test_keeps_above_threshold(self):
+        scores = np.array([[0.1, 0.5, 0.9]])
+        mask = threshold_mask(scores, 0.4)
+        np.testing.assert_array_equal(mask, [[False, True, True]])
+
+    def test_strictly_above(self):
+        scores = np.array([[0.4, 0.5]])
+        np.testing.assert_array_equal(threshold_mask(scores, 0.4), [[False, True]])
+
+    def test_empty_row_keeps_argmax(self):
+        scores = np.array([[0.1, 0.3, 0.2]])
+        mask = threshold_mask(scores, 10.0)
+        np.testing.assert_array_equal(mask, [[False, True, False]])
+
+    def test_per_row_independence(self):
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        mask = threshold_mask(scores, 0.5)
+        np.testing.assert_array_equal(mask, [[True, False], [False, True]])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            threshold_mask(np.zeros(3), 0.1)
+
+    def test_adaptive_keep_fraction(self, rng):
+        # The point of the extension: keep fraction varies with the input.
+        easy = np.concatenate([np.full((1, 2), 5.0), np.zeros((1, 14))], axis=1)
+        hard = np.full((1, 16), 5.0)
+        scores = np.concatenate([easy, hard], axis=0)
+        mask = threshold_mask(scores, 1.0)
+        assert mask[0].sum() == 2
+        assert mask[1].sum() == 16
+
+    def test_spatial_variant_shape(self, rng):
+        scores = rng.random((2, 4, 5))
+        mask = threshold_spatial_mask(scores, 0.5)
+        assert mask.shape == (2, 4, 5)
+        np.testing.assert_array_equal(mask, scores > 0.5)
+
+
+class TestBatchUnion:
+    def test_union_semantics(self):
+        mask = np.array([[True, False, False], [False, True, False]])
+        union = batch_union(mask)
+        expected = [[True, True, False], [True, True, False]]
+        np.testing.assert_array_equal(union, expected)
+
+    def test_superset_of_each_row(self, rng):
+        mask = rng.random((4, 8)) > 0.6
+        union = batch_union(mask)
+        assert (union | mask == union).all()
+
+    def test_3d_masks(self, rng):
+        mask = rng.random((3, 4, 4)) > 0.5
+        union = batch_union(mask)
+        assert union.shape == mask.shape
+        assert (union[0] == union[1]).all() and (union[1] == union[2]).all()
+
+
+class TestDynamicPruningModes:
+    def test_invalid_mode_and_granularity(self):
+        with pytest.raises(ValueError):
+            DynamicPruning(0.5, mask_mode="magic")
+        with pytest.raises(ValueError):
+            DynamicPruning(0.5, granularity="per-gpu")
+
+    def test_threshold_mode_adapts_per_input(self):
+        layer = DynamicPruning(channel_ratio=0.5, mask_mode="threshold", threshold=0.5)
+        concentrated = np.zeros((1, 8, 2, 2), dtype=np.float32)
+        concentrated[0, :2] = 3.0
+        diffuse = np.full((1, 8, 2, 2), 3.0, dtype=np.float32)
+        x = Tensor(np.concatenate([concentrated, diffuse]))
+        layer(x)
+        counts = layer.last_channel_mask.sum(axis=1)
+        assert counts[0] == 2
+        assert counts[1] == 8
+
+    def test_threshold_mode_ignores_ratio_value(self, rng):
+        # The ratio only switches the dimension on; masks depend on the
+        # threshold alone.
+        x = rng.normal(size=(2, 8, 3, 3)).astype(np.float32)
+        a = DynamicPruning(channel_ratio=0.2, mask_mode="threshold", threshold=0.1)
+        b = DynamicPruning(channel_ratio=0.9, mask_mode="threshold", threshold=0.1)
+        a(Tensor(x.copy()))
+        b(Tensor(x.copy()))
+        np.testing.assert_array_equal(a.last_channel_mask, b.last_channel_mask)
+
+    def test_batch_granularity_rows_identical(self, rng):
+        layer = DynamicPruning(channel_ratio=0.5, granularity="batch")
+        x = Tensor(rng.normal(size=(4, 16, 3, 3)).astype(np.float32))
+        layer(x)
+        masks = layer.last_channel_mask
+        for i in range(1, 4):
+            np.testing.assert_array_equal(masks[i], masks[0])
+
+    def test_batch_granularity_keeps_at_least_topk(self, rng):
+        # The union can only keep more than any per-input top-k mask.
+        per_input = DynamicPruning(channel_ratio=0.5, granularity="input")
+        batch = DynamicPruning(channel_ratio=0.5, granularity="batch")
+        x = rng.normal(size=(4, 16, 3, 3)).astype(np.float32)
+        per_input(Tensor(x.copy()))
+        batch(Tensor(x.copy()))
+        assert batch.mean_channel_keep >= per_input.mean_channel_keep
+
+    def test_batch_spatial_union(self, rng):
+        layer = DynamicPruning(spatial_ratio=0.5, granularity="batch")
+        x = Tensor(rng.normal(size=(3, 4, 6, 6)).astype(np.float32))
+        layer(x)
+        masks = layer.last_spatial_mask
+        for i in range(1, 3):
+            np.testing.assert_array_equal(masks[i], masks[0])
+
+    def test_threshold_flops_accounting_integrates(self, rng):
+        # Measured keep fractions (not ratios) drive FLOPs accounting, so
+        # the adaptive mode plugs into dynamic_flops unchanged.
+        from repro.core.flops import dynamic_flops
+        from repro.core.pruning import PruningConfig, instrument_model
+        from repro.models import vgg11
+        from repro.nn import no_grad
+
+        model = vgg11(width_multiplier=0.1, seed=0)
+        model.eval()
+        handle = instrument_model(model, PruningConfig([0.5] * 5, [0.0] * 5))
+        for _, pruner in handle.pruners:
+            pruner.mask_mode = "threshold"
+            pruner.threshold = 0.05
+        with no_grad():
+            model(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        report = dynamic_flops(handle, (3, 32, 32))
+        assert 0.0 < report.reduction_pct < 100.0
+
+
+class TestCalibrateThresholds:
+    def _handle(self, rng):
+        from repro.core.pruning import PruningConfig, instrument_model
+        from repro.models import vgg11
+
+        model = vgg11(width_multiplier=0.1, seed=0)
+        model.eval()
+        return instrument_model(model, PruningConfig([0.5] * 5, [0.0] * 5))
+
+    def test_sets_threshold_mode_everywhere(self, rng):
+        from repro.core.pruning import calibrate_thresholds
+
+        handle = self._handle(rng)
+        images = rng.normal(size=(4, 3, 32, 32)).astype(np.float32)
+        thresholds = calibrate_thresholds(handle, images, fraction=0.5)
+        assert set(thresholds) == {p.path for p, _ in handle.pruners}
+        for _, pruner in handle.pruners:
+            assert pruner.mask_mode == "threshold"
+            assert pruner.threshold >= 0.0
+
+    def test_fraction_scales_thresholds(self, rng):
+        from repro.core.pruning import calibrate_thresholds
+
+        images = rng.normal(size=(4, 3, 32, 32)).astype(np.float32)
+        low = calibrate_thresholds(self._handle(rng), images, fraction=0.5)
+        high = calibrate_thresholds(self._handle(rng), images, fraction=1.0)
+        for path in low:
+            assert high[path] == pytest.approx(2.0 * low[path], rel=1e-5)
+
+    def test_ratios_restored(self, rng):
+        from repro.core.pruning import calibrate_thresholds
+
+        handle = self._handle(rng)
+        before = [(p.channel_ratio, p.spatial_ratio) for _, p in handle.pruners]
+        calibrate_thresholds(handle, rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        after = [(p.channel_ratio, p.spatial_ratio) for _, p in handle.pruners]
+        assert before == after
+
+    def test_invalid_fraction(self, rng):
+        from repro.core.pruning import calibrate_thresholds
+
+        with pytest.raises(ValueError):
+            calibrate_thresholds(self._handle(rng), np.zeros((1, 3, 32, 32)), fraction=0.0)
+
+    def test_score_function_restored(self, rng):
+        from repro.core.pruning import calibrate_thresholds
+        from repro.core.attention import make_criterion
+
+        handle = self._handle(rng)
+        calibrate_thresholds(handle, rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        # The temporary wrapper must be gone: scoring a map twice gives
+        # identical results (wrappers mutate shared state).
+        fm = rng.normal(size=(1, 8, 4, 4)).astype(np.float32)
+        _, pruner = handle.pruners[0]
+        a = pruner._score(fm)
+        b = pruner._score(fm)
+        np.testing.assert_allclose(a[0], b[0])

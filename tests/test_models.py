@@ -1,0 +1,174 @@
+"""Unit tests for the model zoo and its pruning-point metadata."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BasicBlock,
+    ResNet,
+    VGG,
+    resnet8,
+    resnet20,
+    resnet56,
+    vgg11,
+    vgg16,
+    vgg16_slim,
+)
+from repro.nn import Conv2d, Identity, MaxPool2d, ReLU, Sequential, Tensor, no_grad
+
+
+def forward_shape(model, size=32, n=2):
+    x = Tensor(np.zeros((n, 3, size, size), dtype=np.float32))
+    with no_grad():
+        return model(x).shape
+
+
+class TestVGGStructure:
+    def test_vgg16_conv_count(self):
+        convs = [m for m in vgg16().features if isinstance(m, Conv2d)]
+        assert len(convs) == 13  # 2+2+3+3+3
+
+    def test_vgg16_block_channels(self):
+        model = vgg16()
+        convs = [m for m in model.features if isinstance(m, Conv2d)]
+        assert [c.out_channels for c in convs] == [64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512]
+
+    def test_forward_shape(self):
+        assert forward_shape(vgg16_slim(), 32) == (2, 10)
+
+    def test_num_classes(self):
+        assert forward_shape(VGG(num_classes=7, width_multiplier=0.125), 32) == (2, 7)
+
+    def test_width_multiplier_minimum(self):
+        model = VGG(width_multiplier=0.001)
+        convs = [m for m in model.features if isinstance(m, Conv2d)]
+        assert all(c.out_channels >= 4 for c in convs)
+
+    def test_vgg11_depth(self):
+        convs = [m for m in vgg11().features if isinstance(m, Conv2d)]
+        assert len(convs) == 8
+
+    def test_seed_determinism(self):
+        a, b = vgg16_slim(seed=3), vgg16_slim(seed=3)
+        first_a = next(iter(a.parameters()))
+        first_b = next(iter(b.parameters()))
+        np.testing.assert_allclose(first_a.data, first_b.data)
+
+    def test_input_resolution_flexibility(self):
+        # Same model works on ImageNet-like 64px inputs (5 pools: 64 -> 2).
+        assert forward_shape(vgg16_slim(), 64) == (2, 10)
+
+
+class TestVGGPruningPoints:
+    def test_count_excludes_last_conv(self):
+        assert len(vgg16().pruning_points()) == 12
+
+    def test_paths_point_at_relu(self):
+        model = vgg16_slim()
+        for point in model.pruning_points():
+            assert isinstance(model.get_submodule(point.path), ReLU)
+
+    def test_next_conv_paths_are_convs(self):
+        model = vgg16_slim()
+        for point in model.pruning_points():
+            assert isinstance(model.get_submodule(point.next_conv_path), Conv2d)
+
+    def test_producer_conv_channels_match(self):
+        model = vgg16_slim()
+        for point in model.pruning_points():
+            conv = model.get_submodule(point.conv_path)
+            assert conv.out_channels == point.out_channels
+
+    def test_pool_between_at_block_boundaries(self):
+        model = vgg16()
+        points = model.pruning_points()
+        # Block sizes 2-2-3-3-3: last point of each block crosses a pool.
+        crossing = [p.pool_between for p in points]
+        assert crossing.count(2) == 4  # boundaries after blocks 1..4
+        # Within-block transitions see the same resolution.
+        assert crossing.count(1) == 8
+
+    def test_block_indices(self):
+        points = vgg16().pruning_points()
+        assert [p.block_index for p in points] == [0, 0, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4]
+
+    def test_num_blocks(self):
+        assert vgg16().num_blocks == 5
+
+
+class TestResNetStructure:
+    def test_depth_formula(self):
+        assert resnet8().depth == 8
+        assert resnet20().depth == 20
+        assert resnet56().depth == 56
+
+    def test_forward_shape(self):
+        assert forward_shape(resnet8(width_multiplier=0.5), 32) == (2, 10)
+
+    def test_group_channel_progression(self):
+        model = resnet20()
+        assert model.group1[0].conv1.out_channels == 16
+        assert model.group2[0].conv1.out_channels == 32
+        assert model.group3[0].conv1.out_channels == 64
+
+    def test_downsample_at_group_boundaries(self):
+        model = resnet20()
+        assert model.group2[0].conv1.stride == 2
+        assert isinstance(model.group2[0].shortcut, Sequential)
+        assert isinstance(model.group1[0].shortcut, Identity)
+        assert isinstance(model.group2[1].shortcut, Identity)
+
+    def test_invalid_blocks_per_group(self):
+        with pytest.raises(ValueError):
+            ResNet(0)
+
+    def test_basic_block_residual_path(self):
+        # With zeroed conv weights the block must reduce to relu(identity).
+        block = BasicBlock(4, 4, stride=1, rng=np.random.default_rng(0))
+        block.eval()
+        block.conv1.weight.data[:] = 0.0
+        block.conv2.weight.data[:] = 0.0
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 4, 6, 6)).astype(np.float32))
+        with no_grad():
+            out = block(x)
+        np.testing.assert_allclose(out.data, np.maximum(x.data, 0.0), atol=1e-6)
+
+
+class TestResNetPruningPoints:
+    def test_one_point_per_block(self):
+        # Pruning only the odd layers (first conv of each basic block).
+        assert len(resnet56().pruning_points()) == 27  # 3 groups x 9 blocks
+
+    def test_points_target_relu1_and_conv2(self):
+        model = resnet8()
+        for point in model.pruning_points():
+            assert point.path.endswith(".relu1")
+            assert point.next_conv_path.endswith(".conv2")
+            assert isinstance(model.get_submodule(point.next_conv_path), Conv2d)
+
+    def test_same_resolution_within_block(self):
+        assert all(p.pool_between == 1 for p in resnet56().pruning_points())
+
+    def test_block_indices_are_groups(self):
+        points = resnet20().pruning_points()
+        assert [p.block_index for p in points] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        assert resnet20().num_blocks == 3
+
+
+class TestTraining:
+    def test_vgg_learns_tiny_task(self, tiny_loaders):
+        from repro.core.training import evaluate, fit
+
+        train_loader, test_loader = tiny_loaders
+        model = VGG(num_classes=4, width_multiplier=0.06, seed=0)
+        fit(model, train_loader, epochs=6, lr=0.05)
+        stats = evaluate(model, test_loader)
+        assert stats.accuracy > 0.5  # 4 classes, chance = 0.25
+
+    def test_resnet_learns_tiny_task(self, tiny_loaders):
+        from repro.core.training import evaluate, fit
+
+        train_loader, test_loader = tiny_loaders
+        model = ResNet(1, num_classes=4, width_multiplier=0.5, seed=1)
+        fit(model, train_loader, epochs=8, lr=0.05)
+        assert evaluate(model, test_loader).accuracy > 0.45  # chance = 0.25

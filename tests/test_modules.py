@@ -1,0 +1,239 @@
+"""Unit tests for the Module system and standard layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+class TestRegistration:
+    def test_parameters_recursive(self):
+        model = Sequential(Conv2d(2, 3, 3), ReLU(), Linear(4, 5))
+        names = [n for n, _ in model.named_parameters()]
+        assert "0.weight" in names and "0.bias" in names
+        assert "2.weight" in names and "2.bias" in names
+
+    def test_buffers_recursive(self):
+        model = Sequential(BatchNorm2d(4))
+        names = [n for n, _ in model.named_buffers()]
+        assert set(names) == {"0.running_mean", "0.running_var"}
+
+    def test_named_modules_paths(self):
+        model = Sequential(Sequential(ReLU()), Identity())
+        paths = [p for p, _ in model.named_modules()]
+        assert paths == ["", "0", "0.0", "1"]
+
+    def test_get_submodule(self):
+        inner = ReLU()
+        model = Sequential(Sequential(inner))
+        assert model.get_submodule("0.0") is inner
+        assert model.get_submodule("") is model
+
+    def test_set_submodule_replaces(self):
+        model = Sequential(ReLU(), Identity())
+        new = Identity()
+        model.set_submodule("0", new)
+        assert model[0] is new
+        # Forward uses the replacement.
+        x = Tensor(np.array([-1.0]))
+        assert model(x).data[0] == -1.0
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2)  # 3*2 weights + 2 bias
+        assert layer.num_parameters() == 8
+
+
+class TestTrainEvalMode:
+    def test_mode_propagates(self):
+        model = Sequential(Sequential(Dropout(0.5)), BatchNorm2d(2))
+        model.eval()
+        assert not model.training
+        assert not model[0][0].training
+        model.train()
+        assert model[0][0].training
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Sequential(Conv2d(2, 3, 3, bias=True), BatchNorm2d(3))
+        b = Sequential(Conv2d(2, 3, 3, bias=True), BatchNorm2d(3))
+        # Perturb a's running stats so the buffer path is exercised.
+        a[1].running_mean += 1.5
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b[0].weight.data, a[0].weight.data)
+        np.testing.assert_allclose(b[1].running_mean, a[1].running_mean)
+
+    def test_shape_mismatch_raises(self):
+        a = Linear(2, 3)
+        state = a.state_dict()
+        state["weight"] = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        a = Linear(2, 3)
+        state = a.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_missing_key_raises(self):
+        a = Linear(2, 3)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_copies(self):
+        a = Linear(2, 2)
+        state = a.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.allclose(a.weight.data, 99.0)
+
+
+class TestConv2dLayer:
+    def test_output_shape(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_bias_flag(self):
+        assert Conv2d(2, 2, 3, bias=False).bias is None
+        assert Conv2d(2, 2, 3, bias=True).bias is not None
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 2, 3)
+
+    def test_deterministic_with_seed(self):
+        a = Conv2d(2, 2, 3, rng=np.random.default_rng(5))
+        b = Conv2d(2, 2, 3, rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_kaiming_scale(self):
+        conv = Conv2d(64, 64, 3, rng=np.random.default_rng(0))
+        fan_in = 64 * 9
+        expected_std = np.sqrt(2.0 / fan_in)
+        assert conv.weight.data.std() == pytest.approx(expected_std, rel=0.1)
+
+
+class TestLinearLayer:
+    def test_forward_shape(self):
+        assert Linear(5, 3)(Tensor(np.zeros((2, 5), dtype=np.float32))).shape == (2, 3)
+
+    def test_trains_toward_target(self):
+        # One-layer regression sanity: gradient descent reduces loss.
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 1, rng=rng)
+        x = rng.normal(size=(32, 4)).astype(np.float32)
+        y = x @ np.array([[1.0], [-2.0], [0.5], [3.0]], dtype=np.float32)
+        losses = []
+        for _ in range(60):
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            layer.zero_grad()
+            loss.backward()
+            for p in layer.parameters():
+                p.data -= 0.1 * p.grad
+            losses.append(float(loss.data))
+        assert losses[-1] < 0.05 * losses[0]
+
+
+class TestBatchNormLayer:
+    def test_train_vs_eval_paths(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(size=(8, 2, 3, 3)).astype(np.float32))
+        bn.train()
+        out_train = bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        # Different normalization sources -> different outputs.
+        assert not np.allclose(out_train.data, out_eval.data)
+
+    def test_running_stats_converge(self):
+        bn = BatchNorm2d(1, momentum=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            bn(Tensor(rng.normal(loc=4.0, size=(16, 1, 4, 4)).astype(np.float32)))
+        assert bn.running_mean[0] == pytest.approx(4.0, abs=0.3)
+
+
+class TestPoolingLayers:
+    def test_max_pool_shape(self):
+        assert MaxPool2d(2)(Tensor(np.zeros((1, 2, 8, 8), dtype=np.float32))).shape == (1, 2, 4, 4)
+
+    def test_avg_pool_custom_stride(self):
+        assert AvgPool2d(3, stride=1)(Tensor(np.zeros((1, 1, 5, 5), dtype=np.float32))).shape == (1, 1, 3, 3)
+
+    def test_global_avg_pool_shape(self):
+        assert GlobalAvgPool2d()(Tensor(np.zeros((2, 7, 4, 4), dtype=np.float32))).shape == (2, 7)
+
+
+class TestDropoutLayer:
+    def test_eval_identity(self):
+        d = Dropout(0.9, seed=0)
+        d.eval()
+        x = Tensor(np.ones((5, 5)))
+        np.testing.assert_allclose(d(x).data, 1.0)
+
+    def test_train_masks(self):
+        d = Dropout(0.5, seed=0)
+        out = d(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).any()
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        model = Sequential(Flatten(), Linear(4, 2))
+        out = model(Tensor(np.zeros((3, 2, 2), dtype=np.float32)))
+        assert out.shape == (3, 2)
+
+    def test_sequential_from_list(self):
+        model = Sequential([ReLU(), Identity()])
+        assert len(model) == 2
+
+    def test_sequential_append(self):
+        model = Sequential(ReLU())
+        model.append(Identity())
+        assert len(model) == 2
+        assert isinstance(model[1], Identity)
+
+    def test_sequential_iter(self):
+        mods = [ReLU(), Identity()]
+        model = Sequential(*mods)
+        assert list(model) == mods
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.zeros(1)))
+
+    def test_repr_nested(self):
+        text = repr(Sequential(ReLU()))
+        assert "ReLU" in text

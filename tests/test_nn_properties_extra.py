@@ -1,0 +1,132 @@
+"""Additional property-based tests: optimizers, loaders, model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Conv2d, Linear, Parameter, Sequential, Tensor, no_grad
+from repro.nn.data import DataLoader, TensorDataset
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR
+
+weights = hnp.arrays(np.float64, st.integers(1, 6),
+                     elements=st.floats(-5, 5, allow_nan=False))
+grads = hnp.arrays(np.float64, st.integers(1, 6),
+                   elements=st.floats(-2, 2, allow_nan=False))
+
+
+@given(weights, st.floats(1e-4, 0.5))
+def test_sgd_step_is_closed_form(w, lr):
+    # One vanilla SGD step equals w - lr * g exactly.
+    p = Parameter(w.copy())
+    g = np.ones_like(w) * 0.3
+    p.grad = g.copy()
+    SGD([p], lr=lr).step()
+    np.testing.assert_allclose(p.data, w - lr * g, rtol=1e-10)
+
+
+@given(weights)
+def test_sgd_weight_decay_equals_explicit_l2_gradient(w):
+    wd = 0.1
+    lr = 0.2
+    p1 = Parameter(w.copy())
+    p1.grad = np.zeros_like(w)
+    SGD([p1], lr=lr, weight_decay=wd).step()
+
+    p2 = Parameter(w.copy())
+    p2.grad = wd * w  # the L2 penalty's gradient, added by hand
+    SGD([p2], lr=lr).step()
+    np.testing.assert_allclose(p1.data, p2.data, rtol=1e-10)
+
+
+@given(grads)
+def test_adam_step_bounded_by_lr(g):
+    # With bias correction, a single Adam step never exceeds ~lr per
+    # coordinate (ignoring eps effects) regardless of gradient magnitude.
+    p = Parameter(np.zeros_like(g))
+    p.grad = g.copy()
+    Adam([p], lr=0.01).step()
+    assert np.abs(p.data).max() <= 0.0101
+
+
+@given(st.integers(1, 50), st.floats(0.001, 1.0))
+def test_cosine_lr_bounded_and_monotone(t_max, base_lr):
+    p = Parameter(np.zeros(1))
+    opt = SGD([p], lr=base_lr)
+    sched = CosineAnnealingLR(opt, t_max=t_max)
+    previous = base_lr
+    for _ in range(t_max):
+        sched.step()
+        assert 0.0 - 1e-12 <= opt.lr <= base_lr + 1e-12
+        assert opt.lr <= previous + 1e-12  # cosine decay is monotone
+        previous = opt.lr
+    assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+
+@given(st.integers(1, 40), st.integers(1, 16), st.booleans())
+def test_dataloader_covers_every_sample_exactly_once(n, batch_size, shuffle):
+    images = np.zeros((n, 1, 2, 2), dtype=np.float32)
+    labels = np.arange(n, dtype=np.int64)
+    loader = DataLoader(TensorDataset(images, labels), batch_size=batch_size,
+                        shuffle=shuffle, seed=0)
+    seen = np.concatenate([batch_labels for _, batch_labels in loader])
+    assert sorted(seen.tolist()) == list(range(n))
+
+
+@given(st.integers(1, 40), st.integers(1, 16))
+def test_dataloader_drop_last_batches_are_full(n, batch_size):
+    images = np.zeros((n, 1, 2, 2), dtype=np.float32)
+    labels = np.arange(n, dtype=np.int64)
+    loader = DataLoader(TensorDataset(images, labels), batch_size=batch_size,
+                        drop_last=True)
+    for _, batch_labels in loader:
+        assert len(batch_labels) == batch_size
+
+
+@given(
+    hnp.arrays(np.float32, st.tuples(st.integers(1, 3), st.integers(1, 4)),
+               elements=st.floats(-10, 10, allow_nan=False, width=32)),
+    st.floats(0.1, 3.0),
+)
+def test_linear_layer_is_homogeneous(x, scale):
+    # Linear (no bias) commutes with input scaling: f(a*x) = a*f(x).
+    layer = Linear(x.shape[1], 3, bias=False, rng=np.random.default_rng(0))
+    with no_grad():
+        once = layer(Tensor(x)).data
+        scaled = layer(Tensor((x * np.float32(scale)))).data
+    np.testing.assert_allclose(scaled, once * np.float32(scale), rtol=1e-3, atol=1e-4)
+
+
+@given(
+    hnp.arrays(np.float32, st.tuples(st.integers(1, 2), st.integers(1, 3),
+               st.integers(4, 8), st.integers(4, 8)),
+               elements=st.floats(-3, 3, allow_nan=False, width=32)),
+)
+@settings(max_examples=25, deadline=None)
+def test_conv_is_translation_covariant_inside_borders(x):
+    # Shifting the input one pixel right shifts the (padding-free interior
+    # of the) output one pixel right — the defining conv property.
+    conv = Conv2d(x.shape[1], 2, 3, padding=1, bias=False, rng=np.random.default_rng(0))
+    shifted = np.roll(x, shift=1, axis=3)
+    with no_grad():
+        out = conv(Tensor(x)).data
+        out_shifted = conv(Tensor(shifted)).data
+    # Compare interiors (1 pixel margin) to dodge boundary effects.
+    np.testing.assert_allclose(
+        out_shifted[:, :, 1:-1, 2:-1], np.roll(out, 1, axis=3)[:, :, 1:-1, 2:-1],
+        rtol=1e-3, atol=1e-4,
+    )
+
+
+@given(st.integers(0, 3))
+def test_model_forward_deterministic_in_eval(seed):
+    from repro.models import vgg11
+
+    model = vgg11(width_multiplier=0.1, seed=seed)
+    model.eval()
+    x = Tensor(np.random.default_rng(seed).normal(size=(1, 3, 32, 32)).astype(np.float32))
+    with no_grad():
+        a = model(x).data.copy()
+        b = model(x).data
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,150 @@
+"""Unit tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter, Tensor
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, LinearWarmup, StepLR
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value], dtype=np.float64))
+    p.grad = np.array([grad], dtype=np.float64)
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param()
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_momentum_accumulates(self):
+        p = make_param(grad=1.0)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()  # v=1, p=1-0.1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=0.9-0.19
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 - 0.19])
+
+    def test_weight_decay_added_to_grad(self):
+        p = make_param(value=2.0, grad=0.0)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * (0.5 * 2.0)])
+
+    def test_nesterov(self):
+        p = make_param(grad=1.0)
+        opt = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        opt.step()
+        # v = 1; update = momentum*v + grad = 1.9
+        np.testing.assert_allclose(p.data, [1.0 - 0.19])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, nesterov=True)
+
+    def test_skips_param_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            p.grad = 2.0 * p.data  # d/dp p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # With bias correction the first Adam step is ~lr in the gradient
+        # direction regardless of gradient scale.
+        p = make_param(grad=100.0)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.01], atol=1e-6)
+
+    def test_weight_decay(self):
+        p = make_param(value=1.0, grad=0.0)
+        Adam([p], lr=0.01, weight_decay=1.0).step()
+        assert p.data[0] < 1.0
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            p.grad = 2.0 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+
+class TestSchedulers:
+    def _opt(self, lr=1.0):
+        return SGD([make_param()], lr=lr)
+
+    def test_cosine_endpoints(self):
+        opt = self._opt(lr=0.1)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        assert sched.get_lr() == pytest.approx(0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_midpoint(self):
+        opt = self._opt(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=2)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_cosine_eta_min(self):
+        opt = self._opt(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=1, eta_min=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_clamps_past_t_max(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=2)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_step_lr(self):
+        opt = self._opt(lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_linear_warmup(self):
+        opt = self._opt(lr=1.0)
+        sched = LinearWarmup(opt, warmup_steps=4, start_factor=0.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._opt(), t_max=0)
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            LinearWarmup(self._opt(), warmup_steps=0)

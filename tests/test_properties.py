@@ -1,0 +1,217 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.attention import channel_attention, spatial_attention
+from repro.core.masks import channel_mask, reserved_count, spatial_mask, topk_mask
+from repro.core.pruning import DynamicPruning, pooled_keep_fraction
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, unbroadcast
+
+finite_floats = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False, width=32)
+
+
+def feature_maps(max_c=8, max_hw=8):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=st.tuples(
+            st.integers(1, 3), st.integers(1, max_c), st.integers(1, max_hw), st.integers(1, max_hw)
+        ),
+        elements=finite_floats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Attention (Eqs. 1-2)
+# ----------------------------------------------------------------------
+@given(feature_maps())
+def test_channel_attention_is_spatial_mean(fm):
+    np.testing.assert_allclose(
+        channel_attention(fm), fm.mean(axis=(2, 3)), rtol=1e-4, atol=1e-4
+    )
+
+
+@given(feature_maps())
+def test_spatial_attention_is_channel_mean(fm):
+    np.testing.assert_allclose(spatial_attention(fm), fm.mean(axis=1), rtol=1e-4, atol=1e-4)
+
+
+@given(feature_maps(), st.floats(0.5, 2.0))
+def test_attention_equivariant_to_positive_scaling(fm, scale):
+    # Scaling the feature map scales attention but preserves the ranking,
+    # hence the masks: the criterion is scale-invariant as a selector.
+    a = channel_attention(fm)
+    b = channel_attention(fm * np.float32(scale))
+    np.testing.assert_allclose(b, a * np.float32(scale), rtol=1e-3, atol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Masks (Eqs. 3-4)
+# ----------------------------------------------------------------------
+@given(st.integers(1, 2048), st.floats(0.0, 1.0))
+def test_reserved_count_bounds(total, ratio):
+    k = reserved_count(total, ratio)
+    assert 1 <= k <= total
+    # Monotone: higher pruning ratio never keeps more.
+    if ratio <= 0.9:
+        assert reserved_count(total, min(1.0, ratio + 0.1)) <= k
+
+
+@given(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(1, 64)), elements=finite_floats),
+    st.data(),
+)
+def test_topk_mask_invariants(scores, data):
+    n, m = scores.shape
+    k = data.draw(st.integers(1, m))
+    mask = topk_mask(scores, k)
+    # Exactly k per row.
+    assert (mask.sum(axis=1) == k).all()
+    # Kept scores dominate dropped scores row-wise.
+    for row, row_mask in zip(scores, mask):
+        if k < m:
+            assert row[row_mask].min() >= row[~row_mask].max()
+
+
+@given(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 32)), elements=finite_floats),
+    st.floats(0.0, 1.0),
+)
+def test_channel_mask_keep_count_matches_eq3(scores, ratio):
+    mask = channel_mask(scores, ratio)
+    expected = reserved_count(scores.shape[1], ratio)
+    assert (mask.sum(axis=1) == expected).all()
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 3), st.integers(1, 8), st.integers(1, 8)),
+        elements=finite_floats,
+    ),
+    st.floats(0.0, 1.0),
+)
+def test_spatial_mask_keep_count_matches_eq4(scores, ratio):
+    n, h, w = scores.shape
+    mask = spatial_mask(scores, ratio)
+    expected = reserved_count(h * w, ratio)
+    assert (mask.reshape(n, -1).sum(axis=1) == expected).all()
+
+
+@given(
+    hnp.arrays(
+        np.bool_, st.tuples(st.integers(1, 3), st.integers(1, 12), st.integers(1, 12))
+    ),
+    st.integers(1, 4),
+)
+def test_pooled_keep_fraction_bounds(mask, factor):
+    frac = pooled_keep_fraction(mask, factor)
+    assert 0.0 <= frac <= 1.0
+    # Pooling with any-semantics can only increase the kept share (up to
+    # edge-trimming noise on non-divisible maps).
+    if factor > 1 and mask.shape[1] % factor == 0 and mask.shape[2] % factor == 0:
+        assert frac >= mask.mean() - 1e-12
+
+
+# ----------------------------------------------------------------------
+# DynamicPruning layer semantics
+# ----------------------------------------------------------------------
+@given(feature_maps(max_c=6, max_hw=6), st.floats(0.0, 0.95), st.floats(0.0, 0.95))
+@settings(max_examples=40, deadline=None)
+def test_dynamic_pruning_output_is_subset_of_input(fm, cr, sr):
+    layer = DynamicPruning(channel_ratio=cr, spatial_ratio=sr)
+    out = layer(Tensor(fm))
+    # Every output entry is either the input entry or exactly zero.
+    same = np.isclose(out.data, fm)
+    zero = out.data == 0.0
+    assert np.logical_or(same, zero).all()
+    assert out.shape == fm.shape
+
+
+@given(feature_maps(max_c=6, max_hw=6))
+@settings(max_examples=30, deadline=None)
+def test_dynamic_pruning_idempotent_on_masked_output(fm):
+    # On post-ReLU (non-negative) feature maps — where the paper inserts the
+    # layer — masking is a projection: re-applying it keeps the survivors.
+    # (With negative activations a zeroed channel could outrank a surviving
+    # negative-mean channel, so the property is stated post-ReLU.)
+    fm = np.abs(fm)
+    layer = DynamicPruning(channel_ratio=0.5)
+    out1 = layer(Tensor(fm))
+    out2 = layer(Tensor(out1.data.copy()))
+    np.testing.assert_allclose(out2.data, out1.data, rtol=1e-5, atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Autograd invariants
+# ----------------------------------------------------------------------
+@given(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=finite_floats),
+    hnp.arrays(np.float64, st.integers(1, 4), elements=finite_floats),
+)
+def test_unbroadcast_matches_gradient_shape(a, b):
+    if b.shape[0] != a.shape[1]:
+        b = np.resize(b, a.shape[1])
+    g = np.ones(np.broadcast(a, b).shape)
+    assert unbroadcast(g, a.shape).shape == a.shape
+    assert unbroadcast(g, b.shape).shape == b.shape
+    # Sum is preserved: unbroadcast redistributes, never loses mass.
+    assert unbroadcast(g, b.shape).sum() == g.sum()
+
+
+@given(
+    hnp.arrays(np.float32, st.tuples(st.integers(1, 3), st.integers(1, 5)),
+               elements=st.floats(-10, 10, allow_nan=False, width=32)),
+)
+def test_backward_linearity_in_upstream_gradient(x):
+    # backward(2g) accumulates exactly twice backward(g).
+    t1 = Tensor(x.copy(), requires_grad=True)
+    (t1 * t1).sum().backward()
+    t2 = Tensor(x.copy(), requires_grad=True)
+    y = (t2 * t2).sum()
+    y.backward(np.asarray(2.0, dtype=np.float32))
+    np.testing.assert_allclose(t2.grad, 2.0 * t1.grad, rtol=1e-5)
+
+
+@given(
+    hnp.arrays(np.float32, st.tuples(st.integers(1, 2), st.integers(1, 3),
+               st.integers(3, 6), st.integers(3, 6)),
+               elements=st.floats(-5, 5, allow_nan=False, width=32)),
+)
+@settings(max_examples=25, deadline=None)
+def test_conv_identity_kernel_preserves_input(x):
+    # A centered 1-hot 3x3 kernel reproduces each channel exactly.
+    n, c, h, w = x.shape
+    weight = np.zeros((c, c, 3, 3), dtype=np.float32)
+    for i in range(c):
+        weight[i, i, 1, 1] = 1.0
+    out = F.conv2d(Tensor(x), Tensor(weight), None, stride=1, padding=1)
+    np.testing.assert_allclose(out.data, x, rtol=1e-5, atol=1e-5)
+
+
+@given(
+    hnp.arrays(np.float32, st.tuples(st.integers(1, 2), st.integers(2, 8)),
+               elements=st.floats(-30, 30, allow_nan=False, width=32)),
+)
+def test_softmax_is_probability_distribution(logits):
+    probs = F.softmax(Tensor(logits)).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-4)
+
+
+@given(
+    hnp.arrays(np.float32, st.tuples(st.integers(1, 3), st.integers(2, 6)),
+               elements=st.floats(-20, 20, allow_nan=False, width=32)),
+    st.data(),
+)
+def test_cross_entropy_nonnegative_and_shift_invariant(logits, data):
+    labels = np.array(
+        [data.draw(st.integers(0, logits.shape[1] - 1)) for _ in range(logits.shape[0])]
+    )
+    loss = float(F.cross_entropy(Tensor(logits), labels).data)
+    assert loss >= -1e-6
+    shifted = float(F.cross_entropy(Tensor(logits + 7.0), labels).data)
+    assert abs(loss - shifted) < 1e-3

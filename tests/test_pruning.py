@@ -1,0 +1,254 @@
+"""Unit tests for the DynamicPruning layer and model instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import reserved_count
+from repro.core.pruning import (
+    DynamicPruning,
+    InstrumentedModel,
+    PruningConfig,
+    instrument_model,
+    pooled_keep_fraction,
+)
+from repro.models import resnet8, vgg11
+from repro.nn import ReLU, Sequential, Tensor, no_grad
+
+
+def feature_map(rng, n=2, c=8, h=6, w=6):
+    return Tensor(rng.normal(size=(n, c, h, w)).astype(np.float32))
+
+
+class TestDynamicPruningForward:
+    def test_disabled_is_identity(self, rng):
+        layer = DynamicPruning(0.5, 0.5)
+        layer.enabled = False
+        x = feature_map(rng)
+        assert layer(x) is x
+
+    def test_zero_ratios_is_identity(self, rng):
+        layer = DynamicPruning(0.0, 0.0)
+        x = feature_map(rng)
+        assert layer(x) is x
+
+    def test_channel_pruning_zeroes_low_attention_channels(self, rng):
+        x = feature_map(rng, n=1, c=4)
+        layer = DynamicPruning(channel_ratio=0.5)
+        out = layer(x)
+        att = x.data.mean(axis=(2, 3))[0]
+        kept = set(np.argsort(att)[-2:])
+        for c in range(4):
+            if c in kept:
+                np.testing.assert_allclose(out.data[0, c], x.data[0, c])
+            else:
+                np.testing.assert_allclose(out.data[0, c], 0.0)
+
+    def test_spatial_pruning_zeroes_low_attention_columns(self, rng):
+        x = feature_map(rng, n=1, c=3, h=4, w=4)
+        layer = DynamicPruning(spatial_ratio=0.75)
+        out = layer(x)
+        att = x.data.mean(axis=1)[0]
+        flat = att.reshape(-1)
+        kept = set(np.argsort(flat)[-4:])
+        for pos in range(16):
+            h, w = divmod(pos, 4)
+            if pos in kept:
+                np.testing.assert_allclose(out.data[0, :, h, w], x.data[0, :, h, w])
+            else:
+                np.testing.assert_allclose(out.data[0, :, h, w], 0.0)
+
+    def test_combined_masks_multiply(self, rng):
+        x = feature_map(rng, n=1, c=6, h=4, w=4)
+        layer = DynamicPruning(channel_ratio=0.5, spatial_ratio=0.5)
+        out = layer(x)
+        # Every zeroed channel stays zero even where the spatial mask keeps.
+        cm = layer.last_channel_mask[0]
+        sm = layer.last_spatial_mask[0]
+        expected = x.data[0] * cm[:, None, None] * sm[None, :, :]
+        np.testing.assert_allclose(out.data[0], expected)
+
+    def test_per_input_masks_differ(self, rng):
+        # The defining property of *dynamic* pruning: masks follow the input.
+        x = feature_map(rng, n=4, c=16)
+        layer = DynamicPruning(channel_ratio=0.5)
+        layer(x)
+        masks = layer.last_channel_mask
+        assert any(
+            masks[i].tolist() != masks[j].tolist() for i in range(4) for j in range(i)
+        )
+
+    def test_pruned_channel_recoverable_by_other_input(self, rng):
+        # Sec. III-B: a channel pruned for one input can be fully recovered
+        # for another input that activates it.
+        layer = DynamicPruning(channel_ratio=0.5)
+        a = np.zeros((1, 4, 2, 2), dtype=np.float32)
+        a[0, :2] = 1.0  # activates channels 0,1
+        b = np.zeros((1, 4, 2, 2), dtype=np.float32)
+        b[0, 2:] = 1.0  # activates channels 2,3
+        layer(Tensor(a))
+        mask_a = layer.last_channel_mask[0].copy()
+        layer(Tensor(b))
+        mask_b = layer.last_channel_mask[0]
+        assert mask_a.tolist() == [True, True, False, False]
+        assert mask_b.tolist() == [False, False, True, True]
+
+    def test_gradient_flows_through_kept_only(self, rng):
+        x = feature_map(rng, n=1, c=4)
+        x.requires_grad = True
+        layer = DynamicPruning(channel_ratio=0.5)
+        layer(x).sum().backward()
+        mask = layer.last_channel_mask[0]
+        for c in range(4):
+            grad_norm = np.abs(x.grad[0, c]).sum()
+            if mask[c]:
+                assert grad_norm > 0
+            else:
+                assert grad_norm == 0
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicPruning(channel_ratio=1.5)
+        layer = DynamicPruning()
+        with pytest.raises(ValueError):
+            layer.set_ratios(0.5, -0.1)
+
+    def test_repr(self):
+        assert "channel=0.5" in repr(DynamicPruning(0.5, 0.2))
+
+
+class TestStats:
+    def test_keep_fractions_accumulate(self, rng):
+        layer = DynamicPruning(channel_ratio=0.5, spatial_ratio=0.5)
+        for _ in range(3):
+            layer(feature_map(rng, n=2, c=8, h=4, w=4))
+        assert layer._samples == 6
+        assert layer.mean_channel_keep == pytest.approx(reserved_count(8, 0.5) / 8)
+        assert layer.mean_spatial_keep == pytest.approx(reserved_count(16, 0.5) / 16)
+
+    def test_reset_stats(self, rng):
+        layer = DynamicPruning(channel_ratio=0.5)
+        layer(feature_map(rng))
+        layer.reset_stats()
+        assert layer._samples == 0
+        assert layer.mean_channel_keep == 1.0
+
+    def test_inactive_records_nothing(self, rng):
+        layer = DynamicPruning(0.0, 0.0)
+        layer(feature_map(rng))
+        assert layer._samples == 0
+
+
+class TestPooledKeepFraction:
+    def test_factor_one_is_mean(self, rng):
+        mask = rng.random((2, 4, 4)) > 0.5
+        assert pooled_keep_fraction(mask, 1) == pytest.approx(mask.mean())
+
+    def test_any_semantics(self):
+        mask = np.zeros((1, 4, 4), dtype=bool)
+        mask[0, 0, 0] = True  # one survivor per top-left 2x2 window
+        assert pooled_keep_fraction(mask, 2) == pytest.approx(1.0 / 4.0)
+
+    def test_all_kept(self):
+        assert pooled_keep_fraction(np.ones((1, 4, 4), dtype=bool), 2) == 1.0
+
+    def test_pooled_fraction_at_least_unpooled(self, rng):
+        mask = rng.random((3, 8, 8)) > 0.7
+        assert pooled_keep_fraction(mask, 2) >= mask.mean() - 1e-12
+
+    def test_degenerate_small_map(self):
+        mask = np.ones((1, 1, 1), dtype=bool)
+        assert pooled_keep_fraction(mask, 2) == 1.0
+
+
+class TestPruningConfig:
+    def test_validate_length(self):
+        config = PruningConfig([0.1, 0.2], [0.0, 0.0])
+        config.validate(2)
+        with pytest.raises(ValueError):
+            config.validate(3)
+
+    def test_validate_range(self):
+        with pytest.raises(ValueError):
+            PruningConfig([1.2], [0.0]).validate(1)
+
+    def test_disabled_factory(self):
+        config = PruningConfig.disabled(4)
+        assert config.channel_ratios == [0.0] * 4
+
+
+class TestInstrumentation:
+    def test_inserts_at_every_point(self):
+        model = vgg11(width_multiplier=0.1)
+        handle = instrument_model(model)
+        assert len(handle.pruners) == len(model.pruning_points())
+        for point, pruner in handle.pruners:
+            site = model.get_submodule(point.path)
+            assert isinstance(site, Sequential)
+            assert isinstance(site[0], ReLU)
+            assert site[1] is pruner
+
+    def test_double_instrumentation_raises(self):
+        model = vgg11(width_multiplier=0.1)
+        instrument_model(model)
+        with pytest.raises(RuntimeError):
+            instrument_model(model)
+
+    def test_forward_unchanged_when_disabled(self, rng):
+        model = vgg11(width_multiplier=0.1, seed=0)
+        model.eval()
+        x = Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            before = model(x).data.copy()
+        handle = instrument_model(model)
+        with no_grad():
+            after = model(x).data
+        np.testing.assert_allclose(before, after)
+
+    def test_pruning_changes_output(self, rng):
+        model = vgg11(width_multiplier=0.1, seed=0)
+        model.eval()
+        handle = instrument_model(
+            model, PruningConfig([0.5] * 5, [0.0] * 5)
+        )
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            pruned = model(x).data.copy()
+        handle.set_enabled(False)
+        with no_grad():
+            dense = model(x).data
+        assert not np.allclose(pruned, dense)
+
+    def test_set_block_ratios_routes_by_block(self):
+        model = vgg11(width_multiplier=0.1)
+        handle = instrument_model(model)
+        handle.set_block_ratios([0.1, 0.2, 0.3, 0.4, 0.5], [0.0] * 5)
+        for point, pruner in handle.pruners:
+            assert pruner.channel_ratio == pytest.approx(0.1 * (point.block_index + 1))
+
+    def test_resnet_instrumentation(self, rng):
+        model = resnet8(width_multiplier=0.5, seed=0)
+        model.eval()
+        handle = instrument_model(model, PruningConfig([0.5] * 3, [0.5] * 3))
+        x = Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            out = model(x)
+        assert out.shape == (2, 10)
+        for _, pruner in handle.pruners:
+            assert pruner._samples == 2
+
+    def test_criterion_switch(self, rng):
+        model = vgg11(width_multiplier=0.1)
+        handle = instrument_model(model, PruningConfig([0.5] * 5, [0.0] * 5))
+        handle.set_criterion("inverse")
+        assert all(p.criterion_name == "inverse" for _, p in handle.pruners)
+
+    def test_keep_fractions_report(self, rng):
+        model = vgg11(width_multiplier=0.1)
+        handle = instrument_model(model, PruningConfig([0.5] * 5, [0.0] * 5))
+        with no_grad():
+            model(Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32)))
+        report = handle.keep_fractions()
+        assert len(report) == len(handle.pruners)
+        for channel_keep, spatial_keep in report.values():
+            assert 0.0 < channel_keep <= 1.0
+            assert spatial_keep == 1.0

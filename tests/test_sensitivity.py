@@ -1,0 +1,103 @@
+"""Unit tests for block sensitivity analysis (Sec. IV-B, Fig. 3)."""
+
+import pytest
+
+from repro.core.pruning import PruningConfig, instrument_model
+from repro.core.sensitivity import SensitivityResult, block_sensitivity, suggest_upper_bounds
+from repro.core.training import fit
+from repro.models import VGG
+
+
+@pytest.fixture(scope="module")
+def trained_handle(tiny_dataset):
+    from repro.nn.data import DataLoader
+
+    train, _ = tiny_dataset.splits()
+    train_loader = DataLoader(train, batch_size=16, shuffle=True, seed=3)
+    model = VGG(num_classes=4, width_multiplier=0.06, seed=0)
+    fit(model, train_loader, epochs=6, lr=0.05)
+    return instrument_model(model, PruningConfig.disabled(model.num_blocks))
+
+
+class TestBlockSensitivity:
+    def test_curve_structure(self, trained_handle, tiny_loaders):
+        _, test_loader = tiny_loaders
+        result = block_sensitivity(trained_handle, test_loader, ratios=[0.2, 0.6], dimension="channel")
+        assert set(result.curves) == {0, 1, 2, 3, 4}
+        for curve in result.curves.values():
+            assert [r for r, _ in curve] == [0.2, 0.6]
+            assert all(0.0 <= acc <= 1.0 for _, acc in curve)
+
+    def test_restores_disabled_state(self, trained_handle, tiny_loaders):
+        _, test_loader = tiny_loaders
+        block_sensitivity(trained_handle, test_loader, ratios=[0.5], dimension="channel")
+        for _, pruner in trained_handle.pruners:
+            assert pruner.channel_ratio == 0.0
+            assert pruner.spatial_ratio == 0.0
+
+    def test_baseline_accuracy_recorded(self, trained_handle, tiny_loaders):
+        _, test_loader = tiny_loaders
+        result = block_sensitivity(trained_handle, test_loader, ratios=[0.3], dimension="spatial")
+        assert result.baseline_accuracy > 0.5
+        assert result.dimension == "spatial"
+
+    def test_accuracy_degrades_with_ratio(self, trained_handle, tiny_loaders):
+        # Monotone-ish degradation: max over blocks at low ratio >= at 0.95.
+        _, test_loader = tiny_loaders
+        result = block_sensitivity(
+            trained_handle, test_loader, ratios=[0.1, 0.95], dimension="channel"
+        )
+        low = max(result.accuracy_at(b, 0.1) for b in result.curves)
+        high = min(result.accuracy_at(b, 0.95) for b in result.curves)
+        assert low >= high
+
+    def test_invalid_dimension(self, trained_handle, tiny_loaders):
+        _, test_loader = tiny_loaders
+        with pytest.raises(ValueError):
+            block_sensitivity(trained_handle, test_loader, ratios=[0.5], dimension="depth")
+
+    def test_accuracy_at_missing_ratio(self, trained_handle, tiny_loaders):
+        _, test_loader = tiny_loaders
+        result = block_sensitivity(trained_handle, test_loader, ratios=[0.5], dimension="channel")
+        with pytest.raises(KeyError):
+            result.accuracy_at(0, 0.123)
+
+
+class TestSuggestUpperBounds:
+    def _result(self):
+        return SensitivityResult(
+            dimension="channel",
+            baseline_accuracy=0.9,
+            curves={
+                0: [(0.2, 0.89), (0.5, 0.85), (0.8, 0.4)],
+                1: [(0.2, 0.9), (0.5, 0.89), (0.8, 0.88)],
+                2: [(0.2, 0.5), (0.5, 0.3), (0.8, 0.2)],
+            },
+        )
+
+    def test_picks_largest_tolerated(self):
+        bounds = suggest_upper_bounds(self._result(), max_drop=0.05)
+        assert bounds == [0.5, 0.8, 0.0]
+
+    def test_zero_tolerance(self):
+        # Only accuracies >= the 0.9 baseline survive: block 1 at ratio 0.2.
+        bounds = suggest_upper_bounds(self._result(), max_drop=0.0)
+        assert bounds == [0.0, 0.2, 0.0]
+
+    def test_everything_tolerated(self):
+        bounds = suggest_upper_bounds(self._result(), max_drop=1.0)
+        assert bounds == [0.8, 0.8, 0.8]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_upper_bounds(self._result(), max_drop=-0.1)
+
+    def test_later_blocks_more_tolerant_on_trained_vgg(self, trained_handle, tiny_loaders):
+        # Fig. 3's qualitative claim: deep VGG blocks tolerate much higher
+        # channel-pruning ratios than early blocks.
+        _, test_loader = tiny_loaders
+        result = block_sensitivity(
+            trained_handle, test_loader, ratios=[0.3, 0.6, 0.9], dimension="channel"
+        )
+        bounds = suggest_upper_bounds(result, max_drop=0.15)
+        assert bounds[4] >= bounds[0]

@@ -1,0 +1,83 @@
+"""Unit tests for checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.models import vgg11
+from repro.nn import BatchNorm2d, Conv2d, Linear, Sequential, Tensor, no_grad
+from repro.nn.serialization import (
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    save_state_dict,
+)
+
+
+def small_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Conv2d(2, 4, 3, rng=rng), BatchNorm2d(4), Linear(3, 2, rng=rng))
+
+
+class TestStateDictRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        model = small_model(seed=1)
+        path = str(tmp_path / "weights.npz")
+        save_state_dict(model.state_dict(), path)
+        loaded = load_state_dict(path)
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(loaded[key], value)
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_state_dict({"__checkpoint_meta__": np.zeros(1)}, str(tmp_path / "x.npz"))
+
+
+class TestCheckpointRoundtrip:
+    def test_model_restored_exactly(self, tmp_path):
+        source = small_model(seed=1)
+        # Make running stats non-default so buffers are exercised.
+        source[1].running_mean += 0.7
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(source, path, metadata={"epoch": 3})
+
+        target = small_model(seed=2)
+        meta = load_checkpoint(target, path)
+        assert meta == {"epoch": 3}
+        for (ka, va), (kb, vb) in zip(
+            sorted(source.state_dict().items()), sorted(target.state_dict().items())
+        ):
+            assert ka == kb
+            np.testing.assert_array_equal(va, vb)
+
+    def test_metadata_optional(self, tmp_path):
+        model = small_model()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path)
+        assert load_checkpoint(small_model(), path) == {}
+
+    def test_metadata_types(self, tmp_path):
+        model = small_model()
+        path = str(tmp_path / "ckpt.npz")
+        metadata = {"ratios": [0.2, 0.9], "accuracy": 0.93, "name": "ttd", "done": True}
+        save_checkpoint(model, path, metadata=metadata)
+        assert load_checkpoint(small_model(), path) == metadata
+
+    def test_vgg_forward_identical_after_restore(self, tmp_path):
+        source = vgg11(width_multiplier=0.1, seed=3)
+        source.eval()
+        path = str(tmp_path / "vgg.npz")
+        save_checkpoint(source, path, metadata={"note": "trained"})
+        target = vgg11(width_multiplier=0.1, seed=9)
+        target.eval()
+        load_checkpoint(target, path)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(source(x).data, target(x).data, rtol=1e-6)
+
+    def test_shape_mismatch_on_restore(self, tmp_path):
+        model = small_model()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path)
+        other = Sequential(Conv2d(2, 8, 3), BatchNorm2d(8), Linear(3, 2))
+        with pytest.raises((ValueError, KeyError)):
+            load_checkpoint(other, path)

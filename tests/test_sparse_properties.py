@@ -1,0 +1,97 @@
+"""Property-based tests for the sparse executor and checkpointing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.sparse_exec import sparse_conv2d
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+small_floats = st.floats(-3, 3, allow_nan=False, allow_infinity=False, width=32)
+
+
+def conv_inputs():
+    return st.tuples(
+        st.integers(1, 2),  # batch
+        st.integers(1, 4),  # in channels
+        st.integers(1, 3),  # out channels
+        st.integers(4, 7),  # spatial
+    )
+
+
+@given(conv_inputs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_sparse_channel_conv_equals_dense_masked(dims, data):
+    n, cin, cout, size = dims
+    rng = np.random.default_rng(data.draw(st.integers(0, 100)))
+    x = rng.normal(size=(n, cin, size, size)).astype(np.float32)
+    w = rng.normal(size=(cout, cin, 3, 3)).astype(np.float32)
+    mask = rng.random((n, cin)) > 0.4
+    mask[:, 0] = True  # at least one channel survives per sample
+    masked = x * mask[:, :, None, None]
+    sparse = sparse_conv2d(x, w, None, 1, 1, channel_mask=mask)
+    dense = F.conv2d(Tensor(masked), Tensor(w), None, 1, 1).data
+    np.testing.assert_allclose(sparse, dense, rtol=1e-3, atol=1e-4)
+
+
+@given(conv_inputs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_sparse_column_conv_zero_exactly_off_mask(dims, data):
+    n, cin, cout, size = dims
+    rng = np.random.default_rng(data.draw(st.integers(0, 100)))
+    x = rng.normal(size=(n, cin, size, size)).astype(np.float32)
+    w = rng.normal(size=(cout, cin, 3, 3)).astype(np.float32)
+    smask = rng.random((n, size, size)) > 0.5
+    out = sparse_conv2d(x * smask[:, None], w, None, 1, 1, spatial_mask=smask)
+    for i in range(n):
+        dropped = ~smask[i]
+        np.testing.assert_allclose(out[i][:, dropped], 0.0)
+
+
+@given(conv_inputs(), st.data())
+@settings(max_examples=20, deadline=None)
+def test_sparse_conv_linear_in_input(dims, data):
+    # Convolution is linear; skipping must preserve that on kept positions.
+    n, cin, cout, size = dims
+    rng = np.random.default_rng(data.draw(st.integers(0, 100)))
+    a = rng.normal(size=(n, cin, size, size)).astype(np.float32)
+    b = rng.normal(size=(n, cin, size, size)).astype(np.float32)
+    w = rng.normal(size=(cout, cin, 3, 3)).astype(np.float32)
+    mask = rng.random((n, cin)) > 0.3
+    mask[:, 0] = True
+    out_sum = sparse_conv2d(a + b, w, None, 1, 1, channel_mask=mask)
+    out_parts = sparse_conv2d(a, w, None, 1, 1, channel_mask=mask) + sparse_conv2d(
+        b, w, None, 1, 1, channel_mask=mask
+    )
+    np.testing.assert_allclose(out_sum, out_parts, rtol=1e-2, atol=1e-3)
+
+
+@given(
+    hnp.arrays(np.float32, st.tuples(st.integers(1, 4), st.integers(1, 6)),
+               elements=small_floats),
+    st.dictionaries(st.sampled_from(["epoch", "acc", "note"]),
+                    st.one_of(st.integers(0, 99), st.floats(0, 1, allow_nan=False),
+                              st.text(max_size=10)), max_size=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_checkpoint_roundtrip_property(tmp_path_factory, weight, metadata):
+    from repro.nn import Linear
+    from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+    out_features, in_features = weight.shape
+    model = Linear(in_features, out_features)
+    model.weight.data = weight.copy()
+    path = str(tmp_path_factory.mktemp("ckpt") / "m.npz")
+    save_checkpoint(model, path, metadata=metadata)
+
+    target = Linear(in_features, out_features)
+    restored = load_checkpoint(target, path)
+    np.testing.assert_array_equal(target.weight.data, weight)
+    for key, value in metadata.items():
+        if isinstance(value, float):
+            assert restored[key] == pytest.approx(value)
+        else:
+            assert restored[key] == value

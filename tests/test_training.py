@@ -1,0 +1,120 @@
+"""Unit tests for the shared training/evaluation loops."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import EpochStats, evaluate, fit, train_epoch
+from repro.nn import GlobalAvgPool2d, Linear, Sequential, Conv2d, ReLU
+from repro.nn.data import DataLoader, TensorDataset
+from repro.nn.optim import SGD
+
+
+def toy_loader(n=32, num_classes=2, size=8, seed=0, batch_size=16):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=n)
+    # Linearly separable: class signal in channel mean.
+    images = rng.normal(size=(n, 3, size, size)).astype(np.float32)
+    images[labels == 1] += 1.5
+    return DataLoader(TensorDataset(images, labels.astype(np.int64)), batch_size=batch_size,
+                      shuffle=True, seed=seed)
+
+
+def toy_model(seed=0, num_classes=2):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(), GlobalAvgPool2d(),
+        Linear(4, num_classes, rng=rng),
+    )
+
+
+class TestTrainEpoch:
+    def test_returns_stats(self):
+        model = toy_model()
+        loader = toy_loader()
+        optimizer = SGD(model.parameters(), lr=0.1)
+        stats = train_epoch(model, loader, optimizer)
+        assert isinstance(stats, EpochStats)
+        assert stats.samples == 32
+        assert 0.0 <= stats.accuracy <= 1.0
+        assert stats.loss > 0
+
+    def test_loss_decreases_over_epochs(self):
+        model = toy_model()
+        loader = toy_loader()
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        first = train_epoch(model, loader, optimizer).loss
+        for _ in range(8):
+            last = train_epoch(model, loader, optimizer).loss
+        assert last < first
+
+    def test_sets_train_mode(self):
+        model = toy_model()
+        model.eval()
+        train_epoch(model, toy_loader(), SGD(model.parameters(), lr=0.01))
+        assert model.training
+
+    def test_empty_loader_raises(self):
+        model = toy_model()
+        empty = DataLoader(
+            TensorDataset(np.zeros((0, 3, 8, 8), dtype=np.float32), np.zeros(0, dtype=np.int64)),
+            batch_size=4,
+        )
+        with pytest.raises(ValueError):
+            train_epoch(model, empty, SGD(model.parameters(), lr=0.01))
+
+
+class TestEvaluate:
+    def test_eval_mode_and_no_grad(self):
+        model = toy_model()
+        evaluate(model, toy_loader())
+        assert not model.training
+        for p in model.parameters():
+            assert p.grad is None
+
+    def test_perfectly_separable_reaches_high_accuracy(self):
+        model = toy_model()
+        loader = toy_loader()
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(15):
+            train_epoch(model, loader, optimizer)
+        assert evaluate(model, toy_loader(seed=1)).accuracy > 0.85
+
+    def test_empty_loader_raises(self):
+        empty = DataLoader(
+            TensorDataset(np.zeros((0, 3, 8, 8), dtype=np.float32), np.zeros(0, dtype=np.int64)),
+            batch_size=4,
+        )
+        with pytest.raises(ValueError):
+            evaluate(toy_model(), empty)
+
+
+class TestFit:
+    def test_history_length(self):
+        history = fit(toy_model(), toy_loader(), epochs=3, lr=0.05)
+        assert len(history) == 3
+
+    def test_cosine_decays_lr_to_zero(self):
+        model = toy_model()
+        loader = toy_loader()
+        # fit() constructs its own optimizer; emulate to observe the LR.
+        from repro.nn.optim import CosineAnnealingLR
+
+        optimizer = SGD(model.parameters(), lr=0.1)
+        scheduler = CosineAnnealingLR(optimizer, t_max=4)
+        for _ in range(4):
+            train_epoch(model, loader, optimizer)
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_cosine_keeps_lr(self):
+        fit(toy_model(), toy_loader(), epochs=2, lr=0.07, cosine=False)
+
+    def test_verbose_prints(self, capsys):
+        fit(toy_model(), toy_loader(), epochs=1, lr=0.05, verbose=True)
+        out = capsys.readouterr().out
+        assert "epoch 1/1" in out
+
+    def test_verbose_with_test_loader(self, capsys):
+        fit(toy_model(), toy_loader(), epochs=1, lr=0.05, verbose=True,
+            test_loader=toy_loader(seed=1))
+        assert "test_acc" in capsys.readouterr().out

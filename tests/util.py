@@ -1,0 +1,57 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fval: Callable[[], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function w.r.t. array ``x``.
+
+    ``fval`` must read ``x`` afresh on every call (the array is perturbed in
+    place and restored).
+    """
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = fval()
+        x[idx] = original - eps
+        f_minus = fval()
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def float64_tensor(array: np.ndarray, requires_grad: bool = True) -> Tensor:
+    """Tensor that keeps float64 data (bypassing the float32 default cast)."""
+    t = Tensor(array.astype(np.float64), requires_grad=requires_grad)
+    t.data = array.astype(np.float64) if t.data.dtype != np.float64 else t.data
+    return t
+
+
+def check_gradients(
+    make_loss: Callable[..., Tensor],
+    arrays: Sequence[np.ndarray],
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autograd gradients match central differences for every input."""
+    tensors = [float64_tensor(a) for a in arrays]
+    loss = make_loss(*tensors)
+    loss.backward()
+    for tensor in tensors:
+        def fval() -> float:
+            fresh = [float64_tensor(t.data, requires_grad=False) for t in tensors]
+            return float(make_loss(*fresh).data)
+
+        expected = numerical_gradient(fval, tensor.data)
+        assert tensor.grad is not None, "gradient was not populated"
+        scale = np.abs(expected).max() + 1e-8
+        np.testing.assert_allclose(tensor.grad, expected, atol=rtol * scale, rtol=rtol)
