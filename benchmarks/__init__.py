@@ -1,0 +1,6 @@
+"""Benchmark suite package.
+
+The package marker namespaces benchmark modules as ``benchmarks.test_x`` so
+their basenames may collide with ``tests/`` (pytest imports both without a
+``__pycache__`` mismatch) and ``from .bench_utils import ...`` resolves.
+"""

@@ -1,4 +1,4 @@
-"""Helpers shared by benchmark modules (importable without a package)."""
+"""Helpers shared by the ``benchmarks`` package's modules."""
 
 from __future__ import annotations
 

@@ -13,7 +13,7 @@ import pytest
 from repro.core.training import fit
 from repro.datasets import cifar10_like, make_loaders
 
-from bench_utils import fresh_resnet, fresh_vgg
+from .bench_utils import fresh_resnet, fresh_vgg
 
 
 @pytest.fixture(scope="session")

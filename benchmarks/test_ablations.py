@@ -16,7 +16,7 @@ from repro.core.flops import dynamic_flops
 from repro.core.pruning import PruningConfig, instrument_model
 from repro.core.training import evaluate
 
-from bench_utils import load_resnet, load_vgg
+from .bench_utils import load_resnet, load_vgg
 
 ZEROS3 = [0.0] * 3
 

@@ -23,7 +23,7 @@ from repro.core.training import evaluate, train_epoch
 from repro.core.ttd import RatioAscentSchedule, TTDTrainer
 from repro.nn.optim import SGD
 
-from bench_utils import load_vgg
+from .bench_utils import load_vgg
 
 RATIOS = [0.2, 0.2, 0.5, 0.7, 0.7]
 ZEROS = [0.0] * 5

@@ -17,7 +17,7 @@ import pytest
 from repro.core.pruning import PruningConfig, instrument_model
 from repro.core.training import evaluate
 
-from bench_utils import load_resnet, load_vgg
+from .bench_utils import load_resnet, load_vgg
 
 RATIOS = [0.1, 0.2, 0.4, 0.6, 0.8]
 

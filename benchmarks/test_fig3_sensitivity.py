@@ -17,7 +17,7 @@ import pytest
 from repro.core.pruning import PruningConfig, instrument_model
 from repro.core.sensitivity import block_sensitivity, suggest_upper_bounds
 
-from bench_utils import load_resnet, load_vgg
+from .bench_utils import load_resnet, load_vgg
 
 RATIOS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
 

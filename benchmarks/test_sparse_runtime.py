@@ -10,40 +10,36 @@ Asserted shape claims:
   faster than the same executor with pruning off (i.e. the saving comes
   from the masks, not from executor overhead differences);
 * the sparse pruned path beats the dense masked path outright;
-* runtime decreases monotonically as the pruning ratio rises.
+* runtime decreases monotonically as the pruning ratio rises;
+* mask-signature batching (``granularity="batch"``) beats disabling the
+  weight-slice cache on recurring masks;
+* the ``run_sparse_benchmark`` harness records a dense-vs-sparse win into
+  a ``BENCH_sparse.json`` document (the artifact ``repro bench-sparse``
+  writes at the repo root).
 """
 
-import time
+import json
 
 import numpy as np
 import pytest
 
-from repro.core.pruning import DynamicPruning
-from repro.core.sparse_exec import SparseSequentialExecutor, dense_reference_forward
-from repro.nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU, Sequential
+from repro.core.runtime_bench import (
+    BENCH_SCHEMA,
+    build_conv_stack,
+    run_sparse_benchmark,
+    timed,
+    write_bench_json,
+)
+from repro.core.sparse_exec import (
+    PlanConfig,
+    SparseSequentialExecutor,
+    dense_reference_forward,
+)
 
 
-def conv_stack(channel_ratio, spatial_ratio, width=64, depth=4, seed=0):
-    rng = np.random.default_rng(seed)
-    layers = [Conv2d(3, width, 3, padding=1, bias=False, rng=rng), BatchNorm2d(width), ReLU(),
-              DynamicPruning(channel_ratio, spatial_ratio)]
-    for _ in range(depth - 2):
-        layers += [Conv2d(width, width, 3, padding=1, bias=False, rng=rng),
-                   BatchNorm2d(width), ReLU(), DynamicPruning(channel_ratio, spatial_ratio)]
-    layers += [Conv2d(width, width, 3, padding=1, bias=False, rng=rng),
-               BatchNorm2d(width), ReLU(), GlobalAvgPool2d(), Linear(width, 10, rng=rng)]
-    stack = Sequential(*layers)
-    stack.eval()
-    return stack
-
-
-def timed(fn, repeats=3):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+# The stack builder and timer are the same ones the recorded artifact uses,
+# so the benchmark and BENCH_sparse.json always measure identical models.
+conv_stack = build_conv_stack
 
 
 @pytest.fixture(scope="module")
@@ -89,3 +85,43 @@ def test_runtime_monotone_in_ratio(benchmark):
     )
     print("\n[ratio sweep] " + "  ".join(f"r={r}: {t * 1e3:.1f}ms" for r, t in times.items()))
     assert times[0.9] < times[0.5] < times[0.0] * 1.05
+
+
+def test_weight_slice_cache_pays_on_recurring_masks(benchmark, batch):
+    # Batch-granularity masks repeat the same signature every call, so the
+    # steady-state gather cost must be covered by the cache.
+    stack = conv_stack(0.8, 0.0, granularity="batch")
+    cached = SparseSequentialExecutor(stack, PlanConfig(cache_entries=256))
+    uncached = SparseSequentialExecutor(stack, PlanConfig(cache_entries=1))
+    cached(batch)
+    uncached(batch)
+
+    t_cached = benchmark.pedantic(lambda: cached(batch), rounds=3, iterations=1)
+    t_cached = timed(lambda: cached(batch), repeats=5)
+    t_uncached = timed(lambda: uncached(batch), repeats=5)
+    stats = cached.plan.cache_stats
+    print(f"\n[slice cache] cached {t_cached * 1e3:.1f}ms vs evicting "
+          f"{t_uncached * 1e3:.1f}ms (hits {stats['hits']}, misses {stats['misses']})")
+    assert stats["hits"] > 0
+    assert t_cached <= t_uncached * 1.10, "weight-slice cache must not lose to re-gathering"
+
+
+def test_bench_harness_records_sparse_win(benchmark, tmp_path):
+    document = benchmark.pedantic(
+        lambda: run_sparse_benchmark(
+            ratios=(0.0, 0.9), batch_size=4, width=32, depth=3,
+            repeats=2, include_resnet=False,
+        ),
+        rounds=1, iterations=1,
+    )
+    path = tmp_path / "BENCH_sparse.json"
+    write_bench_json(document, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["schema"] == BENCH_SCHEMA
+    rows = loaded["results"]
+    assert {row["model"] for row in rows} == {"conv_stack"}
+    high = [row for row in rows if row["channel_ratio"] == 0.9]
+    assert high, "high-sparsity rows must be recorded"
+    for row in high:
+        assert row["speedup"] > 1.0, f"no wall-clock win recorded: {row}"
+        assert row["sparse_ms"] < row["dense_ms"]

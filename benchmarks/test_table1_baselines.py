@@ -23,7 +23,7 @@ from repro.core.training import evaluate
 from repro.core.flops import dynamic_flops
 from repro.core.ttd import RatioAscentSchedule, TTDTrainer
 
-from bench_utils import load_vgg
+from .bench_utils import load_vgg
 
 # What the static methods can sustain (FO's published vector rounds to
 # roughly this) vs the paper's dynamic vector.

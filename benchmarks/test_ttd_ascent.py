@@ -17,7 +17,7 @@ from repro.core.pruning import PruningConfig, instrument_model
 from repro.core.training import evaluate
 from repro.core.ttd import RatioAscentSchedule, TTDTrainer
 
-from bench_utils import load_vgg
+from .bench_utils import load_vgg
 
 TARGETS = [0.2, 0.2, 0.6, 0.9, 0.9]  # the paper's VGG16-CIFAR10 vector
 ZEROS = [0.0] * 5

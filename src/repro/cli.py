@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli fig3 --arch resnet
     python -m repro.cli fig4
     python -m repro.cli autotune --target 30 --tolerance 0.15
+    python -m repro.cli bench-sparse --output BENCH_sparse.json
     python -m repro.cli quick
 
 Every subcommand trains at harness scale (slim models, synthetic data) and
@@ -132,6 +133,38 @@ def cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_sparse(args: argparse.Namespace) -> int:
+    from .core.runtime_bench import run_sparse_benchmark, write_bench_json
+
+    try:
+        ratios = [float(r) for r in args.ratios.split(",") if r.strip()]
+    except ValueError:
+        print(f"invalid --ratios {args.ratios!r} (expected e.g. 0.0,0.5,0.9)")
+        return 2
+    if any(not 0.0 <= r <= 1.0 for r in ratios):
+        print(f"invalid --ratios {args.ratios!r} (every ratio must be in [0, 1])")
+        return 2
+    document = run_sparse_benchmark(
+        ratios=ratios,
+        batch_size=args.batch_size,
+        image_size=args.image_size,
+        width=args.width,
+        depth=args.depth,
+        repeats=args.repeats,
+        include_resnet=not args.no_resnet,
+    )
+    print(f"{'model':>12} {'masks':>6} {'ratio':>6} {'dense(ms)':>10} "
+          f"{'sparse(ms)':>11} {'speedup':>8} {'cache h/m':>10}")
+    for row in document["results"]:
+        cache = row["cache"]
+        print(f"{row['model']:>12} {row['granularity']:>6} {row['channel_ratio']:>6.2f} "
+              f"{row['dense_ms']:>10.1f} {row['sparse_ms']:>11.1f} "
+              f"{row['speedup']:>7.2f}x {cache['hits']:>5}/{cache['misses']}")
+    write_bench_json(document, args.output)
+    print(f"\nrecorded {len(document['results'])} measurements to {args.output}")
+    return 0
+
+
 def cmd_quick(args: argparse.Namespace) -> int:
     outcome = run_table1_setting("vgg16_cifar10", **FAST)
     print(
@@ -174,6 +207,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_auto.add_argument("--tolerance", type=float, default=0.15, help="accuracy-drop budget")
     p_auto.add_argument("--step", type=float, default=0.15, help="ratio increment per move")
     p_auto.set_defaults(func=cmd_autotune)
+
+    p_bench = sub.add_parser(
+        "bench-sparse",
+        help="time dense vs batched sparse inference, record BENCH_sparse.json",
+    )
+    p_bench.add_argument("--output", default="BENCH_sparse.json")
+    p_bench.add_argument("--ratios", default="0.0,0.5,0.7,0.9",
+                         help="comma-separated channel pruning ratios")
+    p_bench.add_argument("--batch-size", type=int, default=8)
+    p_bench.add_argument("--image-size", type=int, default=32)
+    p_bench.add_argument("--width", type=int, default=64)
+    p_bench.add_argument("--depth", type=int, default=4)
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--no-resnet", action="store_true",
+                         help="skip the ResNet sweep (conv stack only)")
+    p_bench.set_defaults(func=cmd_bench_sparse)
 
     p_quick = sub.add_parser("quick", help="one fast end-to-end sanity run")
     p_quick.set_defaults(func=cmd_quick)

@@ -6,6 +6,8 @@
 * :mod:`~repro.core.ttd` — training with targeted dropout and ratio ascent.
 * :mod:`~repro.core.sensitivity` — block sensitivity analysis (Fig. 3).
 * :mod:`~repro.core.flops` — static and mask-aware FLOPs accounting.
+* :mod:`~repro.core.sparse_exec` — batched, plan-compiled sparse inference.
+* :mod:`~repro.core.runtime_bench` — dense-vs-sparse wall-clock harness.
 * :mod:`~repro.core.training` — shared train/eval loops.
 """
 
@@ -23,9 +25,15 @@ from .pruning import (
 )
 from .sensitivity import SensitivityResult, block_sensitivity, suggest_upper_bounds
 from .sparse_exec import (
+    ExecutionPlan,
+    PlanConfig,
+    ResNetPlan,
     SparseResNetExecutor,
     SparseSequentialExecutor,
+    WeightSliceCache,
     dense_reference_forward,
+    group_by_mask_signature,
+    mask_signature,
     sparse_conv2d,
 )
 from .training import EpochStats, evaluate, fit, train_epoch
@@ -64,6 +72,12 @@ __all__ = [
     "block_sensitivity",
     "suggest_upper_bounds",
     "sparse_conv2d",
+    "mask_signature",
+    "group_by_mask_signature",
+    "WeightSliceCache",
+    "PlanConfig",
+    "ExecutionPlan",
+    "ResNetPlan",
     "SparseSequentialExecutor",
     "SparseResNetExecutor",
     "dense_reference_forward",

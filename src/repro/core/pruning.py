@@ -166,14 +166,22 @@ class DynamicPruning(Module):
         """
         return self.enabled and (self.channel_ratio > 0.0 or self.spatial_ratio > 0.0)
 
-    def forward(self, x: Tensor) -> Tensor:
-        if not self.active:
-            return x
-        fm = x.data
-        n, c, h, w = fm.shape
+    def compute_masks(
+        self, fm: np.ndarray, update_stats: bool = True
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Score a raw feature map and build the binary masks (Eqs. 3-4).
+
+        Shared by the dense training/verification path (:meth:`forward`) and
+        the sparse inference engine (:mod:`repro.core.sparse_exec`), so both
+        apply identical mask semantics — including ``threshold`` mode and
+        ``batch`` granularity.  Returns ``(channel_mask, spatial_mask)``
+        where either entry is ``None`` when that dimension is unpruned.
+        """
+        n = fm.shape[0]
         ch_scores, sp_scores = self._score(fm)
 
-        mask = None
+        cm: Optional[np.ndarray] = None
+        sm: Optional[np.ndarray] = None
         ch_keep = 1.0
         sp_keep = 1.0
         sp_keep_pooled = 1.0
@@ -184,11 +192,8 @@ class DynamicPruning(Module):
                 cm = threshold_channel_mask(ch_scores, self.threshold)
             if self.granularity == "batch":
                 cm = batch_union(cm)
-            self.last_channel_mask = cm
             ch_keep = cm.mean()
-            mask = cm[:, :, None, None].astype(fm.dtype)
-        else:
-            self.last_channel_mask = None
+        self.last_channel_mask = cm
         if self.spatial_ratio > 0.0:
             if self.mask_mode == "topk":
                 sm = spatial_mask(sp_scores, self.spatial_ratio)
@@ -196,18 +201,29 @@ class DynamicPruning(Module):
                 sm = threshold_spatial_mask(sp_scores, self.threshold)
             if self.granularity == "batch":
                 sm = batch_union(sm)
-            self.last_spatial_mask = sm
             sp_keep = sm.mean()
             sp_keep_pooled = pooled_keep_fraction(sm, self.pool_between)
+        self.last_spatial_mask = sm
+
+        if update_stats:
+            self._samples += n
+            self._channel_keep_sum += float(ch_keep) * n
+            self._spatial_keep_sum += float(sp_keep) * n
+            self._spatial_keep_pooled_sum += float(sp_keep_pooled) * n
+        return cm, sm
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.active:
+            return x
+        fm = x.data
+        cm, sm = self.compute_masks(fm)
+
+        mask = None
+        if cm is not None:
+            mask = cm[:, :, None, None].astype(fm.dtype)
+        if sm is not None:
             sp_broadcast = sm[:, None, :, :].astype(fm.dtype)
             mask = sp_broadcast if mask is None else mask * sp_broadcast
-        else:
-            self.last_spatial_mask = None
-
-        self._samples += n
-        self._channel_keep_sum += float(ch_keep) * n
-        self._spatial_keep_sum += float(sp_keep) * n
-        self._spatial_keep_pooled_sum += float(sp_keep_pooled) * n
         return F.apply_mask(x, mask)
 
     # ------------------------------------------------------------------

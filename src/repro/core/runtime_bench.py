@@ -1,0 +1,198 @@
+"""Dense-vs-sparse wall-clock benchmark harness (``BENCH_sparse.json``).
+
+The paper's FLOPs reductions are analytic; this harness closes the loop by
+timing the batched sparse engine (:mod:`repro.core.sparse_exec`) against the
+dense masked reference on the same weights and inputs, and recording the
+measurements in a machine-readable JSON file.  It is shared by the
+``repro bench-sparse`` CLI subcommand and ``benchmarks/test_sparse_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.resnet import ResNet
+from ..nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU, Sequential, Tensor, no_grad
+from .pruning import DynamicPruning, PruningConfig, instrument_model
+from .sparse_exec import (
+    PlanConfig,
+    SparseResNetExecutor,
+    SparseSequentialExecutor,
+    dense_reference_forward,
+)
+
+__all__ = ["BENCH_SCHEMA", "timed", "build_conv_stack", "run_sparse_benchmark", "write_bench_json"]
+
+BENCH_SCHEMA = "repro.bench_sparse.v1"
+
+
+def timed(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_conv_stack(
+    channel_ratio: float,
+    spatial_ratio: float = 0.0,
+    width: int = 64,
+    depth: int = 4,
+    seed: int = 0,
+    granularity: str = "input",
+) -> Sequential:
+    """VGG-style conv stack with AntiDote pruning sites, in eval mode."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2d(3, width, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(width),
+        ReLU(),
+        DynamicPruning(channel_ratio, spatial_ratio, granularity=granularity),
+    ]
+    for _ in range(depth - 2):
+        layers += [
+            Conv2d(width, width, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(width),
+            ReLU(),
+            DynamicPruning(channel_ratio, spatial_ratio, granularity=granularity),
+        ]
+    layers += [
+        Conv2d(width, width, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(width),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(width, 10, rng=rng),
+    ]
+    stack = Sequential(*layers)
+    stack.eval()
+    return stack
+
+
+def _bench_stack(
+    ratios: Sequence[float],
+    batch_size: int,
+    image_size: int,
+    width: int,
+    depth: int,
+    repeats: int,
+    granularity: str,
+    config: Optional[PlanConfig],
+) -> List[Dict[str, object]]:
+    batch = np.random.default_rng(1).normal(
+        size=(batch_size, 3, image_size, image_size)
+    ).astype(np.float32)
+    rows: List[Dict[str, object]] = []
+    for ratio in ratios:
+        stack = build_conv_stack(ratio, width=width, depth=depth, granularity=granularity)
+        executor = SparseSequentialExecutor(stack, config)
+        executor(batch)  # warm the plan and weight-slice cache
+        t_sparse = timed(lambda: executor(batch), repeats)
+        t_dense = timed(lambda: dense_reference_forward(stack, batch), repeats)
+        rows.append(
+            {
+                "model": "conv_stack",
+                "granularity": granularity,
+                "channel_ratio": ratio,
+                "spatial_ratio": 0.0,
+                "dense_ms": t_dense * 1e3,
+                "sparse_ms": t_sparse * 1e3,
+                "speedup": t_dense / t_sparse,
+                "cache": dict(executor.plan.cache_stats),
+            }
+        )
+    return rows
+
+
+def _bench_resnet(
+    ratios: Sequence[float],
+    batch_size: int,
+    image_size: int,
+    repeats: int,
+    config: Optional[PlanConfig],
+) -> List[Dict[str, object]]:
+    batch = np.random.default_rng(2).normal(
+        size=(batch_size, 3, image_size, image_size)
+    ).astype(np.float32)
+    rows: List[Dict[str, object]] = []
+    for ratio in ratios:
+        model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=0)
+        model.eval()
+        instrument_model(model, PruningConfig([ratio] * 3, [0.0] * 3))
+        executor = SparseResNetExecutor(model, config)
+        executor(batch)
+
+        def dense() -> np.ndarray:
+            with no_grad():
+                return model(Tensor(batch)).data
+
+        t_sparse = timed(lambda: executor(batch), repeats)
+        t_dense = timed(dense, repeats)
+        rows.append(
+            {
+                "model": "resnet8",
+                "granularity": "input",
+                "channel_ratio": ratio,
+                "spatial_ratio": 0.0,
+                "dense_ms": t_dense * 1e3,
+                "sparse_ms": t_sparse * 1e3,
+                "speedup": t_dense / t_sparse,
+                "cache": dict(executor.plan.cache_stats),
+            }
+        )
+    return rows
+
+
+def run_sparse_benchmark(
+    ratios: Sequence[float] = (0.0, 0.5, 0.7, 0.9),
+    batch_size: int = 8,
+    image_size: int = 32,
+    width: int = 64,
+    depth: int = 4,
+    repeats: int = 3,
+    include_resnet: bool = True,
+    config: Optional[PlanConfig] = None,
+) -> Dict[str, object]:
+    """Time dense-masked vs sparse-skipped inference across pruning ratios.
+
+    Returns the ``BENCH_sparse.json`` document: a config header plus one
+    result row per (model, granularity, ratio) with best-of-``repeats``
+    wall-clock milliseconds, the speedup, and weight-slice cache statistics.
+    """
+    results: List[Dict[str, object]] = []
+    results += _bench_stack(
+        ratios, batch_size, image_size, width, depth, repeats, "input", config
+    )
+    results += _bench_stack(
+        ratios, batch_size, image_size, width, depth, repeats, "batch", config
+    )
+    if include_resnet:
+        results += _bench_resnet(ratios, batch_size, image_size, repeats, config)
+    return {
+        "schema": BENCH_SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {"python": platform.python_version(), "machine": platform.machine()},
+        "config": {
+            "ratios": list(ratios),
+            "batch_size": batch_size,
+            "image_size": image_size,
+            "width": width,
+            "depth": depth,
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+
+
+def write_bench_json(document: Dict[str, object], path: str) -> None:
+    """Write a benchmark document (atomically enough for a results file)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,30 +1,47 @@
-"""Sparse inference execution: actually *skipping* the pruned computation.
+"""Batched sparse inference engine: actually *skipping* the pruned work.
 
 The training-side implementation of AntiDote (like the paper's own PyTorch
 implementation) applies binary masks and lets the dense convolution run —
-FLOPs savings are *accounted* analytically.  This module provides the
-inference-side executor that realizes those savings on CPU:
+FLOPs savings are *accounted* analytically.  This module is the deployment
+engine that realizes those savings on CPU, at batch scale:
 
-* **Channel skipping** (:func:`sparse_conv2d`, ``channel_mask``): a zeroed
-  input channel contributes nothing to any output, so gathering the kept
-  channels and the matching weight slices is *numerically identical* to the
-  dense masked convolution while doing ``kept/C`` of the work.
-* **Column skipping** (``spatial_mask``): the paper's operational semantics
-  (Sec. III-B) — output positions whose corresponding input column was
-  removed are skipped entirely and treated as zero downstream.  At kept
-  positions the result is identical to the dense masked convolution only
-  when the dropped columns are exactly zero in the input, which is how the
-  masks are applied; across a *chain* of layers the zero-treatment at
-  skipped positions is the paper's approximation, and
-  :class:`SparseSequentialExecutor` reproduces it faithfully.
+* **Mask-signature batching** (:func:`sparse_conv2d`): samples whose channel
+  masks are identical (dynamic pruning often agrees within a batch, and
+  ``granularity="batch"`` guarantees it) are grouped by a packed bit
+  signature and executed with **one im2col + one GEMM per group**, reusing
+  the vectorized :func:`repro.nn.functional.im2col`.
+* **Weight-slice caching** (:class:`WeightSliceCache`): gathering the kept
+  columns of a filter bank is pure memory traffic; slices are cached across
+  layers *and* calls keyed by ``(layer, mask signature)``, so steady-state
+  traffic with recurring masks pays the gather once.
+* **Plan compilation** (:class:`ExecutionPlan`): the layer graph is walked
+  once per model at executor construction — Conv→BN(→ReLU) chains are fused
+  into a single op (BN folded into the conv weights at eval time), output
+  shapes are memoized per input geometry, and every convolution dispatches
+  to a dense fast path when the pending mask is below the configured
+  sparsity threshold (gather overhead would exceed the skipped work).
 
-The executor is eval-only and operates on raw NumPy arrays (no autograd),
+Numerical contract (see ``tests/test_sparse_engine.py``):
+
+* **Channel skipping** is numerically equivalent to the dense masked
+  convolution — a zeroed input channel contributes nothing to any output,
+  so gathering kept channels/weight columns computes the same sums over
+  ``kept/C`` of the work.
+* **Column skipping** follows the paper's operational semantics (Sec.
+  III-B): output positions whose input column was removed are skipped and
+  treated as zero downstream.  At kept positions the result equals the
+  dense masked convolution when the dropped columns are zero in the input
+  (which is how the masks are applied).
+
+The engine is eval-only and operates on raw NumPy arrays (no autograd),
 which is exactly the deployment setting the paper targets.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -45,19 +62,97 @@ from ..nn import functional as F
 from .pruning import DynamicPruning
 
 __all__ = [
+    "mask_signature",
+    "group_by_mask_signature",
+    "WeightSliceCache",
     "sparse_conv2d",
+    "PlanConfig",
+    "ExecutionPlan",
+    "ResNetPlan",
     "SparseSequentialExecutor",
     "SparseResNetExecutor",
     "dense_reference_forward",
 ]
 
 
-def _padded(x: np.ndarray, padding: int) -> np.ndarray:
-    if padding == 0:
-        return x
-    return np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+# ----------------------------------------------------------------------
+# Mask signatures and grouping
+# ----------------------------------------------------------------------
+def mask_signature(mask: np.ndarray) -> bytes:
+    """Compact, hashable signature of a 1-D boolean mask (packed bits)."""
+    return np.packbits(np.asarray(mask, dtype=bool)).tobytes()
 
 
+def group_by_mask_signature(
+    channel_mask: np.ndarray,
+) -> List[Tuple[bytes, np.ndarray, np.ndarray]]:
+    """Partition batch rows by identical channel-mask signature.
+
+    Returns ``(signature, sample_indices, kept_channel_indices)`` triples.
+    Dynamic pruning frequently produces repeated masks within a batch (and
+    ``granularity="batch"`` produces exactly one), so downstream convolution
+    work collapses to one im2col/GEMM per group instead of one per sample.
+    """
+    mask = np.asarray(channel_mask, dtype=bool)
+    packed = np.packbits(mask, axis=1)
+    uniq, inverse = np.unique(packed, axis=0, return_inverse=True)
+    groups: List[Tuple[bytes, np.ndarray, np.ndarray]] = []
+    for g in range(uniq.shape[0]):
+        idx = np.flatnonzero(inverse == g)
+        kept = np.flatnonzero(mask[idx[0]])
+        groups.append((uniq[g].tobytes(), idx, kept))
+    return groups
+
+
+class WeightSliceCache:
+    """LRU cache of gathered weight slices keyed by ``(layer, signature)``.
+
+    Gathering ``weight[:, kept].reshape(out_c, -1)`` is pure memory traffic
+    repeated for every recurring mask; one cache instance is shared by every
+    convolution in an :class:`ExecutionPlan` (layers disambiguate entries
+    with their own key), and it persists across forward calls.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Tuple[object, bytes], np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: object, signature: bytes, weight: np.ndarray, kept: np.ndarray) -> np.ndarray:
+        """Return the cached ``(out_c, kept*k*k)`` slice, gathering on miss."""
+        full_key = (key, signature)
+        cached = self._store.get(full_key)
+        if cached is not None:
+            self.hits += 1
+            self._store.move_to_end(full_key)
+            return cached
+        self.misses += 1
+        out_c = weight.shape[0]
+        w_sub = np.ascontiguousarray(weight[:, kept].reshape(out_c, -1))
+        self._store[full_key] = w_sub
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return w_sub
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
+
+
+# ----------------------------------------------------------------------
+# Batched sparse convolution
+# ----------------------------------------------------------------------
 def sparse_conv2d(
     x: np.ndarray,
     weight: np.ndarray,
@@ -66,8 +161,11 @@ def sparse_conv2d(
     padding: int,
     channel_mask: Optional[np.ndarray] = None,
     spatial_mask: Optional[np.ndarray] = None,
+    *,
+    cache: Optional[WeightSliceCache] = None,
+    cache_key: Optional[object] = None,
 ) -> np.ndarray:
-    """Convolution that skips pruned input channels and spatial columns.
+    """Batched convolution that skips pruned input channels and columns.
 
     Parameters
     ----------
@@ -76,16 +174,22 @@ def sparse_conv2d(
     weight / bias / stride / padding:
         Convolution parameters (weight ``(Cout, Cin, k, k)``).
     channel_mask:
-        Optional ``(N, Cin)`` boolean mask; computation runs only over kept
-        channels (exactly equivalent to the dense masked conv).
+        Optional ``(N, Cin)`` boolean mask; samples are grouped by identical
+        mask signature and each group runs one im2col/GEMM over its kept
+        channels only (exactly equivalent to the dense masked conv).
     spatial_mask:
         Optional ``(N, H, W)`` boolean mask over the *input* columns; output
         positions mapping to dropped columns are skipped and left zero (the
-        paper's skip semantics).  With ``stride > 1`` the mask is
-        subsampled to the output grid.  For the kept positions to agree
-        exactly with the dense masked convolution, the input must already
-        have its dropped columns zeroed (receptive fields overlap columns;
-        :class:`SparseSequentialExecutor` applies the mask before calling).
+        paper's skip semantics).  With ``stride > 1`` the mask is subsampled
+        to the output grid.  For kept positions to agree exactly with the
+        dense masked convolution the input must already have its dropped
+        columns zeroed (receptive fields overlap columns; the executors
+        apply the mask before calling).
+    cache / cache_key:
+        Optional :class:`WeightSliceCache` for the gathered weight slices.
+        ``cache_key`` is required with ``cache`` and must be stable and
+        unique per weight tensor (the executors pass their op identity);
+        ``id(weight)`` is unsafe — ids are reused after garbage collection.
 
     Returns
     -------
@@ -97,69 +201,386 @@ def sparse_conv2d(
         raise ValueError(f"weight expects {in_c} input channels, got {c}")
     oh, ow = F.conv_output_shape(h, w, k, stride, padding)
     out = np.zeros((n, out_c, oh, ow), dtype=x.dtype)
-    w_mat_full = weight.reshape(out_c, -1)
+    if n == 0:
+        return out
 
-    for i in range(n):
-        xp = _padded(x[i], padding)
-        if channel_mask is not None:
-            kept_c = np.flatnonzero(channel_mask[i])
-            if kept_c.size == 0:
-                continue
-            xp_kept = xp[kept_c]
-            w_sub = weight[:, kept_c].reshape(out_c, -1)
+    if cache is not None and cache_key is None:
+        raise ValueError("cache_key is required when a WeightSliceCache is passed")
+    if channel_mask is None:
+        groups: List[Tuple[Optional[bytes], np.ndarray, Optional[np.ndarray]]] = [
+            (None, np.arange(n), None)
+        ]
+    else:
+        groups = list(group_by_mask_signature(channel_mask))
+
+    for signature, idx, kept in groups:
+        if kept is not None and kept.size == 0:
+            continue  # every channel dropped -> output stays zero
+        if kept is None or kept.size == c:
+            xg = x[idx]
+            w_sub = weight.reshape(out_c, -1)
         else:
-            xp_kept = xp
-            w_sub = w_mat_full
+            xg = x[np.ix_(idx, kept)]
+            if cache is not None and signature is not None:
+                w_sub = cache.get(cache_key, signature, weight, kept)
+            else:
+                w_sub = weight[:, kept].reshape(out_c, -1)
 
-        # (C_kept, OH', OW', k, k) sliding windows — a strided view, O(1).
-        windows = sliding_window_view(xp_kept, (k, k), axis=(1, 2))
-        windows = windows[:, ::stride, ::stride]
-
-        if spatial_mask is not None:
-            keep2d = spatial_mask[i][::stride, ::stride][:oh, :ow]
-            ys, xs = np.nonzero(keep2d)
-            if ys.size == 0:
-                continue
-            patches = windows[:, ys, xs]  # (C_kept, P, k, k)
-            patches = patches.transpose(1, 0, 2, 3).reshape(ys.size, -1)
-            vals = patches @ w_sub.T  # (P, Cout)
+        if spatial_mask is None:
+            col = F.im2col(xg, k, stride, padding)
+            vals = col @ w_sub.T
             if bias is not None:
                 vals = vals + bias
-            out[i, :, ys, xs] = vals
+            out[idx] = vals.reshape(idx.size, oh, ow, out_c).transpose(0, 3, 1, 2)
         else:
-            patches = windows.transpose(1, 2, 0, 3, 4).reshape(oh * ow, -1)
-            vals = patches @ w_sub.T
+            if padding > 0:
+                xg = np.pad(xg, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+            # (G, C_kept, OH, OW, k, k) sliding windows — a strided view.
+            windows = sliding_window_view(xg, (k, k), axis=(2, 3))[:, :, ::stride, ::stride]
+            windows = windows[:, :, :oh, :ow]
+            keep2d = spatial_mask[idx][:, ::stride, ::stride][:, :oh, :ow]
+            ns, ys, xs = np.nonzero(keep2d)
+            if ns.size == 0:
+                continue
+            patches = windows[ns, :, ys, xs]  # (P, C_kept, k, k)
+            vals = patches.reshape(ns.size, -1) @ w_sub.T
             if bias is not None:
                 vals = vals + bias
-            out[i] = vals.T.reshape(out_c, oh, ow)
+            out[idx[ns], :, ys, xs] = vals
     return out
 
 
-def _bn_eval(x: np.ndarray, bn: BatchNorm2d) -> np.ndarray:
-    """Inference batch-norm on a raw array using running statistics."""
-    c = bn.num_features
-    scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
-    shift = bn.beta.data - bn.running_mean * scale
-    return x * scale.reshape(1, c, 1, 1) + shift.reshape(1, c, 1, 1)
+# ----------------------------------------------------------------------
+# Plan compilation
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class PlanConfig:
+    """Knobs for :class:`ExecutionPlan` / :class:`ResNetPlan` compilation.
+
+    Attributes
+    ----------
+    fuse_conv_bn:
+        Fold eval-mode BatchNorm (and a trailing ReLU) into the preceding
+        convolution at compile time.  With column skipping this also makes
+        dropped output positions *exactly* zero downstream (the paper's
+        skip semantics); unfused, the separate BN shift re-populates them.
+    dense_threshold:
+        Minimum pruned fraction for the sparse gather path to engage.
+        Below it the convolution runs dense (the input is already masked,
+        so channel results are identical; dropped output columns are zeroed
+        after the fact to preserve skip semantics).  ``0.0`` always goes
+        sparse when a mask is present; ``1.0`` always runs dense.
+    cache_entries:
+        Capacity of the shared :class:`WeightSliceCache`.
+    """
+
+    fuse_conv_bn: bool = True
+    dense_threshold: float = 0.15
+    cache_entries: int = 256
 
 
-def _max_pool(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
-    n, c, h, w = x.shape
-    oh, ow = F.conv_output_shape(h, w, kernel, stride, 0)
-    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
-    return windows[:, :, :oh, :ow].max(axis=(4, 5))
+class _MaskState:
+    """Pending masks produced by a pruning site, consumed by the next conv."""
+
+    __slots__ = ("channel", "spatial")
+
+    def __init__(self) -> None:
+        self.channel: Optional[np.ndarray] = None
+        self.spatial: Optional[np.ndarray] = None
+
+    def take(self) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        channel, spatial = self.channel, self.spatial
+        self.channel = None
+        self.spatial = None
+        return channel, spatial
 
 
+class _ConvOp:
+    """A convolution with optionally folded BN/ReLU and sparse dispatch."""
+
+    __slots__ = ("weight", "bias", "stride", "padding", "relu", "key", "_oshape")
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+        relu: bool,
+        key: int,
+    ):
+        self.weight = weight
+        self.bias = bias
+        self.stride = stride
+        self.padding = padding
+        self.relu = relu
+        self.key = key
+        self._oshape: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    @classmethod
+    def compile(
+        cls,
+        conv: Conv2d,
+        bn: Optional[BatchNorm2d],
+        relu: bool,
+        key: int,
+    ) -> "_ConvOp":
+        weight = conv.weight.data
+        bias = None if conv.bias is None else conv.bias.data
+        if bn is not None:
+            scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+            shift = bn.beta.data - bn.running_mean * scale
+            weight = (weight * scale[:, None, None, None]).astype(weight.dtype, copy=False)
+            bias = shift if bias is None else shift + bias * scale
+            bias = bias.astype(weight.dtype, copy=False)
+        return cls(weight, bias, conv.stride, conv.padding, relu, key)
+
+    def output_shape(self, h: int, w: int) -> Tuple[int, int]:
+        shape = self._oshape.get((h, w))
+        if shape is None:
+            k = self.weight.shape[2]
+            shape = F.conv_output_shape(h, w, k, self.stride, self.padding)
+            self._oshape[(h, w)] = shape
+        return shape
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        channel_mask, spatial_mask = state.take()
+        config = plan.config
+        zero_out: Optional[np.ndarray] = None
+
+        if channel_mask is not None:
+            if 1.0 - float(channel_mask.mean()) < config.dense_threshold:
+                # Input channels are already zeroed upstream: dense is exact.
+                channel_mask = None
+        if spatial_mask is not None:
+            oh, ow = self.output_shape(x.shape[2], x.shape[3])
+            keep2d = spatial_mask[:, :: self.stride, :: self.stride][:, :oh, :ow]
+            if 1.0 - float(keep2d.mean()) < config.dense_threshold:
+                # Compute dense, then zero dropped positions to preserve the
+                # skip semantics (identical values at kept positions).
+                zero_out = keep2d
+                spatial_mask = None
+
+        if channel_mask is None and spatial_mask is None:
+            plan.dense_dispatches += 1
+            out, _, _ = F.conv2d_forward(x, self.weight, self.bias, self.stride, self.padding)
+            out = np.ascontiguousarray(out)
+        else:
+            plan.sparse_dispatches += 1
+            out = sparse_conv2d(
+                x,
+                self.weight,
+                self.bias,
+                self.stride,
+                self.padding,
+                channel_mask=channel_mask,
+                spatial_mask=spatial_mask,
+                cache=plan.cache,
+                cache_key=self.key,
+            )
+        if zero_out is not None:
+            out *= zero_out[:, None, :, :]
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+class _BNOp:
+    __slots__ = ("scale", "shift")
+
+    def __init__(self, bn: BatchNorm2d):
+        c = bn.num_features
+        scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+        self.scale = scale.reshape(1, c, 1, 1)
+        self.shift = (bn.beta.data - bn.running_mean * scale).reshape(1, c, 1, 1)
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        return x * self.scale + self.shift
+
+
+class _ReLUOp:
+    __slots__ = ()
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+class _MaxPoolOp:
+    __slots__ = ("kernel", "stride")
+
+    def __init__(self, pool: MaxPool2d):
+        self.kernel = pool.kernel_size
+        self.stride = pool.stride
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        n, c, h, w = x.shape
+        oh, ow = F.conv_output_shape(h, w, self.kernel, self.stride, 0)
+        windows = sliding_window_view(x, (self.kernel, self.kernel), axis=(2, 3))
+        out = windows[:, :, :: self.stride, :: self.stride][:, :, :oh, :ow].max(axis=(4, 5))
+        if state.spatial is not None:
+            # Pool the pending mask with any-semantics so column skipping
+            # stays aligned with the downsampled feature map.
+            mask = state.spatial
+            mn, mh, mw = mask.shape
+            ph = mh // self.stride
+            pw = mw // self.stride
+            trimmed = mask[:, : ph * self.stride, : pw * self.stride]
+            state.spatial = trimmed.reshape(mn, ph, self.stride, pw, self.stride).any(axis=(2, 4))
+        return out
+
+
+class _GlobalAvgPoolOp:
+    __slots__ = ()
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        return x.mean(axis=(2, 3))
+
+
+class _LinearOp:
+    __slots__ = ("weight", "bias")
+
+    def __init__(self, layer: Linear):
+        self.weight = layer.weight.data
+        self.bias = None if layer.bias is None else layer.bias.data
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class _PruneOp:
+    """Dynamic pruning site: mask the feature map, arm the next conv."""
+
+    __slots__ = ("layer",)
+
+    def __init__(self, layer: DynamicPruning):
+        self.layer = layer
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        layer = self.layer
+        if not layer.active:
+            return x
+        # update_stats=False: deployment runs must not pollute the keep
+        # fractions that dynamic_flops() reads for paper-accounting.
+        channel_mask, spatial_mask = layer.compute_masks(x, update_stats=False)
+        if channel_mask is not None:
+            x = x * channel_mask[:, :, None, None]
+        if spatial_mask is not None:
+            x = x * spatial_mask[:, None, :, :]
+        state.channel = channel_mask
+        state.spatial = spatial_mask
+        return x
+
+
+def _flatten(layers: Iterable[Module]) -> List[Module]:
+    flat: List[Module] = []
+    for layer in layers:
+        if isinstance(layer, Sequential):
+            flat.extend(_flatten(layer))
+        else:
+            flat.append(layer)
+    return flat
+
+
+class ExecutionPlan:
+    """A compiled, fused op sequence for a Sequential conv stack.
+
+    Compilation happens once per model (executor construction): the layer
+    list is flattened, eval-mode Conv→BN(→ReLU) chains are folded into
+    single ops, a :class:`WeightSliceCache` is allocated and shared by every
+    convolution, and per-geometry output shapes are memoized.  ``run``
+    threads a :class:`_MaskState` through the ops so each pruning site arms
+    the convolution that consumes its masks.
+    """
+
+    def __init__(self, ops: List[object], config: PlanConfig):
+        self.ops = ops
+        self.config = config
+        self.cache = WeightSliceCache(config.cache_entries)
+        self.dense_dispatches = 0
+        self.sparse_dispatches = 0
+
+    @classmethod
+    def compile(
+        cls,
+        layers: Sequence[Module],
+        config: Optional[PlanConfig] = None,
+    ) -> "ExecutionPlan":
+        config = config or PlanConfig()
+        flat = _flatten(layers)
+        ops: List[object] = []
+        i = 0
+        key = 0
+        while i < len(flat):
+            layer = flat[i]
+            if isinstance(layer, Conv2d):
+                bn: Optional[BatchNorm2d] = None
+                relu = False
+                j = i + 1
+                if config.fuse_conv_bn and j < len(flat) and isinstance(flat[j], BatchNorm2d):
+                    bn = flat[j]
+                    j += 1
+                if config.fuse_conv_bn and j < len(flat) and isinstance(flat[j], ReLU):
+                    relu = True
+                    j += 1
+                ops.append(_ConvOp.compile(layer, bn, relu, key))
+                key += 1
+                i = j
+            elif isinstance(layer, BatchNorm2d):
+                ops.append(_BNOp(layer))
+                i += 1
+            elif isinstance(layer, ReLU):
+                ops.append(_ReLUOp())
+                i += 1
+            elif isinstance(layer, MaxPool2d):
+                ops.append(_MaxPoolOp(layer))
+                i += 1
+            elif isinstance(layer, GlobalAvgPool2d):
+                ops.append(_GlobalAvgPoolOp())
+                i += 1
+            elif isinstance(layer, Linear):
+                ops.append(_LinearOp(layer))
+                i += 1
+            elif isinstance(layer, DynamicPruning):
+                ops.append(_PruneOp(layer))
+                i += 1
+            elif isinstance(layer, Identity):
+                i += 1
+            else:
+                raise TypeError(f"ExecutionPlan cannot compile {type(layer).__name__}")
+        return cls(ops, config)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        state = _MaskState()
+        for op in self.ops:
+            x = op.run(x, state, self)
+        return x
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        return self.cache.stats
+
+    def describe(self) -> str:
+        """Human-readable op listing (for docs and debugging)."""
+        return "\n".join(f"{i:>3}: {type(op).__name__}" for i, op in enumerate(self.ops))
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
 class SparseSequentialExecutor:
-    """Mask-skipping inference over a Sequential conv stack.
+    """Mask-skipping batched inference over a Sequential conv stack.
 
     Interprets a (possibly instrumented) ``Sequential`` of ``Conv2d``,
     ``BatchNorm2d``, ``ReLU``, ``MaxPool2d``, ``GlobalAvgPool2d``,
-    ``Linear`` and ``DynamicPruning`` layers.  When a ``DynamicPruning``
-    layer fires, its masks are computed exactly as in the dense path, the
-    kept entries are recorded, and the *next convolution runs sparsely*:
-    only kept input channels are multiplied and only kept columns'  output
-    positions are computed.
+    ``Linear`` and ``DynamicPruning`` layers by compiling it into an
+    :class:`ExecutionPlan` once at construction.  When a ``DynamicPruning``
+    layer fires, its masks are computed exactly as in the dense path and
+    the next convolution runs sparsely: samples are grouped by channel-mask
+    signature (one GEMM per group) and only kept columns' output positions
+    are computed.
 
     This is the deployment interpreter for the paper's Fig. 1 — the dense
     instrumented model is the training/verification vehicle, this executor
@@ -169,151 +590,148 @@ class SparseSequentialExecutor:
 
     SUPPORTED = (Conv2d, BatchNorm2d, ReLU, MaxPool2d, GlobalAvgPool2d, Linear, DynamicPruning)
 
-    def __init__(self, layers: Sequential):
-        self.layers: List[Module] = []
-        for layer in layers:
-            if isinstance(layer, Sequential):
-                self.layers.extend(list(layer))
-            else:
-                self.layers.append(layer)
+    def __init__(self, layers: Sequential, config: Optional[PlanConfig] = None):
+        self.layers: List[Module] = _flatten(layers)
         for layer in self.layers:
             if not isinstance(layer, self.SUPPORTED):
                 raise TypeError(
                     f"SparseSequentialExecutor cannot interpret {type(layer).__name__}"
                 )
+        self.plan = ExecutionPlan.compile(self.layers, config)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run inference, skipping masked work.  Input/output are arrays."""
-        pending_channel: Optional[np.ndarray] = None
-        pending_spatial: Optional[np.ndarray] = None
-        for layer in self.layers:
-            if isinstance(layer, Conv2d):
-                x = sparse_conv2d(
-                    x,
-                    layer.weight.data,
-                    None if layer.bias is None else layer.bias.data,
-                    layer.stride,
-                    layer.padding,
-                    channel_mask=pending_channel,
-                    spatial_mask=pending_spatial,
-                )
-                pending_channel = None
-                pending_spatial = None
-            elif isinstance(layer, BatchNorm2d):
-                x = _bn_eval(x, layer)
-            elif isinstance(layer, ReLU):
-                x = np.maximum(x, 0.0)
-            elif isinstance(layer, MaxPool2d):
-                x = _max_pool(x, layer.kernel_size, layer.stride)
-                if pending_spatial is not None:
-                    # Pool the pending mask with any-semantics so column
-                    # skipping stays aligned with the feature map.
-                    n, h, w = pending_spatial.shape
-                    ph = h // layer.stride
-                    pw = w // layer.stride
-                    trimmed = pending_spatial[:, : ph * layer.stride, : pw * layer.stride]
-                    pending_spatial = trimmed.reshape(
-                        n, ph, layer.stride, pw, layer.stride
-                    ).any(axis=(2, 4))
-            elif isinstance(layer, GlobalAvgPool2d):
-                x = x.mean(axis=(2, 3))
-            elif isinstance(layer, Linear):
-                x = x @ layer.weight.data.T
-                if layer.bias is not None:
-                    x = x + layer.bias.data
-            elif isinstance(layer, DynamicPruning):
-                if not layer.active:
-                    continue
-                ch_scores, sp_scores = layer._score(x)
-                if layer.channel_ratio > 0.0:
-                    from .masks import channel_mask as make_channel_mask
-
-                    pending_channel = make_channel_mask(ch_scores, layer.channel_ratio)
-                    x = x * pending_channel[:, :, None, None]
-                if layer.spatial_ratio > 0.0:
-                    from .masks import spatial_mask as make_spatial_mask
-
-                    pending_spatial = make_spatial_mask(sp_scores, layer.spatial_ratio)
-                    x = x * pending_spatial[:, None, :, :]
-        return x
+        return self.plan.run(x)
 
     __call__ = forward
 
 
-class SparseResNetExecutor:
-    """Mask-skipping inference over a (possibly instrumented) CIFAR ResNet.
+class _BlockPlan:
+    """Compiled ops for one :class:`BasicBlock` (fused at eval time).
 
-    Interprets the paper's actual ResNet structure: stem → three groups of
-    :class:`~repro.models.resnet.BasicBlock` → global pool → classifier.
-    When a block's ``relu1`` site carries a :class:`DynamicPruning` layer
-    (the paper prunes only those "odd layers", Sec. V-B b), the block's
-    second convolution runs sparsely over the kept channels/columns; the
-    skip connection is untouched, exactly as the paper requires.
+    The ``bn*`` slots are populated only when ``fuse_conv_bn`` is off, in
+    which case each convolution runs bare and its BatchNorm applies as a
+    separate op (the seed executor's semantics).
     """
 
-    def __init__(self, model: ResNet):
-        self.model = model
+    __slots__ = ("conv1", "bn1", "prune", "conv2", "bn2", "shortcut", "shortcut_bn")
 
-    # ------------------------------------------------------------------
-    def _conv(self, conv: Conv2d, x: np.ndarray,
-              channel_mask: Optional[np.ndarray] = None,
-              spatial_mask: Optional[np.ndarray] = None) -> np.ndarray:
-        return sparse_conv2d(
-            x,
-            conv.weight.data,
-            None if conv.bias is None else conv.bias.data,
-            conv.stride,
-            conv.padding,
-            channel_mask=channel_mask,
-            spatial_mask=spatial_mask,
-        )
+    def __init__(
+        self,
+        conv1: _ConvOp,
+        bn1: Optional[_BNOp],
+        prune: Optional[_PruneOp],
+        conv2: _ConvOp,
+        bn2: Optional[_BNOp],
+        shortcut: Optional[_ConvOp],
+        shortcut_bn: Optional[_BNOp],
+    ):
+        self.conv1 = conv1
+        self.bn1 = bn1
+        self.prune = prune
+        self.conv2 = conv2
+        self.bn2 = bn2
+        self.shortcut = shortcut
+        self.shortcut_bn = shortcut_bn
 
-    def _block(self, block: BasicBlock, x: np.ndarray) -> np.ndarray:
-        out = self._conv(block.conv1, x)
-        out = _bn_eval(out, block.bn1)
-        out = np.maximum(out, 0.0)
 
-        channel_mask = None
-        spatial_mask = None
+class ResNetPlan(ExecutionPlan):
+    """Compiled plan for the paper's CIFAR ResNet (stem/blocks/classifier).
+
+    Shares the op primitives, weight-slice cache, and dispatch policy with
+    :class:`ExecutionPlan`; the residual topology is encoded structurally
+    instead of as a flat op list.
+    """
+
+    def __init__(self, model: ResNet, config: Optional[PlanConfig] = None):
+        config = config or PlanConfig()
+        super().__init__([], config)
+        fuse = config.fuse_conv_bn
+        key = 0
+        self.stem = _ConvOp.compile(model.conv1, model.bn1 if fuse else None, fuse, key)
+        self.stem_bn = None if fuse else _BNOp(model.bn1)
+        key += 1
+        self.blocks: List[_BlockPlan] = []
+        for group in (model.group1, model.group2, model.group3):
+            for block in group:
+                self.blocks.append(self._compile_block(block, fuse, key))
+                key += 3
+        self.fc = _LinearOp(model.fc)
+
+    def _compile_block(self, block: BasicBlock, fuse: bool, key: int) -> _BlockPlan:
+        conv1 = _ConvOp.compile(block.conv1, block.bn1 if fuse else None, fuse, key)
+        conv2 = _ConvOp.compile(block.conv2, block.bn2 if fuse else None, False, key + 1)
+        prune: Optional[_PruneOp] = None
         site = block.relu1
         if isinstance(site, Sequential):
             for sub in site:
-                if isinstance(sub, DynamicPruning) and sub.active:
-                    ch_scores, sp_scores = sub._score(out)
-                    if sub.channel_ratio > 0.0:
-                        from .masks import channel_mask as make_channel_mask
+                if isinstance(sub, DynamicPruning):
+                    prune = _PruneOp(sub)
+        shortcut: Optional[_ConvOp] = None
+        shortcut_bn: Optional[_BNOp] = None
+        if not isinstance(block.shortcut, Identity):
+            projection, norm = list(block.shortcut)
+            shortcut = _ConvOp.compile(projection, norm if fuse else None, False, key + 2)
+            if not fuse:
+                shortcut_bn = _BNOp(norm)
+        return _BlockPlan(
+            conv1,
+            None if fuse else _BNOp(block.bn1),
+            prune,
+            conv2,
+            None if fuse else _BNOp(block.bn2),
+            shortcut,
+            shortcut_bn,
+        )
 
-                        channel_mask = make_channel_mask(ch_scores, sub.channel_ratio)
-                        out = out * channel_mask[:, :, None, None]
-                    if sub.spatial_ratio > 0.0:
-                        from .masks import spatial_mask as make_spatial_mask
-
-                        spatial_mask = make_spatial_mask(sp_scores, sub.spatial_ratio)
-                        out = out * spatial_mask[:, None, :, :]
-
-        out = self._conv(block.conv2, out, channel_mask=channel_mask, spatial_mask=spatial_mask)
-        out = _bn_eval(out, block.bn2)
-
-        if isinstance(block.shortcut, Identity):
+    # ------------------------------------------------------------------
+    def _run_block(self, plan: _BlockPlan, x: np.ndarray) -> np.ndarray:
+        state = _MaskState()
+        out = plan.conv1.run(x, state, self)
+        if plan.bn1 is not None:
+            out = np.maximum(plan.bn1.run(out, state, self), 0.0)
+        if plan.prune is not None:
+            out = plan.prune.run(out, state, self)
+        out = plan.conv2.run(out, state, self)
+        if plan.bn2 is not None:
+            out = plan.bn2.run(out, state, self)
+        if plan.shortcut is None:
             shortcut = x
         else:
-            projection, norm = list(block.shortcut)
-            shortcut = _bn_eval(self._conv(projection, x), norm)
+            shortcut = plan.shortcut.run(x, _MaskState(), self)
+            if plan.shortcut_bn is not None:
+                shortcut = plan.shortcut_bn.run(shortcut, state, self)
         return np.maximum(out + shortcut, 0.0)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        model = self.model
-        out = self._conv(model.conv1, x)
-        out = _bn_eval(out, model.bn1)
-        out = np.maximum(out, 0.0)
-        for group in (model.group1, model.group2, model.group3):
-            for block in group:
-                out = self._block(block, out)
+    def run(self, x: np.ndarray) -> np.ndarray:
+        state = _MaskState()
+        out = self.stem.run(x, state, self)
+        if self.stem_bn is not None:
+            out = np.maximum(self.stem_bn.run(out, state, self), 0.0)
+        for block_plan in self.blocks:
+            out = self._run_block(block_plan, out)
         out = out.mean(axis=(2, 3))
-        out = out @ model.fc.weight.data.T
-        if model.fc.bias is not None:
-            out = out + model.fc.bias.data
-        return out
+        return self.fc.run(out, state, self)
+
+
+class SparseResNetExecutor:
+    """Mask-skipping batched inference over a (possibly instrumented) ResNet.
+
+    Compiles the paper's ResNet structure — stem → three groups of
+    :class:`~repro.models.resnet.BasicBlock` → global pool → classifier —
+    into a :class:`ResNetPlan` once at construction.  When a block's
+    ``relu1`` site carries a :class:`DynamicPruning` layer (the paper
+    prunes only those "odd layers", Sec. V-B b), the block's second
+    convolution runs sparsely over the kept channels/columns; the skip
+    connection is untouched, exactly as the paper requires.
+    """
+
+    def __init__(self, model: ResNet, config: Optional[PlanConfig] = None):
+        self.model = model
+        self.plan = ResNetPlan(model, config)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.plan.run(x)
 
     __call__ = forward
 

@@ -22,6 +22,7 @@ __all__ = [
     "im2col",
     "col2im",
     "conv2d",
+    "conv2d_forward",
     "conv_output_shape",
     "linear",
     "max_pool2d",
@@ -101,6 +102,34 @@ def col2im(
 # ----------------------------------------------------------------------
 # Convolution and linear
 # ----------------------------------------------------------------------
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw-array convolution forward (one im2col + one GEMM, no autograd).
+
+    Shared between the autograd :func:`conv2d` and the sparse inference
+    engine's dense fast path.  Returns ``(out, col, w_mat)`` so callers can
+    reuse the unfolded patch matrix in their backward pass.
+    """
+    n, c, h, w = x.shape
+    out_c, in_c, kh, kw = weight.shape
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    if in_c != c:
+        raise ValueError(f"input has {c} channels but weight expects {in_c}")
+    out_h, out_w = conv_output_shape(h, w, kh, stride, padding)
+    col = im2col(x, kh, stride, padding)
+    w_mat = weight.reshape(out_c, -1)
+    out = col @ w_mat.T
+    if bias is not None:
+        out = out + bias
+    return out.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2), col, w_mat
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -114,20 +143,11 @@ def conv2d(
     """
     x = as_tensor(x)
     n, c, h, w = x.shape
-    out_c, in_c, kh, kw = weight.shape
-    if kh != kw:
-        raise ValueError("only square kernels are supported")
-    if in_c != c:
-        raise ValueError(f"input has {c} channels but weight expects {in_c}")
-    kernel = kh
-    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
-
-    col = im2col(x.data, kernel, stride, padding)
-    w_mat = weight.data.reshape(out_c, -1)
-    out = col @ w_mat.T
-    if bias is not None:
-        out = out + bias.data
-    out = out.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+    out_c = weight.shape[0]
+    kernel = weight.shape[2]
+    out, col, w_mat = conv2d_forward(
+        x.data, weight.data, None if bias is None else bias.data, stride, padding
+    )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 

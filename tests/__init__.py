@@ -1,0 +1,6 @@
+"""Test suite package.
+
+The package marker gives every test module a unique, importable name
+(``tests.test_x``) so basenames may collide with ``benchmarks/`` and the
+relative imports of shared helpers (``from .util import ...``) resolve.
+"""
