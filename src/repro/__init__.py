@@ -18,8 +18,8 @@ See ``examples/quickstart.py`` for the full train → TTD → prune → account
 pipeline, and DESIGN.md for the system inventory.
 """
 
-from . import analysis, baselines, core, datasets, models, nn
+from . import analysis, baselines, core, datasets, models, nn, serve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["nn", "core", "models", "datasets", "baselines", "analysis", "__version__"]
+__all__ = ["nn", "core", "models", "datasets", "baselines", "analysis", "serve", "__version__"]

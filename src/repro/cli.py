@@ -10,10 +10,15 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli autotune --target 30 --tolerance 0.15
     python -m repro.cli bench-sparse --output BENCH_sparse.json
     python -m repro.cli quick
+    python -m repro.cli save-artifact --registry artifacts --name vgg-demo
+    python -m repro.cli serve --registry artifacts --model vgg-demo --synthetic 16
+    python -m repro.cli bench-serve --output BENCH_serve.json
 
 Every subcommand trains at harness scale (slim models, synthetic data) and
 prints paper-reported vs measured numbers; see EXPERIMENTS.md for how to
-read them.
+read them.  All subcommands take ``--seed`` so runs are reproducible from
+the command line (weights, synthetic data, and benchmark streams all
+derive from it).
 """
 
 from __future__ import annotations
@@ -35,17 +40,19 @@ FAST = dict(pretrain_epochs=3, ttd_epochs_per_stage=1, ttd_final_epochs=3, ttd_s
 FULL = dict(pretrain_epochs=6, ttd_epochs_per_stage=1, ttd_final_epochs=8, ttd_step=0.2)
 
 
-def _trained_handle(arch: str, epochs: int = 6):
+def _trained_handle(arch: str, epochs: int = 6, seed: int = 0):
     train_loader, test_loader = make_loaders(
-        cifar10_like(train_per_class=48, test_per_class=12), batch_size=32, seed=0
+        cifar10_like(train_per_class=48, test_per_class=12, seed=seed),
+        batch_size=32,
+        seed=seed,
     )
     if arch == "vgg16":
-        model = vgg16(num_classes=10, width_multiplier=0.125, seed=0)
+        model = vgg16(num_classes=10, width_multiplier=0.125, seed=seed)
     elif arch == "resnet":
-        model = ResNet(2, num_classes=10, width_multiplier=0.5, seed=0)
+        model = ResNet(2, num_classes=10, width_multiplier=0.5, seed=seed)
     else:
         raise SystemExit(f"unknown arch {arch!r} (expected vgg16 or resnet)")
-    print(f"training slim {arch} ({epochs} epochs)...")
+    print(f"training slim {arch} ({epochs} epochs, seed {seed})...")
     fit(model, train_loader, epochs=epochs, lr=0.08)
     handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
     return handle, test_loader
@@ -59,7 +66,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
             print(f"unknown setting {key!r}; choose from {sorted(TABLE1_SETTINGS)}")
             return 2
         start = time.time()
-        outcome = run_table1_setting(key, **kwargs)
+        outcome = run_table1_setting(key, seed=args.seed, **kwargs)
         setting = outcome.setting
         print(f"\n[{setting.name}]  ({time.time() - start:.0f}s)")
         print(f"  ratios: ch={list(setting.channel_ratios)} sp={list(setting.spatial_ratios)}")
@@ -75,14 +82,14 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def cmd_fig2(args: argparse.Namespace) -> int:
-    handle, test_loader = _trained_handle(args.arch)
+    handle, test_loader = _trained_handle(args.arch, seed=args.seed)
     sweep = fig2_series(handle, test_loader, ratios=[0.1, 0.2, 0.4, 0.6, 0.8])
     print(render_series(sweep, title=f"\nFig. 2 — {args.arch}, last-block channel pruning"))
     return 0
 
 
 def cmd_fig3(args: argparse.Namespace) -> int:
-    handle, test_loader = _trained_handle(args.arch)
+    handle, test_loader = _trained_handle(args.arch, seed=args.seed)
     result = fig3_series(handle, test_loader, ratios=[0.1, 0.3, 0.5, 0.7, 0.9])
     print(f"\nFig. 3 — {args.arch} block sensitivity (baseline {result.baseline_accuracy:.3f})")
     for block, curve in sorted(result.curves.items()):
@@ -101,7 +108,7 @@ def cmd_fig4(args: argparse.Namespace) -> int:
         ("resnet56_cifar10", "ResNet56-CIFAR10"),
         ("vgg16_imagenet100_s2", "VGG16-ImageNet100"),
     ]:
-        outcome = run_table1_setting(key, **kwargs)
+        outcome = run_table1_setting(key, seed=args.seed, **kwargs)
         pairs[label] = (outcome.full_scale_channel_pct, outcome.full_scale_spatial_pct)
     print("\nFig. 4 — redundancy composition")
     print(fig4_composition(pairs))
@@ -111,7 +118,7 @@ def cmd_fig4(args: argparse.Namespace) -> int:
 def cmd_autotune(args: argparse.Namespace) -> int:
     from .core.autotune import greedy_ratio_search
 
-    handle, test_loader = _trained_handle(args.arch)
+    handle, test_loader = _trained_handle(args.arch, seed=args.seed)
     result = greedy_ratio_search(
         handle,
         test_loader,
@@ -152,6 +159,7 @@ def cmd_bench_sparse(args: argparse.Namespace) -> int:
         depth=args.depth,
         repeats=args.repeats,
         include_resnet=not args.no_resnet,
+        seed=args.seed,
     )
     print(f"{'model':>12} {'masks':>6} {'ratio':>6} {'dense(ms)':>10} "
           f"{'sparse(ms)':>11} {'speedup':>8} {'cache h/m':>10}")
@@ -166,13 +174,155 @@ def cmd_bench_sparse(args: argparse.Namespace) -> int:
 
 
 def cmd_quick(args: argparse.Namespace) -> int:
-    outcome = run_table1_setting("vgg16_cifar10", **FAST)
+    outcome = run_table1_setting("vgg16_cifar10", seed=args.seed, **FAST)
     print(
         f"\nquick check: VGG16-CIFAR10 projected reduction "
         f"{outcome.full_scale_reduction_pct:.1f}% (paper 53.5%), "
         f"pruned accuracy {outcome.pruned_accuracy:.3f} "
         f"(baseline {outcome.baseline_accuracy:.3f})"
     )
+    return 0
+
+
+def _session_from_args(args: argparse.Namespace):
+    """Build the InferenceSession ``repro serve`` / tests drive."""
+    from .serve import InferenceSession, ModelRegistry, SessionConfig
+
+    session_config = SessionConfig(
+        max_batch=args.max_batch, batch_window_ms=args.window_ms
+    )
+    if args.registry and args.model:
+        registry = ModelRegistry(args.registry)
+        return InferenceSession.from_registry(
+            registry, args.model, backend=args.backend, session=session_config
+        )
+    # No artifact named: serve a self-contained demo stack so the loop can
+    # be exercised without a prior save-artifact run.
+    from .core.runtime_bench import build_conv_stack
+
+    stack = build_conv_stack(0.6, width=16, depth=4, seed=args.seed)
+    return InferenceSession.from_model(
+        stack, backend=args.backend, session=session_config
+    )
+
+
+def cmd_save_artifact(args: argparse.Namespace) -> int:
+    from .serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    ratios = [float(r) for r in args.ratios.split(",") if r.strip()]
+    if args.arch == "vgg16":
+        model = vgg16(num_classes=10, width_multiplier=args.width_multiplier, seed=args.seed)
+    else:
+        model = ResNet(1, num_classes=10, width_multiplier=args.width_multiplier, seed=args.seed)
+    if len(ratios) != model.num_blocks:
+        print(f"--ratios needs {model.num_blocks} comma-separated values for {args.arch}")
+        return 2
+    if args.epochs > 0:
+        train_loader, _ = make_loaders(
+            cifar10_like(train_per_class=48, test_per_class=12, seed=args.seed),
+            batch_size=32,
+            seed=args.seed,
+        )
+        print(f"training {args.arch} for {args.epochs} epochs...")
+        fit(model, train_loader, epochs=args.epochs, lr=0.08)
+    model.eval()
+    handle = instrument_model(model, PruningConfig(ratios, [0.0] * model.num_blocks))
+    name, version = registry.save(
+        args.name,
+        handle,
+        metadata={"arch": args.arch, "trained_epochs": args.epochs, "seed": args.seed},
+    )
+    print(f"saved artifact {name}@v{version} to {args.registry}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serve import ArtifactNotFoundError, serve_lines, synthetic_request_lines
+
+    if bool(args.registry) != bool(args.model):
+        print("--registry and --model must be given together")
+        return 2
+    try:
+        session = _session_from_args(args)
+    except ArtifactNotFoundError as error:
+        print(f"artifact not found: {error.args[0]}")
+        return 2
+    except ValueError as error:
+        print(f"cannot serve {args.model!r}: {error}")
+        return 2
+    try:
+        if args.synthetic:
+            lines = synthetic_request_lines(
+                args.synthetic, image_size=args.image_size, seed=args.seed
+            )
+        elif args.input == "-":
+            lines = sys.stdin
+        else:
+            lines = open(args.input, encoding="utf-8")
+        out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+        try:
+            stats = serve_lines(
+                session, lines, out, include_output=not args.no_output
+            )
+        finally:
+            if out is not sys.stdout:
+                out.close()
+            if not args.synthetic and args.input != "-":
+                lines.close()
+    finally:
+        session.close()
+    print(
+        f"served {stats['requests']} requests in {stats['batches']} batches "
+        f"(occupancy {stats['occupancy']:.2f}, "
+        f"p50 {stats['latency_ms']['p50']:.1f}ms, p95 {stats['latency_ms']['p95']:.1f}ms)",
+        file=sys.stderr,
+    )
+    print(f"engine: {_json.dumps(stats['engine'])}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .serve import run_serve_benchmark, write_serve_json
+
+    try:
+        windows = [int(w) for w in args.windows.split(",") if w.strip()]
+    except ValueError:
+        print(f"invalid --windows {args.windows!r} (expected e.g. 1,4,8,16)")
+        return 2
+    if any(w < 1 for w in windows):
+        print(f"invalid --windows {args.windows!r} (every window must be >= 1)")
+        return 2
+    document = run_serve_benchmark(
+        windows=windows,
+        requests=args.requests,
+        repeats=args.repeats,
+        channel_ratio=args.ratio,
+        include_vgg=not args.no_vgg,
+        include_resnet=not args.no_resnet,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    write_serve_json(document, args.output)
+    print(f"{'model':>11} {'window':>6} {'seq rps':>8} {'rps':>8} {'speedup':>8} "
+          f"{'p50(ms)':>8} {'p95(ms)':>8} {'occ':>5} {'exact':>6}")
+    for row in document["results"]:
+        print(f"{row['model']:>11} {row['window']:>6} {row['sequential_rps']:>8.0f} "
+              f"{row['throughput_rps']:>8.0f} {row['speedup']:>7.2f}x "
+              f"{row['latency_ms']['p50']:>8.1f} {row['latency_ms']['p95']:>8.1f} "
+              f"{row['occupancy']:>5.2f} {str(row['bit_identical']):>6}")
+    summary = document["summary"]
+    best = summary["best_speedup_at_window_ge_8"]
+    if best is not None:
+        print(f"\nbest micro-batched speedup at window >= 8: "
+              f"{best:.2f}x ({summary['best_window_row']}); "
+              f"bit-identical everywhere: {summary['bit_identical_all']}")
+    else:
+        print(f"\nno window >= 8 in the sweep; "
+              f"bit-identical everywhere: {summary['bit_identical_all']}")
+    print(f"recorded {len(document['results'])} measurements to {args.output}")
     return 0
 
 
@@ -226,6 +376,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_quick = sub.add_parser("quick", help="one fast end-to-end sanity run")
     p_quick.set_defaults(func=cmd_quick)
+
+    p_save = sub.add_parser(
+        "save-artifact", help="train (optionally) and register a model artifact"
+    )
+    p_save.add_argument("--registry", default="artifacts", help="registry root directory")
+    p_save.add_argument("--name", required=True, help="artifact name")
+    p_save.add_argument("--arch", default="vgg16", choices=["vgg16", "resnet8"])
+    p_save.add_argument("--width-multiplier", type=float, default=0.125)
+    p_save.add_argument("--epochs", type=int, default=0,
+                        help="training epochs before saving (0 = random weights)")
+    p_save.add_argument("--ratios", default="0.3,0.3,0.6,0.7,0.7",
+                        help="per-block channel pruning ratios")
+    p_save.set_defaults(func=cmd_save_artifact)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve JSONL requests through a micro-batched InferenceSession",
+    )
+    p_serve.add_argument("--registry", default=None, help="registry root directory")
+    p_serve.add_argument("--model", default=None, help="artifact name or name@vN")
+    p_serve.add_argument("--backend", default="auto",
+                         help="engine backend (dense, sparse, auto)")
+    p_serve.add_argument("--input", default="-",
+                         help="JSONL request file, or - for stdin")
+    p_serve.add_argument("--output", default="-",
+                         help="JSONL response file, or - for stdout")
+    p_serve.add_argument("--synthetic", type=int, default=0,
+                         help="serve N self-generated requests instead of --input")
+    p_serve.add_argument("--image-size", type=int, default=32,
+                         help="synthetic request resolution")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="micro-batch window (samples per engine call)")
+    p_serve.add_argument("--window-ms", type=float, default=2.0,
+                         help="how long the collector waits to fill a window")
+    p_serve.add_argument("--no-output", action="store_true",
+                         help="omit logits from responses (argmax + latency only)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_bserve = sub.add_parser(
+        "bench-serve",
+        help="micro-batched serving throughput sweep, record BENCH_serve.json",
+    )
+    p_bserve.add_argument("--output", default="BENCH_serve.json")
+    p_bserve.add_argument("--windows", default="1,4,8,16",
+                          help="comma-separated batch windows")
+    p_bserve.add_argument("--requests", type=int, default=64)
+    p_bserve.add_argument("--repeats", type=int, default=3)
+    p_bserve.add_argument("--ratio", type=float, default=0.6,
+                          help="channel pruning ratio for the served models")
+    p_bserve.add_argument("--no-vgg", action="store_true", help="skip the VGG16 subject")
+    p_bserve.add_argument("--no-resnet", action="store_true", help="skip the ResNet subject")
+    p_bserve.add_argument("--smoke", action="store_true",
+                          help="tiny sweep for CI end-to-end checks")
+    p_bserve.set_defaults(func=cmd_bench_serve)
+
+    for sub_parser in sub.choices.values():
+        sub_parser.add_argument("--seed", type=int, default=0,
+                                help="master seed for weights, data, and benchmarks")
     return parser
 
 

@@ -7,12 +7,22 @@
 * :mod:`~repro.core.sensitivity` — block sensitivity analysis (Fig. 3).
 * :mod:`~repro.core.flops` — static and mask-aware FLOPs accounting.
 * :mod:`~repro.core.sparse_exec` — batched, plan-compiled sparse inference.
+* :mod:`~repro.core.engine` — pluggable dense/sparse/auto backends + factory.
 * :mod:`~repro.core.runtime_bench` — dense-vs-sparse wall-clock harness.
 * :mod:`~repro.core.training` — shared train/eval loops.
 """
 
 from .attention import CRITERIA, channel_attention, make_criterion, spatial_attention
 from .autotune import AutotuneResult, AutotuneStep, greedy_ratio_search
+from .engine import (
+    DenseEngine,
+    EngineProtocol,
+    SparseEngine,
+    available_backends,
+    create_engine,
+    model_sparsity,
+    register_backend,
+)
 from .flops import DynamicFlopsReport, FlopsReport, LayerFlops, count_flops, dynamic_flops
 from .masks import channel_mask, keep_fraction, reserved_count, spatial_mask, topk_mask
 from .pruning import (
@@ -81,6 +91,13 @@ __all__ = [
     "SparseSequentialExecutor",
     "SparseResNetExecutor",
     "dense_reference_forward",
+    "EngineProtocol",
+    "DenseEngine",
+    "SparseEngine",
+    "create_engine",
+    "register_backend",
+    "available_backends",
+    "model_sparsity",
     "greedy_ratio_search",
     "AutotuneResult",
     "AutotuneStep",

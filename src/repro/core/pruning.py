@@ -127,6 +127,7 @@ class DynamicPruning(Module):
             raise ValueError(f"granularity must be 'input' or 'batch', got {granularity!r}")
         self.set_ratios(channel_ratio, spatial_ratio)
         self.criterion_name = criterion
+        self.criterion_seed = seed
         self._score = make_criterion(criterion, np.random.default_rng(seed))
         self.pool_between = pool_between
         self.mask_mode = mask_mode
@@ -147,6 +148,7 @@ class DynamicPruning(Module):
 
     def set_criterion(self, criterion: str, seed: Optional[int] = None) -> None:
         self.criterion_name = criterion
+        self.criterion_seed = seed
         self._score = make_criterion(criterion, np.random.default_rng(seed))
 
     def reset_stats(self) -> None:

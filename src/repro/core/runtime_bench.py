@@ -18,13 +18,9 @@ import numpy as np
 
 from ..models.resnet import ResNet
 from ..nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU, Sequential, Tensor, no_grad
+from .engine import create_engine
 from .pruning import DynamicPruning, PruningConfig, instrument_model
-from .sparse_exec import (
-    PlanConfig,
-    SparseResNetExecutor,
-    SparseSequentialExecutor,
-    dense_reference_forward,
-)
+from .sparse_exec import PlanConfig, dense_reference_forward
 
 __all__ = ["BENCH_SCHEMA", "timed", "build_conv_stack", "run_sparse_benchmark", "write_bench_json"]
 
@@ -85,16 +81,22 @@ def _bench_stack(
     repeats: int,
     granularity: str,
     config: Optional[PlanConfig],
+    seed: int = 0,
 ) -> List[Dict[str, object]]:
-    batch = np.random.default_rng(1).normal(
+    batch = np.random.default_rng(seed + 1).normal(
         size=(batch_size, 3, image_size, image_size)
     ).astype(np.float32)
     rows: List[Dict[str, object]] = []
     for ratio in ratios:
-        stack = build_conv_stack(ratio, width=width, depth=depth, granularity=granularity)
-        executor = SparseSequentialExecutor(stack, config)
-        executor(batch)  # warm the plan and weight-slice cache
-        t_sparse = timed(lambda: executor(batch), repeats)
+        stack = build_conv_stack(
+            ratio, width=width, depth=depth, seed=seed, granularity=granularity
+        )
+        # Raw plan execution through the backend factory: no session, no
+        # scheduler, default (non-invariant) GEMMs — this bench measures
+        # the engine itself.
+        engine = create_engine(stack, backend="sparse", config=config)
+        engine(batch)  # warm the plan and weight-slice cache
+        t_sparse = timed(lambda: engine(batch), repeats)
         t_dense = timed(lambda: dense_reference_forward(stack, batch), repeats)
         rows.append(
             {
@@ -105,7 +107,7 @@ def _bench_stack(
                 "dense_ms": t_dense * 1e3,
                 "sparse_ms": t_sparse * 1e3,
                 "speedup": t_dense / t_sparse,
-                "cache": dict(executor.plan.cache_stats),
+                "cache": dict(engine.stats()["cache"]),
             }
         )
     return rows
@@ -117,23 +119,24 @@ def _bench_resnet(
     image_size: int,
     repeats: int,
     config: Optional[PlanConfig],
+    seed: int = 0,
 ) -> List[Dict[str, object]]:
-    batch = np.random.default_rng(2).normal(
+    batch = np.random.default_rng(seed + 2).normal(
         size=(batch_size, 3, image_size, image_size)
     ).astype(np.float32)
     rows: List[Dict[str, object]] = []
     for ratio in ratios:
-        model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=0)
+        model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=seed)
         model.eval()
         instrument_model(model, PruningConfig([ratio] * 3, [0.0] * 3))
-        executor = SparseResNetExecutor(model, config)
-        executor(batch)
+        engine = create_engine(model, backend="sparse", config=config)
+        engine(batch)
 
         def dense() -> np.ndarray:
             with no_grad():
                 return model(Tensor(batch)).data
 
-        t_sparse = timed(lambda: executor(batch), repeats)
+        t_sparse = timed(lambda: engine(batch), repeats)
         t_dense = timed(dense, repeats)
         rows.append(
             {
@@ -144,7 +147,7 @@ def _bench_resnet(
                 "dense_ms": t_dense * 1e3,
                 "sparse_ms": t_sparse * 1e3,
                 "speedup": t_dense / t_sparse,
-                "cache": dict(executor.plan.cache_stats),
+                "cache": dict(engine.stats()["cache"]),
             }
         )
     return rows
@@ -159,6 +162,7 @@ def run_sparse_benchmark(
     repeats: int = 3,
     include_resnet: bool = True,
     config: Optional[PlanConfig] = None,
+    seed: int = 0,
 ) -> Dict[str, object]:
     """Time dense-masked vs sparse-skipped inference across pruning ratios.
 
@@ -168,13 +172,13 @@ def run_sparse_benchmark(
     """
     results: List[Dict[str, object]] = []
     results += _bench_stack(
-        ratios, batch_size, image_size, width, depth, repeats, "input", config
+        ratios, batch_size, image_size, width, depth, repeats, "input", config, seed
     )
     results += _bench_stack(
-        ratios, batch_size, image_size, width, depth, repeats, "batch", config
+        ratios, batch_size, image_size, width, depth, repeats, "batch", config, seed
     )
     if include_resnet:
-        results += _bench_resnet(ratios, batch_size, image_size, repeats, config)
+        results += _bench_resnet(ratios, batch_size, image_size, repeats, config, seed)
     return {
         "schema": BENCH_SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -186,6 +190,7 @@ def run_sparse_benchmark(
             "width": width,
             "depth": depth,
             "repeats": repeats,
+            "seed": seed,
         },
         "results": results,
     }

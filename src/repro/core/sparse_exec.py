@@ -142,6 +142,11 @@ class WeightSliceCache:
         self.hits = 0
         self.misses = 0
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters without dropping cached slices."""
+        self.hits = 0
+        self.misses = 0
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -164,6 +169,7 @@ def sparse_conv2d(
     *,
     cache: Optional[WeightSliceCache] = None,
     cache_key: Optional[object] = None,
+    batch_invariant: bool = False,
 ) -> np.ndarray:
     """Batched convolution that skips pruned input channels and columns.
 
@@ -190,6 +196,10 @@ def sparse_conv2d(
         ``cache_key`` is required with ``cache`` and must be stable and
         unique per weight tensor (the executors pass their op identity);
         ``id(weight)`` is unsafe — ids are reused after garbage collection.
+    batch_invariant:
+        Run the GEMMs as per-sample slices so each sample's output does not
+        depend on which other samples share the batch (see
+        :attr:`PlanConfig.batch_invariant`).
 
     Returns
     -------
@@ -213,26 +223,83 @@ def sparse_conv2d(
     else:
         groups = list(group_by_mask_signature(channel_mask))
 
+    # Stacked fast path for serving batches: top-k channel masks keep the
+    # *same count* per sample (reserved_count is per layer), so a batch of
+    # distinct masks can run as ONE gather + ONE im2col + ONE batched GEMM
+    # with per-sample weight slices, instead of a Python loop over
+    # signature groups of size one.  Each sample's GEMM slice sees exactly
+    # the operands (values, shapes, strides) the per-request path would
+    # give it, so outputs stay bit-identical to one-at-a-time execution.
+    # Path dispatch is free to key on geometry: the stacked and grouped
+    # paths produce bit-identical per-sample results (verified by the
+    # engine equivalence tests), and large feature maps favor the grouped
+    # path's bigger, fewer GEMMs.
+    if (
+        spatial_mask is None
+        and channel_mask is not None
+        and len(groups) > 1
+        and oh * ow <= 512
+    ):
+        mask = np.asarray(channel_mask, dtype=bool)
+        counts = mask.sum(axis=1)
+        kept_count = int(counts[0])
+        if kept_count > 0 and int(counts.min()) == int(counts.max()):
+            # Row-wise kept indices, ascending (stable sort: False < True).
+            kept_matrix = np.argsort(~mask, axis=1, kind="stable")[:, :kept_count]
+            xg = x[np.arange(n)[:, None], kept_matrix]
+            col3 = F.im2col(xg, k, stride, padding).reshape(n, oh * ow, -1)
+            if cache is not None:
+                packed = np.packbits(mask, axis=1)
+                w_stack = np.stack(
+                    [
+                        cache.get(cache_key, packed[i].tobytes(), weight, kept_matrix[i])
+                        for i in range(n)
+                    ]
+                )
+            else:
+                w_stack = np.ascontiguousarray(
+                    weight.reshape(out_c, c, k * k)[:, kept_matrix].transpose(1, 0, 2, 3)
+                ).reshape(n, out_c, -1)
+            # B operand as a (K, Cout) transpose view per slice — the same
+            # layout w_sub.T has on the per-request path, which matters
+            # because BLAS rounds differently per operand layout.
+            vals = np.matmul(np.ascontiguousarray(col3), w_stack.transpose(0, 2, 1))
+            if bias is not None:
+                vals = vals + bias
+            return np.ascontiguousarray(
+                vals.reshape(n, oh, ow, out_c).transpose(0, 3, 1, 2)
+            )
+
     for signature, idx, kept in groups:
         if kept is not None and kept.size == 0:
             continue  # every channel dropped -> output stays zero
-        if kept is None or kept.size == c:
-            xg = x[idx]
+        full_channels = kept is None or kept.size == c
+        if full_channels:
             w_sub = weight.reshape(out_c, -1)
+        elif cache is not None and signature is not None:
+            w_sub = cache.get(cache_key, signature, weight, kept)
         else:
-            xg = x[np.ix_(idx, kept)]
-            if cache is not None and signature is not None:
-                w_sub = cache.get(cache_key, signature, weight, kept)
-            else:
-                w_sub = weight[:, kept].reshape(out_c, -1)
+            w_sub = weight[:, kept].reshape(out_c, -1)
 
         if spatial_mask is None:
-            col = F.im2col(xg, k, stride, padding)
-            vals = col @ w_sub.T
+            xg = x[idx] if full_channels else x[np.ix_(idx, kept)]
+            col3 = F.im2col(xg, k, stride, padding).reshape(idx.size, oh * ow, -1)
+            if batch_invariant:
+                # Per-sample GEMM slices: np.matmul over the leading axis
+                # runs one fixed-shape (OH*OW, K) x (K, Cout) product per
+                # sample, so the result is independent of the group size.
+                # The contiguity normalization matters: im2col returns a
+                # strided *view* for single-sample inputs but a contiguous
+                # copy for groups, and BLAS rounds the two layouts
+                # differently.
+                vals = np.matmul(np.ascontiguousarray(col3), w_sub.T)
+            else:
+                vals = col3.reshape(idx.size * oh * ow, -1) @ w_sub.T
             if bias is not None:
                 vals = vals + bias
             out[idx] = vals.reshape(idx.size, oh, ow, out_c).transpose(0, 3, 1, 2)
         else:
+            xg = x[idx] if full_channels else x[np.ix_(idx, kept)]
             if padding > 0:
                 xg = np.pad(xg, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
             # (G, C_kept, OH, OW, k, k) sliding windows — a strided view.
@@ -243,7 +310,18 @@ def sparse_conv2d(
             if ns.size == 0:
                 continue
             patches = windows[ns, :, ys, xs]  # (P, C_kept, k, k)
-            vals = patches.reshape(ns.size, -1) @ w_sub.T
+            flat = patches.reshape(ns.size, -1)
+            if batch_invariant:
+                # One GEMM per sample over that sample's kept positions —
+                # the per-sample row count equals what a single-request run
+                # of the same sample would use, so results match bitwise.
+                vals = np.empty((ns.size, out_c), dtype=x.dtype)
+                for g in range(idx.size):
+                    rows = ns == g
+                    if rows.any():
+                        vals[rows] = flat[rows] @ w_sub.T
+            else:
+                vals = flat @ w_sub.T
             if bias is not None:
                 vals = vals + bias
             out[idx[ns], :, ys, xs] = vals
@@ -272,11 +350,21 @@ class PlanConfig:
         sparse when a mask is present; ``1.0`` always runs dense.
     cache_entries:
         Capacity of the shared :class:`WeightSliceCache`.
+    batch_invariant:
+        Execute every GEMM as per-sample slices (batched 3-D ``np.matmul``)
+        so each sample's output is bit-identical no matter how the batch is
+        composed.  BLAS picks different blocking (and hence summation
+        order) for different GEMM row counts, so the default flat GEMM can
+        differ in the last ulp between a batch of 1 and a batch of 8; the
+        serving layer's micro-batching scheduler needs batch composition to
+        be unobservable, so :class:`repro.serve.InferenceSession` turns
+        this on.  Costs a few percent on CPU.
     """
 
     fuse_conv_bn: bool = True
     dense_threshold: float = 0.15
     cache_entries: int = 256
+    batch_invariant: bool = False
 
 
 class _MaskState:
@@ -363,8 +451,24 @@ class _ConvOp:
 
         if channel_mask is None and spatial_mask is None:
             plan.dense_dispatches += 1
-            out, _, _ = F.conv2d_forward(x, self.weight, self.bias, self.stride, self.padding)
-            out = np.ascontiguousarray(out)
+            if config.batch_invariant:
+                oh, ow = self.output_shape(x.shape[2], x.shape[3])
+                k = self.weight.shape[2]
+                out_c = self.weight.shape[0]
+                col = F.im2col(x, k, self.stride, self.padding)
+                # ascontiguousarray: see the sparse path — im2col's layout
+                # depends on the batch size and BLAS rounds layouts
+                # differently.
+                col3 = np.ascontiguousarray(col.reshape(x.shape[0], oh * ow, -1))
+                vals = np.matmul(col3, self.weight.reshape(out_c, -1).T)
+                if self.bias is not None:
+                    vals = vals + self.bias
+                out = np.ascontiguousarray(
+                    vals.reshape(x.shape[0], oh, ow, out_c).transpose(0, 3, 1, 2)
+                )
+            else:
+                out, _, _ = F.conv2d_forward(x, self.weight, self.bias, self.stride, self.padding)
+                out = np.ascontiguousarray(out)
         else:
             plan.sparse_dispatches += 1
             out = sparse_conv2d(
@@ -377,6 +481,7 @@ class _ConvOp:
                 spatial_mask=spatial_mask,
                 cache=plan.cache,
                 cache_key=self.key,
+                batch_invariant=config.batch_invariant,
             )
         if zero_out is not None:
             out *= zero_out[:, None, :, :]
@@ -444,7 +549,12 @@ class _LinearOp:
         self.bias = None if layer.bias is None else layer.bias.data
 
     def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
-        out = x @ self.weight.T
+        if plan.config.batch_invariant:
+            # One (1, F) x (F, O) product per sample — row count no longer
+            # steers BLAS blocking, so logits ignore batch composition.
+            out = np.matmul(x[:, None, :], self.weight.T)[:, 0, :]
+        else:
+            out = x @ self.weight.T
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -561,6 +671,17 @@ class ExecutionPlan:
     @property
     def cache_stats(self) -> Dict[str, int]:
         return self.cache.stats
+
+    def reset_stats(self) -> None:
+        """Zero dispatch and cache counters; cached weight slices survive.
+
+        Telemetry resets (e.g. :meth:`repro.serve.InferenceSession.reset_stats`)
+        must not throw away the gathered slices — steady-state traffic keeps
+        hitting them — so this only clears the counters.
+        """
+        self.dense_dispatches = 0
+        self.sparse_dispatches = 0
+        self.cache.reset_counters()
 
     def describe(self) -> str:
         """Human-readable op listing (for docs and debugging)."""

@@ -19,8 +19,10 @@ from .modules import (
     Identity,
     Linear,
     MaxPool2d,
+    LoadResult,
     Module,
     Parameter,
+    StateDictKeyError,
     ReLU,
     Sequential,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "concat",
     "no_grad",
     "functional",
+    "LoadResult",
+    "StateDictKeyError",
     "Module",
     "Parameter",
     "Conv2d",

@@ -1,6 +1,6 @@
 """Neural-network modules for the ``repro.nn`` substrate."""
 
-from .module import Module, Parameter
+from .module import LoadResult, Module, Parameter, StateDictKeyError
 from .layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -16,6 +16,8 @@ from .layers import (
 )
 
 __all__ = [
+    "LoadResult",
+    "StateDictKeyError",
     "Module",
     "Parameter",
     "Conv2d",

@@ -9,13 +9,38 @@ inserts dynamic-pruning layers), and state-dict (de)serialization.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from ..tensor import Tensor
 
-__all__ = ["Module", "Parameter"]
+__all__ = ["Module", "Parameter", "LoadResult", "StateDictKeyError"]
+
+
+class StateDictKeyError(KeyError):
+    """Missing/unexpected-key diagnostic from :meth:`Module.load_state_dict`.
+
+    Plain ``KeyError.__str__`` reprs its argument, which would render the
+    per-key multi-line listing as one quoted blob of ``\\n`` escapes.
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class LoadResult(NamedTuple):
+    """Outcome of :meth:`Module.load_state_dict`.
+
+    With ``strict=True`` a populated field would have raised instead, so
+    every entry is empty; with ``strict=False`` the fields name exactly
+    what was skipped (``mismatched`` holds ``(key, expected, got)`` shape
+    triples).
+    """
+
+    missing_keys: List[str]
+    unexpected_keys: List[str]
+    mismatched: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]]
 
 
 class Parameter(Tensor):
@@ -132,24 +157,64 @@ class Module:
             state[name] = np.array(buf, copy=True)
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], strict: bool = True
+    ) -> LoadResult:
+        """Copy ``state`` into this module's parameters and buffers.
+
+        Every problem is diagnosed *per key* before anything is written, so
+        a failed strict load never leaves the module half-updated:
+
+        * shape mismatches (parameters **and** buffers — the raw
+          ``np.copyto`` broadcast error is never surfaced) raise
+          ``ValueError`` naming each offending key with both shapes;
+        * missing or unexpected keys raise ``KeyError`` listing all of
+          them.
+
+        With ``strict=False`` incompatible entries are skipped instead and
+        reported in the returned :class:`LoadResult`; everything that fits
+        is loaded (partial restores, e.g. warm-starting a reshaped head).
+        """
         own_params = dict(self.named_parameters())
-        own_buffers = {name: None for name, _ in self.named_buffers()}
+        own_buffers = dict(self.named_buffers())
+        unexpected: List[str] = []
+        mismatched: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = []
+        loadable: List[Tuple[str, np.ndarray]] = []
         for key, value in state.items():
             if key in own_params:
-                param = own_params[key]
-                if param.data.shape != value.shape:
-                    raise ValueError(
-                        f"shape mismatch for {key}: {param.data.shape} vs {value.shape}"
-                    )
-                param.data = value.astype(param.data.dtype).copy()
+                expected = own_params[key].data.shape
             elif key in own_buffers:
-                self._assign_buffer(key, value)
+                expected = np.shape(own_buffers[key])
             else:
-                raise KeyError(f"unexpected key in state dict: {key}")
-        missing = (set(own_params) | set(own_buffers)) - set(state)
-        if missing:
-            raise KeyError(f"missing keys in state dict: {sorted(missing)}")
+                unexpected.append(key)
+                continue
+            value = np.asarray(value)
+            if tuple(expected) != value.shape:
+                mismatched.append((key, tuple(expected), value.shape))
+                continue
+            loadable.append((key, value))
+        missing = sorted((set(own_params) | set(own_buffers)) - set(state))
+
+        if strict and (missing or unexpected or mismatched):
+            lines = []
+            for key, expected, got in mismatched:
+                lines.append(f"  size mismatch for {key}: expected {expected}, got {got}")
+            for key in unexpected:
+                lines.append(f"  unexpected key: {key}")
+            for key in missing:
+                lines.append(f"  missing key: {key}")
+            message = "error(s) in loading state dict:\n" + "\n".join(lines)
+            if mismatched:
+                raise ValueError(message)
+            raise StateDictKeyError(message)
+
+        for key, value in loadable:
+            if key in own_params:
+                param = own_params[key]
+                param.data = value.astype(param.data.dtype).copy()
+            else:
+                self._assign_buffer(key, value)
+        return LoadResult(missing, unexpected, mismatched)
 
     def _assign_buffer(self, dotted: str, value: np.ndarray) -> None:
         path, _, leaf = dotted.rpartition(".")

@@ -57,13 +57,19 @@ def save_checkpoint(
     os.replace(actual_tmp, path)
 
 
-def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
-    """Restore a module from :func:`save_checkpoint`; returns the metadata."""
+def load_checkpoint(model: Module, path: str, strict: bool = True) -> Dict[str, Any]:
+    """Restore a module from :func:`save_checkpoint`; returns the metadata.
+
+    ``strict=True`` (default) raises a per-key diagnostic when the archive
+    does not exactly match the model's parameters and buffers (see
+    :meth:`repro.nn.Module.load_state_dict`); ``strict=False`` loads every
+    compatible entry and skips the rest.
+    """
     with np.load(path, allow_pickle=False) as archive:
         state = {key: archive[key] for key in archive.files if key != _META_KEY}
         if _META_KEY in archive.files:
             metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
         else:
             metadata = {}
-    model.load_state_dict(state)
+    model.load_state_dict(state, strict=strict)
     return metadata

@@ -1,0 +1,214 @@
+"""Serving-layer benchmark: micro-batched sessions vs one-at-a-time.
+
+``repro bench-serve`` and the CI smoke job share this harness.  It answers
+the serving question PR 1's engine bench could not: given a stream of
+*independent single-sample requests* (the deployment workload), how much
+does the :class:`~repro.serve.InferenceSession` micro-batching scheduler
+recover of the throughput that per-request execution wastes?
+
+Subjects (per-subject request streams):
+
+* ``conv_stack`` — a low-resolution, high-QPS tier (the regime where
+  per-request overhead dominates and micro-batching pays most);
+* ``vgg16_slim`` — the paper's VGG16 (slim) on 32x32 inputs, pruned at
+  its five blocks;
+* ``resnet8`` — the residual topology, pruned at the paper's odd layers.
+
+For each batch window it measures: the sequential baseline (the same
+engine called once per request), the micro-batched session wall-clock
+(best of ``repeats``), latency quantiles, occupancy, cache statistics —
+and **bit-exactness**: every response compared ``array_equal`` against the
+per-request output.  Sessions compile with ``batch_invariant=True``, so
+this holds exactly, not approximately; batch composition must be an
+invisible scheduling detail.
+
+The ``summary`` block carries the headline: the best micro-batched
+speedup among windows >= 8, and whether every row stayed bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.engine import create_engine
+from ..core.pruning import PruningConfig, instrument_model
+from ..core.runtime_bench import build_conv_stack
+from ..core.sparse_exec import PlanConfig
+from ..models.resnet import ResNet
+from ..models.vgg import vgg16
+from .session import InferenceSession, SessionConfig
+
+__all__ = ["SERVE_SCHEMA", "run_serve_benchmark", "write_serve_json"]
+
+SERVE_SCHEMA = "repro.bench_serve.v1"
+
+
+def _request_stream(count: int, image_size: int, seed: int) -> List[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=(1, 3, image_size, image_size)).astype(np.float32)
+        for _ in range(count)
+    ]
+
+
+def _bench_model(
+    label: str,
+    model: object,
+    requests: Sequence[np.ndarray],
+    windows: Sequence[int],
+    repeats: int,
+) -> List[Dict[str, Any]]:
+    engine = create_engine(
+        model, backend="sparse", config=PlanConfig(batch_invariant=True)
+    )
+    engine(np.concatenate(requests[: max(windows)], axis=0))  # warm plan + cache
+
+    # Per-request reference: outputs double as the bit-exactness oracle.
+    reference = [engine(r) for r in requests]
+    t_seq = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for r in requests:
+            engine(r)
+        t_seq = min(t_seq, time.perf_counter() - start)
+    seq_rps = len(requests) / t_seq
+
+    rows: List[Dict[str, Any]] = []
+    for window in windows:
+        session = InferenceSession(
+            engine,
+            SessionConfig(
+                max_batch=window,
+                batch_window_ms=50.0,
+                queue_depth=len(requests) + 8,
+            ),
+        )
+        try:
+            best = float("inf")
+            outputs: List[np.ndarray] = []
+            for _ in range(repeats):
+                session.reset_stats()
+                start = time.perf_counter()
+                outputs = session.infer_many(requests)
+                best = min(best, time.perf_counter() - start)
+            stats = session.stats()
+        finally:
+            session.close()
+        identical = all(
+            np.array_equal(out, ref) for out, ref in zip(outputs, reference)
+        )
+        rps = len(requests) / best
+        cache = stats["engine"].get("cache", {})
+        hits = int(cache.get("hits", 0))
+        misses = int(cache.get("misses", 0))
+        rows.append(
+            {
+                "model": label,
+                "window": int(window),
+                "requests": len(requests),
+                "sequential_ms": t_seq * 1e3,
+                "batched_ms": best * 1e3,
+                "sequential_rps": seq_rps,
+                "throughput_rps": rps,
+                "speedup": rps / seq_rps,
+                "bit_identical": bool(identical),
+                "latency_ms": stats["latency_ms"],
+                "occupancy": stats["occupancy"],
+                "mean_batch": stats["mean_batch"],
+                "cache_hit_rate": hits / (hits + misses) if hits + misses else None,
+                "cache": cache,
+            }
+        )
+    return rows
+
+
+def run_serve_benchmark(
+    windows: Sequence[int] = (1, 4, 8, 16),
+    requests: int = 64,
+    repeats: int = 3,
+    channel_ratio: float = 0.6,
+    include_vgg: bool = True,
+    include_resnet: bool = True,
+    seed: int = 0,
+    smoke: bool = False,
+) -> Dict[str, Any]:
+    """Throughput/latency sweep over batch windows → ``BENCH_serve.json``.
+
+    The workload is ``requests`` independent single-sample requests (the
+    serving shape) with per-input dynamic pruning at ``channel_ratio``, so
+    every window mixes distinct mask signatures exactly as real traffic
+    would.  ``smoke=True`` shrinks the sweep for CI end-to-end runs.
+    """
+    if smoke:
+        windows = tuple(w for w in windows if w in (1, 8)) or (1, 8)
+        requests = min(requests, 24)
+        repeats = min(repeats, 2)
+        include_vgg = False
+        include_resnet = False
+
+    results: List[Dict[str, Any]] = []
+    stack = build_conv_stack(channel_ratio, width=16, depth=4, seed=seed)
+    results += _bench_model(
+        "conv_stack",
+        stack,
+        _request_stream(requests, 8, seed + 1),
+        windows,
+        repeats,
+    )
+    if include_vgg:
+        model = vgg16(num_classes=10, width_multiplier=0.125, seed=seed)
+        model.eval()
+        instrument_model(
+            model, PruningConfig([0.3, 0.3, channel_ratio, 0.7, 0.7], [0.0] * 5)
+        )
+        results += _bench_model(
+            "vgg16_slim",
+            model,
+            _request_stream(requests, 32, seed + 2),
+            windows,
+            repeats,
+        )
+    if include_resnet:
+        model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=seed)
+        model.eval()
+        instrument_model(model, PruningConfig([channel_ratio] * 3, [0.0] * 3))
+        results += _bench_model(
+            "resnet8",
+            model,
+            _request_stream(requests, 32, seed + 3),
+            windows,
+            repeats,
+        )
+
+    wide = [row for row in results if row["window"] >= 8]
+    summary = {
+        "best_speedup_at_window_ge_8": max((r["speedup"] for r in wide), default=None),
+        "best_window_row": max(wide, key=lambda r: r["speedup"])["model"] if wide else None,
+        "bit_identical_all": all(r["bit_identical"] for r in results),
+    }
+    return {
+        "schema": SERVE_SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {"python": platform.python_version(), "machine": platform.machine()},
+        "config": {
+            "windows": [int(w) for w in windows],
+            "requests": requests,
+            "repeats": repeats,
+            "channel_ratio": channel_ratio,
+            "seed": seed,
+            "smoke": smoke,
+        },
+        "summary": summary,
+        "results": results,
+    }
+
+
+def write_serve_json(document: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")

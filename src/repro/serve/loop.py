@@ -1,0 +1,117 @@
+"""The ``repro serve`` request loop: JSONL in, JSONL out.
+
+A deliberately transport-free serving front end: requests arrive as JSON
+lines on a file or stdin, responses leave as JSON lines on a file or
+stdout, and the harness (or a shell pipe) is the client.  Every request
+flows through an :class:`~repro.serve.InferenceSession`, so concurrent
+lines micro-batch exactly as network traffic would.
+
+Request line formats::
+
+    {"id": "r1", "data": [[[...]]]}            # nested (C,H,W) floats
+    {"id": "r2", "npy": "inputs/sample.npy"}   # path to a saved array
+    {"id": "r3", "synthetic": 7}               # rng(seed+7) sample (smoke)
+
+Response lines::
+
+    {"id": "r1", "argmax": 3, "latency_ms": 1.9, "output": [...]}
+
+Unknown or malformed lines produce an ``{"id": ..., "error": ...}``
+response instead of killing the loop — a serving process must outlive bad
+requests.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .session import InferenceSession, PendingResult
+
+__all__ = ["decode_request", "serve_lines", "synthetic_request_lines"]
+
+
+def synthetic_request_lines(
+    count: int, image_size: int = 32, seed: int = 0
+) -> List[str]:
+    """Self-contained request stream for smoke runs (``--synthetic N``)."""
+    return [
+        json.dumps({"id": f"syn-{i}", "synthetic": i, "shape": [3, image_size, image_size], "seed": seed})
+        for i in range(count)
+    ]
+
+
+def decode_request(line: str) -> Tuple[Optional[str], np.ndarray]:
+    """Parse one request line into ``(id, (C,H,W) float32 array)``."""
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("request line must be a JSON object")
+    request_id = payload.get("id")
+    if "data" in payload:
+        array = np.asarray(payload["data"], dtype=np.float32)
+    elif "npy" in payload:
+        array = np.load(payload["npy"], allow_pickle=False).astype(np.float32)
+    elif "synthetic" in payload:
+        shape = tuple(payload.get("shape", (3, 32, 32)))
+        seed = int(payload.get("seed", 0)) + int(payload["synthetic"])
+        array = np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+    else:
+        raise ValueError("request needs one of 'data', 'npy' or 'synthetic'")
+    if array.ndim != 3:
+        raise ValueError(f"request input must be (C,H,W), got shape {array.shape}")
+    return request_id, array
+
+
+def serve_lines(
+    session: InferenceSession,
+    lines: Iterable[str],
+    out: IO[str],
+    include_output: bool = True,
+) -> Dict[str, Any]:
+    """Drive the session over a request stream; returns the session stats.
+
+    All parsable requests are submitted before any result is awaited, so
+    the scheduler sees the same concurrency a burst of remote callers
+    would produce and can fill its batch windows.
+    """
+    pending: List[Tuple[Optional[str], Optional[PendingResult], Optional[str]]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request_id, array = decode_request(line)
+        except Exception as error:  # noqa: BLE001 - reported per line
+            # Even a bad payload usually has a parsable id — keep it so
+            # the client can correlate the error response.
+            try:
+                payload = json.loads(line)
+                request_id = payload.get("id") if isinstance(payload, dict) else None
+            except Exception:  # noqa: BLE001 - id genuinely unavailable
+                request_id = None
+            pending.append((request_id, None, f"bad request: {error}"))
+            continue
+        pending.append((request_id, session.submit(array), None))
+
+    for request_id, handle, error in pending:
+        if handle is None:
+            response: Dict[str, Any] = {"id": request_id, "error": error}
+        else:
+            try:
+                logits = handle.result(timeout=60.0)
+            except Exception as exec_error:  # noqa: BLE001 - reported per line
+                response = {"id": request_id, "error": str(exec_error)}
+            else:
+                response = {
+                    "id": request_id,
+                    "argmax": int(np.argmax(logits[0])),
+                    "latency_ms": round((handle.latency or 0.0) * 1e3, 3),
+                }
+                if include_output:
+                    response["output"] = [round(float(v), 6) for v in logits[0]]
+        out.write(json.dumps(response) + "\n")
+    out.flush()
+    return session.stats()

@@ -1,0 +1,387 @@
+"""Named, versioned model artifacts that rebuild without caller boilerplate.
+
+Before this layer, every deployment script re-ran the same ritual: build
+the architecture with the right constructor arguments, instrument it with
+the right pruning ratios, load a checkpoint, compile an execution plan.
+:class:`ModelRegistry` turns that ritual into data.  An **artifact** is a
+directory holding the model's ``.npz`` state plus a JSON manifest that
+records how to rebuild it:
+
+.. code-block:: text
+
+    <root>/
+      <name>/
+        v1/
+          weights.npz      # state dict (repro.nn.serialization layout)
+          artifact.json    # schema, arch spec, pruning sites, plan config
+        v2/
+          ...
+
+Versions are append-only integers; ``save`` never overwrites, ``load``
+resolves ``version=None`` to the newest.  The manifest's ``arch`` block
+names a registered architecture family (``vgg``, ``resnet``,
+``conv_stack``) with its constructor arguments; ``pruning`` records every
+:class:`~repro.core.pruning.DynamicPruning` site (path, ratios, criterion,
+mask mode, threshold, granularity) so the loaded model is re-instrumented
+exactly; ``plan`` carries the :class:`~repro.core.sparse_exec.PlanConfig`
+knobs the artifact was validated with.
+
+Writes are atomic (temp directory + ``os.replace``), so a crashed save
+never leaves a half-registered version.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.pruning import InstrumentedModel, PruningConfig, instrument_model
+from ..core.sparse_exec import PlanConfig
+from ..models.base import PrunableModel
+from ..models.resnet import ResNet
+from ..models.vgg import VGG
+from ..nn import Module, Sequential
+from ..nn.serialization import load_state_dict, save_state_dict
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactNotFoundError",
+    "LoadedArtifact",
+    "ModelRegistry",
+    "parse_ref",
+    "register_arch",
+]
+
+ARTIFACT_SCHEMA = "repro.artifact.v1"
+_MANIFEST = "artifact.json"
+_WEIGHTS = "weights.npz"
+_VERSION_RE = re.compile(r"^v(\d+)$")
+
+
+class ArtifactNotFoundError(KeyError):
+    """Requested name/version does not exist in the registry."""
+
+
+def parse_ref(ref: str) -> Tuple[str, Optional[int]]:
+    """Split ``"name"`` or ``"name@v3"`` / ``"name@3"`` into (name, version)."""
+    name, sep, version = ref.partition("@")
+    if not sep:
+        return ref, None
+    match = _VERSION_RE.match(version) or re.match(r"^(\d+)$", version)
+    if not match or not name:
+        raise ValueError(f"bad artifact reference {ref!r} (expected name or name@vN)")
+    return name, int(match.group(1))
+
+
+# ----------------------------------------------------------------------
+# Architecture families
+# ----------------------------------------------------------------------
+_ARCH_BUILDERS: Dict[str, Callable[..., Module]] = {}
+
+
+def register_arch(family: str, builder: Callable[..., Module]) -> None:
+    """Register an architecture builder: ``builder(**kwargs) -> Module``."""
+    if family in _ARCH_BUILDERS:
+        raise ValueError(f"architecture family {family!r} is already registered")
+    _ARCH_BUILDERS[family] = builder
+
+
+def _build_vgg(blocks: List[List[int]], num_classes: int, in_channels: int) -> VGG:
+    return VGG(
+        [tuple(b) for b in blocks],
+        num_classes=num_classes,
+        in_channels=in_channels,
+        width_multiplier=1.0,
+        seed=0,
+    )
+
+
+def _build_resnet(
+    blocks_per_group: int, num_classes: int, in_channels: int, width_multiplier: float
+) -> ResNet:
+    return ResNet(
+        blocks_per_group,
+        num_classes=num_classes,
+        in_channels=in_channels,
+        width_multiplier=width_multiplier,
+        seed=0,
+    )
+
+
+def _build_conv_stack(**kwargs: Any) -> Sequential:
+    from ..core.runtime_bench import build_conv_stack
+
+    return build_conv_stack(**kwargs)
+
+
+register_arch("vgg", _build_vgg)
+register_arch("resnet", _build_resnet)
+register_arch("conv_stack", _build_conv_stack)
+
+
+def infer_arch(model: Module) -> Dict[str, Any]:
+    """Derive the manifest ``arch`` block from a live model.
+
+    VGG records its (already width-scaled) block spec verbatim, so any
+    ``width_multiplier`` round-trips exactly.  ResNet reconstruction infers
+    the multiplier from the stem width (``conv1.out / 16``) — exact for the
+    standard grid; pass an explicit ``arch`` to :meth:`ModelRegistry.save`
+    for exotic widths (a mismatch is caught by the strict weight load, not
+    silently mis-built).  Plain ``Sequential`` stacks carry no constructor
+    spec, so they always need the explicit ``arch``.
+    """
+    if isinstance(model, VGG):
+        first_conv = model.features[0]
+        return {
+            "family": "vgg",
+            "blocks": [list(b) for b in model.block_spec],
+            "num_classes": model.num_classes,
+            "in_channels": int(first_conv.weight.data.shape[1]),
+        }
+    if isinstance(model, ResNet):
+        stem_width = int(model.conv1.weight.data.shape[0])
+        return {
+            "family": "resnet",
+            "blocks_per_group": model.blocks_per_group,
+            "num_classes": model.num_classes,
+            "in_channels": int(model.conv1.weight.data.shape[1]),
+            "width_multiplier": stem_width / ResNet.GROUP_CHANNELS[0],
+        }
+    raise TypeError(
+        f"cannot infer an architecture spec for {type(model).__name__}; "
+        "pass arch={'family': ..., ...} to ModelRegistry.save"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pruning site (de)hydration
+# ----------------------------------------------------------------------
+def _pruning_spec(handle: InstrumentedModel) -> List[Dict[str, Any]]:
+    sites = []
+    for point, pruner in handle.pruners:
+        sites.append(
+            {
+                "path": point.path,
+                "block_index": point.block_index,
+                "channel_ratio": pruner.channel_ratio,
+                "spatial_ratio": pruner.spatial_ratio,
+                "criterion": pruner.criterion_name,
+                # Stochastic criteria ("random") are only reproducible with
+                # their seed; None round-trips as fresh OS entropy.
+                "criterion_seed": pruner.criterion_seed,
+                "mask_mode": pruner.mask_mode,
+                "threshold": pruner.threshold,
+                "granularity": pruner.granularity,
+                "enabled": pruner.enabled,
+            }
+        )
+    return sites
+
+
+def _apply_pruning_spec(
+    model: PrunableModel, sites: List[Dict[str, Any]]
+) -> InstrumentedModel:
+    handle = instrument_model(model, PruningConfig.disabled(model.num_blocks))
+    by_path = {point.path: pruner for point, pruner in handle.pruners}
+    for site in sites:
+        pruner = by_path.get(site["path"])
+        if pruner is None:
+            raise ValueError(
+                f"artifact pruning site {site['path']!r} does not exist on the rebuilt model"
+            )
+        pruner.set_ratios(site["channel_ratio"], site["spatial_ratio"])
+        pruner.set_criterion(site.get("criterion", "attention"), site.get("criterion_seed"))
+        pruner.mask_mode = site.get("mask_mode", "topk")
+        pruner.threshold = float(site.get("threshold", 0.0))
+        pruner.granularity = site.get("granularity", "input")
+        pruner.enabled = bool(site.get("enabled", True))
+    return handle
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class LoadedArtifact:
+    """A rebuilt artifact, ready for :func:`repro.core.engine.create_engine`.
+
+    ``handle`` is the re-instrumented pruning handle (``None`` for models
+    saved without pruning sites); ``model`` is the module to execute —
+    pruners, when present, already live inside its graph.
+    """
+
+    name: str
+    version: int
+    model: Module
+    handle: Optional[InstrumentedModel]
+    plan_config: PlanConfig
+    arch: Dict[str, Any]
+    metadata: Dict[str, Any]
+    path: str
+
+
+class ModelRegistry:
+    """Filesystem-backed store of named, versioned model artifacts."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Registered artifact names (sorted)."""
+        out = []
+        for entry in sorted(os.listdir(self.root)):
+            if os.path.isdir(os.path.join(self.root, entry)) and self.versions(entry):
+                out.append(entry)
+        return out
+
+    def versions(self, name: str) -> List[int]:
+        """Existing version numbers for ``name`` (sorted ascending)."""
+        base = os.path.join(self.root, name)
+        if not os.path.isdir(base):
+            return []
+        found = []
+        for entry in os.listdir(base):
+            match = _VERSION_RE.match(entry)
+            if match and os.path.isfile(os.path.join(base, entry, _MANIFEST)):
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def resolve(self, name: str, version: Optional[int] = None) -> Tuple[int, str]:
+        """Resolve (version, directory), defaulting to the newest version."""
+        versions = self.versions(name)
+        if not versions:
+            raise ArtifactNotFoundError(f"no artifact named {name!r} in {self.root}")
+        if version is None:
+            version = versions[-1]
+        if version not in versions:
+            raise ArtifactNotFoundError(
+                f"artifact {name!r} has no version v{version} (have {versions})"
+            )
+        return version, os.path.join(self.root, name, f"v{version}")
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        name: str,
+        model: object,
+        *,
+        arch: Optional[Dict[str, Any]] = None,
+        plan: Optional[PlanConfig] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[str, int]:
+        """Register a new version of ``name``; returns ``(name, version)``.
+
+        ``model`` may be a plain module or an
+        :class:`~repro.core.pruning.InstrumentedModel` handle — pruning
+        sites are recorded in the manifest either way (wrapping changes no
+        parameter names, so the state dict stays architecture-shaped).
+        """
+        if not re.match(r"^[A-Za-z0-9][A-Za-z0-9._-]*$", name):
+            raise ValueError(f"bad artifact name {name!r}")
+        handle: Optional[InstrumentedModel] = None
+        if isinstance(model, InstrumentedModel):
+            handle = model
+            module = model.model
+        elif isinstance(model, Module):
+            module = model
+        else:
+            raise TypeError(f"cannot save a {type(model).__name__} as an artifact")
+
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "name": name,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "arch": arch if arch is not None else infer_arch(module),
+            "pruning": _pruning_spec(handle) if handle is not None else None,
+            "plan": dataclasses.asdict(plan or PlanConfig()),
+            "metadata": metadata or {},
+        }
+
+        version = (self.versions(name) or [0])[-1] + 1
+        base = os.path.join(self.root, name)
+        os.makedirs(base, exist_ok=True)
+        final_dir = os.path.join(base, f"v{version}")
+        tmp_dir = os.path.join(base, f".tmp-v{version}-{os.getpid()}")
+        os.makedirs(tmp_dir)
+        try:
+            save_state_dict(module.state_dict(), os.path.join(tmp_dir, _WEIGHTS))
+            with open(os.path.join(tmp_dir, _MANIFEST), "w", encoding="utf-8") as fh:
+                json.dump({**manifest, "version": version}, fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp_dir, final_dir)
+        except BaseException:
+            for leftover in (_WEIGHTS, _MANIFEST):
+                try:
+                    os.remove(os.path.join(tmp_dir, leftover))
+                except OSError:
+                    pass
+            try:
+                os.rmdir(tmp_dir)
+            except OSError:
+                pass
+            raise
+        return name, version
+
+    # ------------------------------------------------------------------
+    def manifest(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
+        """Read an artifact's manifest without rebuilding the model."""
+        _, path = self.resolve(name, version)
+        with open(os.path.join(path, _MANIFEST), encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def load(self, name: str, version: Optional[int] = None) -> LoadedArtifact:
+        """Rebuild a registered model: arch → weights → pruning → plan.
+
+        The returned model is in eval mode with its state strictly loaded
+        (any arch/weights disagreement raises the per-key
+        ``load_state_dict`` diagnostic rather than mis-building silently).
+        """
+        version, path = self.resolve(name, version)
+        with open(os.path.join(path, _MANIFEST), encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("schema") != ARTIFACT_SCHEMA:
+            raise ValueError(
+                f"artifact {name}@v{version} has unknown schema {manifest.get('schema')!r}"
+            )
+
+        arch = dict(manifest["arch"])
+        family = arch.pop("family")
+        try:
+            builder = _ARCH_BUILDERS[family]
+        except KeyError:
+            raise ValueError(
+                f"artifact {name}@v{version} needs unregistered arch family {family!r}"
+            ) from None
+        model = builder(**arch)
+        model.load_state_dict(load_state_dict(os.path.join(path, _WEIGHTS)))
+        model.eval()
+
+        handle = None
+        if manifest.get("pruning"):
+            if not isinstance(model, PrunableModel):
+                raise ValueError(
+                    f"artifact {name}@v{version} records pruning sites but "
+                    f"{family!r} models are not instrumentable"
+                )
+            handle = _apply_pruning_spec(model, manifest["pruning"])
+
+        plan_fields = {f.name for f in dataclasses.fields(PlanConfig)}
+        plan_config = PlanConfig(
+            **{k: v for k, v in (manifest.get("plan") or {}).items() if k in plan_fields}
+        )
+        return LoadedArtifact(
+            name=name,
+            version=version,
+            model=model,
+            handle=handle,
+            plan_config=plan_config,
+            arch=manifest["arch"],
+            metadata=manifest.get("metadata") or {},
+            path=path,
+        )

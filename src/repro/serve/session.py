@@ -1,0 +1,468 @@
+"""One stable inference API: a session with a micro-batching scheduler.
+
+:class:`InferenceSession` is the serving layer's unit of deployment: it
+owns an engine (any :class:`~repro.core.engine.EngineProtocol` backend), a
+bounded request queue, and a worker thread that **micro-batches** waiting
+requests before each engine call.  Fusing concurrent callers' requests is
+what lets the engine's mask-signature batching amortize *across callers* —
+one im2col/GEMM per mask group per window instead of per request — which
+is where the ≥3x serving throughput in ``BENCH_serve.json`` comes from.
+
+Scheduling model (single worker, two knobs):
+
+* ``max_batch`` — the batch window: at most this many samples are fused
+  into one engine call.
+* ``batch_window_ms`` — how long the collector waits for stragglers after
+  the first request of a window arrives.  Under load the window fills
+  instantly and the timeout never triggers; at low traffic a lone request
+  pays at most this much extra latency.
+
+Correctness contract: sessions compile their engine with
+``PlanConfig(batch_invariant=True)`` by default, so the response to a
+request is **bit-identical** no matter which other requests shared its
+window (see :attr:`repro.core.sparse_exec.PlanConfig.batch_invariant`).
+Batch composition is an invisible scheduling detail, exactly as a serving
+API must guarantee.
+
+Telemetry: per-request latency quantiles (p50/p95), batch occupancy, and
+the engine's cache/dispatch counters, via :meth:`InferenceSession.stats`.
+:meth:`~InferenceSession.reset_stats` zeroes counters but keeps warmed
+state (compiled plan, cached weight slices).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.engine import EngineProtocol, create_engine
+from ..core.sparse_exec import PlanConfig
+
+__all__ = ["SessionConfig", "InferenceSession", "PendingResult", "SessionClosed"]
+
+
+class SessionClosed(RuntimeError):
+    """Submit after close, or result collection from a closed session."""
+
+
+@dataclasses.dataclass
+class SessionConfig:
+    """Scheduler knobs for :class:`InferenceSession`.
+
+    Attributes
+    ----------
+    max_batch:
+        Batch window — maximum samples fused into one engine call.
+    batch_window_ms:
+        How long the collector waits for more requests once a window has
+        opened.  ``0`` batches only what is already queued.
+    queue_depth:
+        Bound on queued (not yet scheduled) requests; :meth:`submit`
+        blocks (or raises, with ``block=False``) when full, providing
+        backpressure instead of unbounded memory growth.
+    latency_window:
+        Number of most-recent request latencies kept for the quantile
+        telemetry.
+    """
+
+    max_batch: int = 8
+    batch_window_ms: float = 2.0
+    queue_depth: int = 256
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+
+
+class PendingResult:
+    """Future-like handle for one submitted request."""
+
+    __slots__ = ("_event", "_value", "_error", "submitted_at", "latency")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+        self.latency: Optional[float] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the scheduler answers; raises the engine's error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    # internal -----------------------------------------------------------
+    def _resolve(self, value: Optional[np.ndarray], error: Optional[BaseException]) -> None:
+        self.latency = time.perf_counter() - self.submitted_at
+        self._value = value
+        self._error = error
+        self._event.set()
+
+
+class _Request:
+    __slots__ = ("array", "pending")
+
+    def __init__(self, array: np.ndarray, pending: PendingResult):
+        self.array = array
+        self.pending = pending
+
+
+_SHUTDOWN = object()
+
+
+class InferenceSession:
+    """Micro-batched inference over one engine.
+
+    Two entry points:
+
+    * :meth:`submit` / :meth:`infer` — the serving path.  Requests enter
+      the bounded queue; the worker fuses up to ``max_batch`` samples per
+      engine call and resolves each request's :class:`PendingResult`.
+    * :meth:`predict` — the synchronous path for offline callers
+      (benchmarks, tests): one engine call on the calling thread, same
+      telemetry, no queue hop.
+
+    Sessions are context managers; :meth:`close` drains nothing — pending
+    requests submitted before close are still answered, later submits
+    raise :class:`SessionClosed`.
+    """
+
+    def __init__(
+        self,
+        engine: EngineProtocol,
+        config: Optional[SessionConfig] = None,
+    ):
+        self.engine = engine
+        self.config = config or SessionConfig()
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.config.queue_depth)
+        self._carry: Optional[_Request] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        # Serializes the closed-check-then-enqueue in submit() against
+        # close(), so no request can slip into the queue after the
+        # shutdown sentinel (it would never be answered).
+        self._submit_lock = threading.Lock()
+        # The engine (plan, weight-slice cache, counters) is not
+        # thread-safe; the worker and the synchronous predict() path both
+        # run it, so engine calls are serialized.
+        self._engine_lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._requests = 0
+        self._samples = 0
+        self._batches = 0
+        self._batched_samples = 0
+        self._errors = 0
+        self._worker = threading.Thread(
+            target=self._run, name="repro-inference-session", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        model: object,
+        backend: str = "auto",
+        plan: Optional[PlanConfig] = None,
+        session: Optional[SessionConfig] = None,
+        **engine_kwargs: Any,
+    ) -> "InferenceSession":
+        """Compile ``model`` into an engine and wrap it in a session.
+
+        Unless a :class:`PlanConfig` is given, the plan is compiled with
+        ``batch_invariant=True`` so micro-batching is unobservable in the
+        responses (the serving contract).
+        """
+        if plan is None:
+            plan = PlanConfig(batch_invariant=True)
+        engine = create_engine(model, backend=backend, config=plan, **engine_kwargs)
+        return cls(engine, session)
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: "Any",
+        ref: str,
+        backend: str = "auto",
+        session: Optional[SessionConfig] = None,
+        **engine_kwargs: Any,
+    ) -> "InferenceSession":
+        """Load ``name`` or ``name@vN`` from a ModelRegistry and serve it.
+
+        The artifact's recorded :class:`PlanConfig` is used, with
+        ``batch_invariant`` forced on — registry artifacts are served, and
+        served responses must not depend on batch composition.
+        """
+        from .registry import parse_ref
+
+        name, version = parse_ref(ref)
+        artifact = registry.load(name, version)
+        plan = dataclasses.replace(artifact.plan_config, batch_invariant=True)
+        model = artifact.handle if artifact.handle is not None else artifact.model
+        engine = create_engine(model, backend=backend, config=plan, **engine_kwargs)
+        return cls(engine, session)
+
+    # ------------------------------------------------------------------
+    # Serving path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        x: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> PendingResult:
+        """Enqueue one request (``(C, H, W)`` or ``(N, C, H, W)``).
+
+        Returns a :class:`PendingResult`; the queue bound provides
+        backpressure — with ``block=False`` a full queue raises
+        ``queue.Full`` immediately.
+        """
+        array = self._normalize(x)
+        if array.shape[0] > self.config.max_batch:
+            # The batch window is a hard bound on samples per engine call;
+            # oversized requests belong on the synchronous predict() path.
+            raise ValueError(
+                f"request carries {array.shape[0]} samples but the batch window "
+                f"is {self.config.max_batch}; split it or use predict()"
+            )
+        pending = PendingResult()
+        # Holding the lock across the put keeps the check atomic with the
+        # enqueue; close() takes the same lock before sending its
+        # sentinel, so nothing enqueues behind it.  A put blocked on a
+        # full queue holds the lock, but the worker is guaranteed alive
+        # (it only exits after the sentinel this lock still gates).
+        with self._submit_lock:
+            if self._closed:
+                raise SessionClosed("cannot submit to a closed InferenceSession")
+            self._queue.put(_Request(array, pending), block=block, timeout=timeout)
+        return pending
+
+    @staticmethod
+    def _normalize(x: np.ndarray) -> np.ndarray:
+        """Shared input contract for submit() and predict()."""
+        array = np.asarray(x, dtype=np.float32)
+        if array.ndim == 3:
+            array = array[None]
+        if array.ndim != 4:
+            raise ValueError(f"expected (C,H,W) or (N,C,H,W) input, got shape {array.shape}")
+        if array.shape[0] < 1:
+            raise ValueError("cannot submit an empty request")
+        return array
+
+    def infer(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Submit one request and block for its output."""
+        return self.submit(x).result(timeout)
+
+    def infer_many(
+        self, inputs: Sequence[np.ndarray], timeout: Optional[float] = None
+    ) -> List[np.ndarray]:
+        """Submit a burst of requests, then gather results in order.
+
+        Submitting everything before collecting is what lets the scheduler
+        fill its windows — this is the serving-throughput call.
+        """
+        pendings = [self.submit(x) for x in inputs]
+        return [p.result(timeout) for p in pendings]
+
+    # ------------------------------------------------------------------
+    # Synchronous path
+    # ------------------------------------------------------------------
+    def predict(self, batch: np.ndarray) -> np.ndarray:
+        """Run one batch directly on the calling thread (no queue hop).
+
+        Offline callers (benchmark sweeps, equivalence tests) get engine
+        access through the same session object — request/sample counts and
+        latency are recorded, but not the window stats (``batches``,
+        ``occupancy`` describe only what the scheduler fused).
+        """
+        if self._closed:
+            raise SessionClosed("cannot predict on a closed InferenceSession")
+        array = self._normalize(batch)
+        start = time.perf_counter()
+        with self._engine_lock:
+            out = self.engine(array)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._requests += 1
+            self._samples += array.shape[0]
+            self._record_latency(elapsed)
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _collect(self, first: _Request) -> List[_Request]:
+        """Gather up to ``max_batch`` samples, waiting ``batch_window_ms``."""
+        batch = [first]
+        size = first.array.shape[0]
+        deadline = time.perf_counter() + self.config.batch_window_ms / 1e3
+        while size < self.config.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Keep the sentinel for the outer loop.
+                self._carry_shutdown = True
+                break
+            request: _Request = item  # type: ignore[assignment]
+            if size + request.array.shape[0] > self.config.max_batch:
+                # Would overflow the window: defer to the next one.
+                self._carry = request
+                break
+            batch.append(request)
+            size += request.array.shape[0]
+        return batch
+
+    def _execute(self, batch: List[_Request]) -> None:
+        sizes = [r.array.shape[0] for r in batch]
+        try:
+            # Fusing inside the try keeps the worker alive when a window
+            # mixes incompatible shapes (e.g. different resolutions): the
+            # concatenate error resolves those requests instead of killing
+            # the loop.
+            fused = batch[0].array if len(batch) == 1 else np.concatenate(
+                [r.array for r in batch], axis=0
+            )
+            with self._engine_lock:
+                out = self.engine(fused)
+        except BaseException as error:  # noqa: BLE001 - surfaced per request
+            with self._lock:
+                self._errors += len(batch)
+            for request in batch:
+                request.pending._resolve(None, error)
+            return
+        # Telemetry is committed BEFORE the results resolve: callers poll
+        # stats() the moment their last result() unblocks, and the final
+        # window must already be counted by then.
+        done = time.perf_counter()
+        with self._lock:
+            self._requests += len(batch)
+            self._samples += sum(sizes)
+            self._batches += 1
+            self._batched_samples += sum(sizes)
+            for request in batch:
+                self._record_latency(done - request.pending.submitted_at)
+        offset = 0
+        for request, size in zip(batch, sizes):
+            request.pending._resolve(out[offset : offset + size], None)
+            offset += size
+
+    def _run(self) -> None:
+        self._carry_shutdown = False
+        while True:
+            if self._carry is not None:
+                first, self._carry = self._carry, None
+            else:
+                item = self._queue.get()
+                if item is _SHUTDOWN:
+                    break
+                first = item  # type: ignore[assignment]
+            self._execute(self._collect(first))
+            if self._carry_shutdown and self._carry is None:
+                break
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _record_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+        if len(self._latencies) > self.config.latency_window:
+            del self._latencies[: -self.config.latency_window]
+
+    def stats(self) -> Dict[str, Any]:
+        """Session telemetry snapshot.
+
+        ``occupancy`` is mean samples-per-window over ``max_batch`` — how
+        full the scheduler runs its windows (1.0 = every engine call fully
+        fused).  ``latency_ms`` quantiles cover the last
+        ``latency_window`` requests, submit-to-resolve.
+        """
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            batches = self._batches
+            stats: Dict[str, Any] = {
+                "requests": self._requests,
+                "samples": self._samples,
+                "batches": batches,
+                "errors": self._errors,
+                "max_batch": self.config.max_batch,
+                "mean_batch": (self._batched_samples / batches) if batches else 0.0,
+                "occupancy": (
+                    self._batched_samples / (batches * self.config.max_batch)
+                    if batches
+                    else 0.0
+                ),
+            }
+        if latencies.size:
+            stats["latency_ms"] = {
+                "p50": float(np.percentile(latencies, 50) * 1e3),
+                "p95": float(np.percentile(latencies, 95) * 1e3),
+                "mean": float(latencies.mean() * 1e3),
+                "max": float(latencies.max() * 1e3),
+            }
+        else:
+            stats["latency_ms"] = {"p50": 0.0, "p95": 0.0, "mean": 0.0, "max": 0.0}
+        stats["engine"] = self.engine.stats()
+        return stats
+
+    def reset_stats(self) -> None:
+        """Zero telemetry and engine counters; keep warmed caches/plans."""
+        with self._lock:
+            self._latencies = []
+            self._requests = 0
+            self._samples = 0
+            self._batches = 0
+            self._batched_samples = 0
+            self._errors = 0
+        self.engine.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests and join the worker.
+
+        Requests already queued are answered before the worker exits.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -81,3 +81,70 @@ class TestCheckpointRoundtrip:
         other = Sequential(Conv2d(2, 8, 3), BatchNorm2d(8), Linear(3, 2))
         with pytest.raises((ValueError, KeyError)):
             load_checkpoint(other, path)
+
+
+class TestStrictLoading:
+    def test_shape_mismatch_names_every_key(self, tmp_path):
+        model = small_model()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path)
+        other = Sequential(Conv2d(2, 8, 3), BatchNorm2d(8), Linear(3, 2))
+        with pytest.raises(ValueError) as excinfo:
+            load_checkpoint(other, path)
+        message = str(excinfo.value)
+        # Parameter and buffer mismatches are each diagnosed per key with
+        # both shapes, not surfaced as a raw numpy broadcast error.
+        assert "size mismatch for 0.weight" in message
+        assert "size mismatch for 1.running_mean" in message
+        assert "(8,)" in message and "(4,)" in message
+
+    def test_buffer_shape_mismatch_is_valueerror(self):
+        a = BatchNorm2d(4)
+        state = a.state_dict()
+        state["running_mean"] = np.zeros(7)
+        with pytest.raises(ValueError, match="size mismatch for running_mean"):
+            a.load_state_dict(state)
+
+    def test_missing_and_unexpected_listed_together(self):
+        a = Sequential(Conv2d(2, 3, 3, bias=True))
+        state = a.state_dict()
+        del state["0.bias"]
+        state["0.bogus"] = np.zeros(1)
+        with pytest.raises(KeyError) as excinfo:
+            a.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "missing key: 0.bias" in message
+        assert "unexpected key: 0.bogus" in message
+        # The diagnostic renders as real lines, not a repr'd \n blob.
+        assert "\\n" not in message and "\n" in message
+
+    def test_strict_failure_leaves_module_untouched(self):
+        a = Linear(2, 3, rng=np.random.default_rng(0))
+        before = a.weight.data.copy()
+        state = a.state_dict()
+        state["weight"] = np.full((3, 2), 9.0)
+        state["bias"] = np.zeros(5)  # mismatch aborts the whole load
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+        np.testing.assert_array_equal(a.weight.data, before)
+
+    def test_non_strict_loads_what_fits(self, tmp_path):
+        model = small_model(seed=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path)
+        other = Sequential(Conv2d(2, 4, 3), BatchNorm2d(4), Linear(5, 2))
+        meta = load_checkpoint(other, path, strict=False)
+        assert meta == {}
+        # Matching conv/bn entries were loaded, the reshaped head skipped.
+        np.testing.assert_array_equal(other[0].weight.data, model[0].weight.data)
+        assert other[2].weight.data.shape == (2, 5)
+
+    def test_non_strict_reports_skips(self):
+        a = Linear(2, 3)
+        b = Linear(2, 4)
+        state = a.state_dict()
+        state["extra"] = np.zeros(1)
+        result = b.load_state_dict(state, strict=False)
+        assert result.unexpected_keys == ["extra"]
+        assert [key for key, _, _ in result.mismatched] == ["weight", "bias"]
+        assert result.missing_keys == []

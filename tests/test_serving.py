@@ -1,0 +1,412 @@
+"""Tests for the serving layer: engines, registry artifacts, sessions.
+
+The load-bearing contract is **round-trip bit-exactness**: a model saved
+to the registry, loaded back, and served through a micro-batched
+:class:`~repro.serve.InferenceSession` must produce byte-for-byte the
+outputs the original executor produces one request at a time — batch
+composition is an invisible scheduling detail.
+"""
+
+import queue
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import DynamicPruning, PruningConfig, instrument_model
+from repro.core.runtime_bench import build_conv_stack
+from repro.core.sparse_exec import PlanConfig, SparseSequentialExecutor
+from repro.models import ResNet, vgg16
+from repro.serve import (
+    ArtifactNotFoundError,
+    DenseEngine,
+    InferenceSession,
+    ModelRegistry,
+    SessionClosed,
+    SessionConfig,
+    SparseEngine,
+    available_backends,
+    create_engine,
+    model_sparsity,
+    parse_ref,
+)
+
+
+def make_requests(count, image_size=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=(1, 3, image_size, image_size)).astype(np.float32)
+        for _ in range(count)
+    ]
+
+
+def slim_vgg_handle(seed=3):
+    model = vgg16(num_classes=10, width_multiplier=0.125, seed=seed)
+    model.eval()
+    return instrument_model(
+        model, PruningConfig([0.2, 0.2, 0.5, 0.7, 0.7], [0.0] * 5)
+    )
+
+
+def slim_resnet_handle(seed=0):
+    model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=seed)
+    model.eval()
+    return instrument_model(model, PruningConfig([0.5] * 3, [0.0] * 3))
+
+
+# ----------------------------------------------------------------------
+# Engine factory
+# ----------------------------------------------------------------------
+class TestEngineFactory:
+    def test_backends_registered(self):
+        assert {"dense", "sparse", "auto"} <= set(available_backends())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            create_engine(build_conv_stack(0.5), backend="tpu")
+
+    def test_sparse_engine_for_stack_and_resnet(self):
+        assert isinstance(create_engine(build_conv_stack(0.5), "sparse"), SparseEngine)
+        assert isinstance(create_engine(slim_resnet_handle().model, "sparse"), SparseEngine)
+
+    def test_auto_dispatches_on_sparsity(self):
+        pruned = build_conv_stack(0.6)
+        unpruned = build_conv_stack(0.0)
+        assert isinstance(create_engine(pruned, "auto"), SparseEngine)
+        assert isinstance(create_engine(unpruned, "auto"), DenseEngine)
+
+    def test_model_sparsity_reads_active_sites(self):
+        assert model_sparsity(build_conv_stack(0.0)) == 0.0
+        assert model_sparsity(build_conv_stack(0.7)) == pytest.approx(0.7)
+
+    def test_engines_agree_with_executor(self):
+        stack = build_conv_stack(0.5)
+        batch = make_requests(1, seed=1)[0]
+        engine = create_engine(stack, "sparse", config=PlanConfig())
+        executor = SparseSequentialExecutor(stack, PlanConfig())
+        np.testing.assert_array_equal(engine(batch), executor(batch))
+
+    def test_stats_and_reset(self):
+        engine = create_engine(build_conv_stack(0.5), "sparse")
+        engine(make_requests(1)[0])
+        stats = engine.stats()
+        assert stats["sparse_dispatches"] > 0
+        engine.reset_stats()
+        fresh = engine.stats()
+        assert fresh["sparse_dispatches"] == 0
+        assert fresh["cache"]["hits"] == 0
+
+    def test_vgg_layer_stack_view(self):
+        handle = slim_vgg_handle()
+        engine = create_engine(handle, "sparse")
+        out = engine(make_requests(1)[0])
+        assert out.shape == (1, 10)
+
+
+# ----------------------------------------------------------------------
+# Registry artifacts
+# ----------------------------------------------------------------------
+class TestModelRegistry:
+    def test_versions_append_only(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        handle = slim_vgg_handle()
+        assert registry.save("m", handle) == ("m", 1)
+        assert registry.save("m", handle) == ("m", 2)
+        assert registry.versions("m") == [1, 2]
+        assert registry.names() == ["m"]
+        assert registry.resolve("m")[0] == 2  # latest by default
+
+    def test_missing_artifact_raises(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        with pytest.raises(ArtifactNotFoundError):
+            registry.load("ghost")
+        registry.save("m", slim_vgg_handle())
+        with pytest.raises(ArtifactNotFoundError):
+            registry.load("m", 9)
+
+    def test_parse_ref(self):
+        assert parse_ref("name") == ("name", None)
+        assert parse_ref("name@v3") == ("name", 3)
+        assert parse_ref("name@3") == ("name", 3)
+        with pytest.raises(ValueError):
+            parse_ref("@v3")
+
+    def test_manifest_records_pruning_and_metadata(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("m", slim_vgg_handle(), metadata={"note": "hi"})
+        manifest = registry.manifest("m")
+        assert manifest["metadata"] == {"note": "hi"}
+        assert manifest["arch"]["family"] == "vgg"
+        ratios = {site["channel_ratio"] for site in manifest["pruning"]}
+        assert ratios == {0.2, 0.5, 0.7}
+
+    def test_vgg_roundtrip_outputs_identical(self, tmp_path):
+        handle = slim_vgg_handle()
+        config = PlanConfig(batch_invariant=True)
+        reference_engine = create_engine(handle, "sparse", config=config)
+        requests = make_requests(6, seed=2)
+        reference = [reference_engine(r) for r in requests]
+
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("vgg", handle)
+        artifact = registry.load("vgg")
+        loaded_engine = create_engine(artifact.handle, "sparse", config=config)
+        for req, ref in zip(requests, reference):
+            np.testing.assert_array_equal(loaded_engine(req), ref)
+
+    def test_resnet_roundtrip_outputs_identical(self, tmp_path):
+        handle = slim_resnet_handle()
+        config = PlanConfig(batch_invariant=True)
+        reference_engine = create_engine(handle, "sparse", config=config)
+        requests = make_requests(6, seed=4)
+        reference = [reference_engine(r) for r in requests]
+
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("rn", handle)
+        artifact = registry.load("rn")
+        loaded_engine = create_engine(artifact.handle, "sparse", config=config)
+        for req, ref in zip(requests, reference):
+            np.testing.assert_array_equal(loaded_engine(req), ref)
+
+    def test_loaded_pruners_match_sites(self, tmp_path):
+        handle = slim_vgg_handle()
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("m", handle)
+        artifact = registry.load("m")
+        originals = {pt.path: pr for pt, pr in handle.pruners}
+        for point, pruner in artifact.handle.pruners:
+            original = originals[point.path]
+            assert pruner.channel_ratio == original.channel_ratio
+            assert pruner.granularity == original.granularity
+            assert pruner.mask_mode == original.mask_mode
+
+    def test_sequential_without_arch_spec_rejected(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        with pytest.raises(TypeError, match="architecture spec"):
+            registry.save("s", build_conv_stack(0.5))
+
+    def test_conv_stack_family_with_explicit_arch(self, tmp_path):
+        stack = build_conv_stack(0.5, width=16, depth=3, seed=7)
+        registry = ModelRegistry(str(tmp_path))
+        registry.save(
+            "stack",
+            stack,
+            arch={"family": "conv_stack", "channel_ratio": 0.5, "width": 16, "depth": 3},
+        )
+        artifact = registry.load("stack")
+        config = PlanConfig(batch_invariant=True)
+        request = make_requests(1, seed=5)[0]
+        np.testing.assert_array_equal(
+            create_engine(artifact.model, "sparse", config=config)(request),
+            create_engine(stack, "sparse", config=config)(request),
+        )
+
+
+# ----------------------------------------------------------------------
+# InferenceSession
+# ----------------------------------------------------------------------
+class TestInferenceSession:
+    def test_micro_batched_outputs_bit_identical(self):
+        stack = build_conv_stack(0.6, width=16, depth=3)
+        engine = create_engine(stack, "sparse", config=PlanConfig(batch_invariant=True))
+        requests = make_requests(12, image_size=16, seed=6)
+        reference = [engine(r) for r in requests]
+        with InferenceSession(
+            engine, SessionConfig(max_batch=8, batch_window_ms=20.0)
+        ) as session:
+            outputs = session.infer_many(requests)
+        for out, ref in zip(outputs, reference):
+            np.testing.assert_array_equal(out, ref)
+
+    def test_registry_session_matches_original_executor(self, tmp_path):
+        handle = slim_vgg_handle()
+        executor_out = [
+            create_engine(handle, "sparse", config=PlanConfig(batch_invariant=True))(r)
+            for r in make_requests(5, seed=8)
+        ]
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("vgg", handle)
+        with InferenceSession.from_registry(
+            registry, "vgg@v1", backend="sparse",
+            session=SessionConfig(max_batch=4, batch_window_ms=20.0),
+        ) as session:
+            outputs = session.infer_many(make_requests(5, seed=8))
+        for out, ref in zip(outputs, executor_out):
+            np.testing.assert_array_equal(out, ref)
+
+    def test_telemetry_counts_and_occupancy(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=4, batch_window_ms=50.0),
+        ) as session:
+            session.infer_many(make_requests(8, image_size=16, seed=9))
+            stats = session.stats()
+        assert stats["requests"] == 8
+        assert stats["samples"] == 8
+        assert stats["batches"] >= 2
+        assert 0.0 < stats["occupancy"] <= 1.0
+        assert stats["latency_ms"]["p95"] >= stats["latency_ms"]["p50"] > 0.0
+
+    def test_cache_stats_reset_keeps_entries(self):
+        session = InferenceSession.from_model(
+            build_conv_stack(0.7, width=16, depth=3, granularity="batch"),
+            backend="sparse",
+        )
+        batch = np.concatenate(make_requests(4, image_size=16, seed=10))
+        session.predict(batch)
+        session.predict(batch)
+        before = session.stats()["engine"]["cache"]
+        assert before["hits"] > 0 and before["entries"] > 0
+        session.reset_stats()
+        after = session.stats()["engine"]["cache"]
+        # Counters reset; warmed slices survive the reset.
+        assert after["hits"] == 0 and after["misses"] == 0
+        assert after["entries"] == before["entries"]
+        # Steady-state traffic resumes hitting the warm cache immediately.
+        session.predict(batch)
+        resumed = session.stats()["engine"]["cache"]
+        assert resumed["misses"] == 0 and resumed["hits"] > 0
+        session.close()
+
+    def test_multi_sample_requests_and_shapes(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=4),
+        ) as session:
+            out = session.infer(np.zeros((3, 16, 16), dtype=np.float32))
+            assert out.shape == (1, 10)
+            out = session.infer(np.zeros((3, 3, 16, 16), dtype=np.float32))
+            assert out.shape == (3, 10)
+            with pytest.raises(ValueError):
+                session.submit(np.zeros((16, 16), dtype=np.float32))
+
+    def test_oversized_request_rejected(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=4),
+        ) as session:
+            with pytest.raises(ValueError, match="batch window"):
+                session.submit(np.zeros((5, 3, 16, 16), dtype=np.float32))
+            # predict() is the sanctioned path for oversized batches.
+            out = session.predict(np.zeros((5, 3, 16, 16), dtype=np.float32))
+            assert out.shape == (5, 10)
+
+    def test_worker_survives_mixed_shape_window(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=4, batch_window_ms=50.0),
+        ) as session:
+            a = session.submit(np.zeros((3, 16, 16), dtype=np.float32))
+            b = session.submit(np.zeros((3, 8, 8), dtype=np.float32))
+            # One of the fused requests fails (concatenate or engine), but
+            # both resolve and the worker keeps serving.
+            outcomes = []
+            for handle in (a, b):
+                try:
+                    outcomes.append(handle.result(timeout=10.0))
+                except Exception as error:  # noqa: BLE001 - expected path
+                    outcomes.append(error)
+            assert any(isinstance(o, Exception) for o in outcomes)
+            ok = session.infer(np.zeros((3, 16, 16), dtype=np.float32), timeout=10.0)
+            assert ok.shape == (1, 10)
+
+    def test_auto_backend_honors_batch_invariant_contract(self):
+        from repro.core.sparse_exec import PlanConfig as PC
+
+        engine = create_engine(
+            build_conv_stack(0.0), "auto", config=PC(batch_invariant=True)
+        )
+        # An unpruned model still gets the plan-backed engine, because the
+        # dense forward cannot honor the bit-exactness contract.
+        assert isinstance(engine, SparseEngine)
+
+    def test_engine_error_surfaces_per_request(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+        ) as session:
+            pending = session.submit(np.zeros((5, 16, 16), dtype=np.float32))
+            with pytest.raises(ValueError):
+                pending.result(timeout=10.0)
+            # The worker survives bad requests.
+            ok = session.infer(np.zeros((3, 16, 16), dtype=np.float32), timeout=10.0)
+            assert ok.shape == (1, 10)
+
+    def test_closed_session_rejects_submits(self):
+        session = InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+        )
+        session.close()
+        with pytest.raises(SessionClosed):
+            session.submit(np.zeros((3, 16, 16), dtype=np.float32))
+        with pytest.raises(SessionClosed):
+            session.predict(np.zeros((3, 16, 16), dtype=np.float32))
+
+    def test_queue_backpressure_nonblocking(self):
+        session = InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=1, queue_depth=1, batch_window_ms=0.0),
+        )
+        try:
+            with pytest.raises(queue.Full):
+                for _ in range(64):
+                    session.submit(
+                        np.zeros((3, 16, 16), dtype=np.float32), block=False
+                    )
+        finally:
+            session.close()
+
+    def test_session_config_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            SessionConfig(batch_window_ms=-1.0)
+        with pytest.raises(ValueError):
+            SessionConfig(queue_depth=0)
+        with pytest.raises(ValueError):
+            SessionConfig(latency_window=0)
+
+    def test_predict_validates_input_rank(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+        ) as session:
+            with pytest.raises(ValueError, match="expected"):
+                session.predict(np.zeros((16, 16), dtype=np.float32))
+
+    def test_predict_does_not_skew_window_stats(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=4),
+        ) as session:
+            session.predict(np.zeros((32, 3, 16, 16), dtype=np.float32))
+            stats = session.stats()
+            assert stats["requests"] == 1 and stats["samples"] == 32
+            # Window occupancy describes only scheduler-fused batches.
+            assert stats["batches"] == 0 and stats["occupancy"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Serve loop
+# ----------------------------------------------------------------------
+class TestServeLoop:
+    def test_jsonl_round_trip(self, tmp_path):
+        import io
+        import json
+
+        from repro.serve import serve_lines, synthetic_request_lines
+
+        lines = synthetic_request_lines(6, image_size=16, seed=0)
+        lines.append('{"id": "bad", "nonsense": 1}')
+        out = io.StringIO()
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=4, batch_window_ms=20.0),
+        ) as session:
+            stats = serve_lines(session, lines, out, include_output=False)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert len(responses) == 7
+        good = [r for r in responses if "error" not in r]
+        assert len(good) == 6
+        assert all("argmax" in r and "latency_ms" in r for r in good)
+        assert "error" in responses[-1]
+        # The id survives decode failures so clients can correlate errors.
+        assert responses[-1]["id"] == "bad"
+        assert stats["requests"] == 6
