@@ -128,8 +128,15 @@ def test_bench_harness_records_sparse_win(benchmark, tmp_path):
     assert loaded["schema"] == BENCH_SCHEMA
     rows = loaded["results"]
     assert {row["model"] for row in rows} == {"conv_stack"}
+    assert {row["image_size"] for row in rows} == {32}
     high = [row for row in rows if row["channel_ratio"] == 0.9]
     assert high, "high-sparsity rows must be recorded"
     for row in high:
         assert row["speedup"] > 1.0, f"no wall-clock win recorded: {row}"
         assert row["sparse_ms"] < row["dense_ms"]
+    # The grouped-vs-stacked summary (the CI perf-smoke signal) is present
+    # and covers every swept image size.
+    summary = loaded["summary"]
+    assert set(summary["by_image_size"]) == {"32"}
+    assert {"grouped", "per_input"} <= set(summary["by_image_size"]["32"])
+    assert isinstance(summary["grouped_not_below_stacked"], bool)

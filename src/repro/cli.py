@@ -9,10 +9,12 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli fig4
     python -m repro.cli autotune --target 30 --tolerance 0.15
     python -m repro.cli bench-sparse --output BENCH_sparse.json
+    python -m repro.cli bench-sparse --smoke --image-size 64
     python -m repro.cli quick
     python -m repro.cli save-artifact --registry artifacts --name vgg-demo
-    python -m repro.cli serve --registry artifacts --model vgg-demo --synthetic 16
-    python -m repro.cli bench-serve --output BENCH_serve.json
+    python -m repro.cli registry ls --registry artifacts
+    python -m repro.cli serve --registry artifacts --model vgg-demo --synthetic 16 --workers 2
+    python -m repro.cli bench-serve --output BENCH_serve.json --workers 1,2
 
 Every subcommand trains at harness scale (slim models, synthetic data) and
 prints paper-reported vs measured numbers; see EXPERIMENTS.md for how to
@@ -151,25 +153,45 @@ def cmd_bench_sparse(args: argparse.Namespace) -> int:
     if any(not 0.0 <= r <= 1.0 for r in ratios):
         print(f"invalid --ratios {args.ratios!r} (every ratio must be in [0, 1])")
         return 2
+    try:
+        image_sizes = [int(s) for s in str(args.image_size).split(",") if s.strip()]
+    except ValueError:
+        print(f"invalid --image-size {args.image_size!r} (expected e.g. 32,64,128)")
+        return 2
+    if not image_sizes or any(s < 4 for s in image_sizes):
+        print(f"invalid --image-size {args.image_size!r} (sizes must be >= 4)")
+        return 2
     document = run_sparse_benchmark(
         ratios=ratios,
         batch_size=args.batch_size,
-        image_size=args.image_size,
+        image_sizes=image_sizes,
         width=args.width,
         depth=args.depth,
         repeats=args.repeats,
         include_resnet=not args.no_resnet,
         seed=args.seed,
+        smoke=args.smoke,
     )
-    print(f"{'model':>12} {'masks':>6} {'ratio':>6} {'dense(ms)':>10} "
+    print(f"{'model':>12} {'masks':>6} {'ratio':>6} {'size':>5} {'dense(ms)':>10} "
           f"{'sparse(ms)':>11} {'speedup':>8} {'cache h/m':>10}")
     for row in document["results"]:
         cache = row["cache"]
         print(f"{row['model']:>12} {row['granularity']:>6} {row['channel_ratio']:>6.2f} "
+              f"{row['image_size']:>5} "
               f"{row['dense_ms']:>10.1f} {row['sparse_ms']:>11.1f} "
               f"{row['speedup']:>7.2f}x {cache['hits']:>5}/{cache['misses']}")
     write_bench_json(document, args.output)
     print(f"\nrecorded {len(document['results'])} measurements to {args.output}")
+    summary = document["summary"]
+    for size, entry in summary["by_image_size"].items():
+        parts = ", ".join(f"{k} {v:.2f}x" for k, v in sorted(entry.items()))
+        print(f"  image {size}: {parts}")
+    if args.smoke and not summary["grouped_not_below_stacked"]:
+        print(
+            "PERF REGRESSION: grouped sparse path fell below "
+            f"{summary['grouped_regression_slack']:.0%} of the per-input path's speedup"
+        )
+        return 1
     return 0
 
 
@@ -189,7 +211,7 @@ def _session_from_args(args: argparse.Namespace):
     from .serve import InferenceSession, ModelRegistry, SessionConfig
 
     session_config = SessionConfig(
-        max_batch=args.max_batch, batch_window_ms=args.window_ms
+        max_batch=args.max_batch, batch_window_ms=args.window_ms, workers=args.workers
     )
     if args.registry and args.model:
         registry = ModelRegistry(args.registry)
@@ -284,16 +306,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_registry(args: argparse.Namespace) -> int:
+    from .serve import ModelRegistry
+
+    if args.action != "ls":
+        print(f"unknown registry action {args.action!r} (expected ls)")
+        return 2
+    registry = ModelRegistry(args.registry)
+    rows = registry.list_artifacts()
+    if not rows:
+        print(f"no artifacts in {args.registry}")
+        return 0
+    print(f"{'name':<20} {'ver':>4} {'family':>8} {'sites':>5} {'size':>9}  created")
+    for row in rows:
+        size_kb = row["size_bytes"] / 1024.0
+        print(f"{row['name']:<20} {'v' + str(row['version']):>4} "
+              f"{str(row['family']):>8} {row['pruning_sites']:>5} "
+              f"{size_kb:>8.1f}K  {row['created_at']}")
+    print(f"\n{len(rows)} artifact version(s) in {args.registry}")
+    return 0
+
+
 def cmd_bench_serve(args: argparse.Namespace) -> int:
     from .serve import run_serve_benchmark, write_serve_json
 
     try:
         windows = [int(w) for w in args.windows.split(",") if w.strip()]
+        workers = [int(w) for w in args.workers.split(",") if w.strip()]
     except ValueError:
-        print(f"invalid --windows {args.windows!r} (expected e.g. 1,4,8,16)")
+        print(f"invalid --windows/--workers (expected e.g. 1,4,8,16 and 1,2)")
         return 2
-    if any(w < 1 for w in windows):
+    if any(w < 1 for w in windows) or not windows:
         print(f"invalid --windows {args.windows!r} (every window must be >= 1)")
+        return 2
+    if any(w < 1 for w in workers) or not workers:
+        print(f"invalid --workers {args.workers!r} (every count must be >= 1)")
         return 2
     document = run_serve_benchmark(
         windows=windows,
@@ -304,12 +351,14 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         include_resnet=not args.no_resnet,
         seed=args.seed,
         smoke=args.smoke,
+        workers=workers,
     )
     write_serve_json(document, args.output)
-    print(f"{'model':>11} {'window':>6} {'seq rps':>8} {'rps':>8} {'speedup':>8} "
+    print(f"{'model':>11} {'window':>6} {'wkrs':>4} {'seq rps':>8} {'rps':>8} {'speedup':>8} "
           f"{'p50(ms)':>8} {'p95(ms)':>8} {'occ':>5} {'exact':>6}")
     for row in document["results"]:
-        print(f"{row['model']:>11} {row['window']:>6} {row['sequential_rps']:>8.0f} "
+        print(f"{row['model']:>11} {row['window']:>6} {row['workers']:>4} "
+              f"{row['sequential_rps']:>8.0f} "
               f"{row['throughput_rps']:>8.0f} {row['speedup']:>7.2f}x "
               f"{row['latency_ms']['p50']:>8.1f} {row['latency_ms']['p95']:>8.1f} "
               f"{row['occupancy']:>5.2f} {str(row['bit_identical']):>6}")
@@ -366,12 +415,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--ratios", default="0.0,0.5,0.7,0.9",
                          help="comma-separated channel pruning ratios")
     p_bench.add_argument("--batch-size", type=int, default=8)
-    p_bench.add_argument("--image-size", type=int, default=32)
+    p_bench.add_argument("--image-size", default="32,64,128",
+                         help="comma-separated input resolutions to sweep "
+                              "(>= 64 exercises the large-feature-map regime)")
     p_bench.add_argument("--width", type=int, default=64)
     p_bench.add_argument("--depth", type=int, default=4)
     p_bench.add_argument("--repeats", type=int, default=3)
     p_bench.add_argument("--no-resnet", action="store_true",
                          help="skip the ResNet sweep (conv stack only)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="CI perf smoke: conv stack at the highest ratio only; "
+                              "exit 1 if the grouped path regresses below the "
+                              "stacked path's speedup")
     p_bench.set_defaults(func=cmd_bench_sparse)
 
     p_quick = sub.add_parser("quick", help="one fast end-to-end sanity run")
@@ -410,6 +465,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="micro-batch window (samples per engine call)")
     p_serve.add_argument("--window-ms", type=float, default=2.0,
                          help="how long the collector waits to fill a window")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="worker threads sharing the request queue")
     p_serve.add_argument("--no-output", action="store_true",
                          help="omit logits from responses (argmax + latency only)")
     p_serve.set_defaults(func=cmd_serve)
@@ -427,9 +484,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="channel pruning ratio for the served models")
     p_bserve.add_argument("--no-vgg", action="store_true", help="skip the VGG16 subject")
     p_bserve.add_argument("--no-resnet", action="store_true", help="skip the ResNet subject")
+    p_bserve.add_argument("--workers", default="1,2",
+                          help="comma-separated worker-thread counts to sweep")
     p_bserve.add_argument("--smoke", action="store_true",
                           help="tiny sweep for CI end-to-end checks")
     p_bserve.set_defaults(func=cmd_bench_serve)
+
+    p_registry = sub.add_parser(
+        "registry", help="inspect a model-artifact registry"
+    )
+    p_registry.add_argument("action", choices=["ls"],
+                            help="ls: list artifact names, versions, and sizes")
+    p_registry.add_argument("--registry", default="artifacts",
+                            help="registry root directory")
+    p_registry.set_defaults(func=cmd_registry)
 
     for sub_parser in sub.choices.values():
         sub_parser.add_argument("--seed", type=int, default=0,

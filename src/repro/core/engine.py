@@ -66,10 +66,19 @@ class EngineProtocol:
     * :meth:`reset_stats` — zero the counters *without* losing warmed
       state (compiled plans and cached weight slices survive).
     * :meth:`describe` — human-readable execution recipe.
+
+    ``thread_safe`` declares whether concurrent :meth:`forward` calls are
+    allowed.  The serving layer's multi-worker sessions check it: engines
+    that advertise thread safety run unserialized across N workers;
+    everything else is wrapped in a lock (workers still overlap request
+    collection, just not compute).
     """
 
     #: Registry name of the backend that produced this engine.
     backend = "abstract"
+
+    #: Whether concurrent forward() calls are safe.  Conservative default.
+    thread_safe = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -151,10 +160,13 @@ class DenseEngine(EngineProtocol):
     This is the reference semantics — identical to training-time
     verification — and the fallback for layer graphs the plan compiler
     does not know.  Not batch-invariant: the flat GEMMs inside
-    ``repro.nn.functional`` pick BLAS kernels by batch size.
+    ``repro.nn.functional`` pick BLAS kernels by batch size.  Not
+    thread-safe either — the autograd forward toggles the (global)
+    grad-enabled flag, so multi-worker sessions serialize it.
     """
 
     backend = "dense"
+    thread_safe = False
 
     def __init__(self, model: object, config: Optional[PlanConfig] = None):
         self.model = _unwrap(model)
@@ -185,9 +197,17 @@ class SparseEngine(EngineProtocol):
     :class:`~repro.core.sparse_exec.ResNetPlan`, everything else is viewed
     as a flat layer stack and compiled into an
     :class:`~repro.core.sparse_exec.ExecutionPlan`.
+
+    Thread-safe: the compiled plan's weights are read-only after
+    compilation, scratch lives in per-thread workspace arenas, and the
+    weight-slice cache is locked — so N session workers can run one
+    engine concurrently.  (Caveat: a model carrying the *stochastic*
+    ``random`` pruning criterion shares one RNG across callers; serving
+    uses deterministic criteria.)
     """
 
     backend = "sparse"
+    thread_safe = True
 
     def __init__(self, model: object, config: Optional[PlanConfig] = None):
         inner = _unwrap(model)
@@ -207,6 +227,7 @@ class SparseEngine(EngineProtocol):
             "dense_dispatches": self.plan.dense_dispatches,
             "sparse_dispatches": self.plan.sparse_dispatches,
             "cache": dict(self.plan.cache_stats),
+            "workspace": self.plan.arena_stats(),
         }
 
     def reset_stats(self) -> None:

@@ -22,7 +22,15 @@ from .engine import create_engine
 from .pruning import DynamicPruning, PruningConfig, instrument_model
 from .sparse_exec import PlanConfig, dense_reference_forward
 
-__all__ = ["BENCH_SCHEMA", "timed", "build_conv_stack", "run_sparse_benchmark", "write_bench_json"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "GROUPED_REGRESSION_SLACK",
+    "timed",
+    "build_conv_stack",
+    "run_sparse_benchmark",
+    "summarize_paths",
+    "write_bench_json",
+]
 
 BENCH_SCHEMA = "repro.bench_sparse.v1"
 
@@ -104,10 +112,12 @@ def _bench_stack(
                 "granularity": granularity,
                 "channel_ratio": ratio,
                 "spatial_ratio": 0.0,
+                "image_size": int(image_size),
                 "dense_ms": t_dense * 1e3,
                 "sparse_ms": t_sparse * 1e3,
                 "speedup": t_dense / t_sparse,
                 "cache": dict(engine.stats()["cache"]),
+                "workspace": dict(engine.stats()["workspace"]),
             }
         )
     return rows
@@ -144,10 +154,12 @@ def _bench_resnet(
                 "granularity": "input",
                 "channel_ratio": ratio,
                 "spatial_ratio": 0.0,
+                "image_size": int(image_size),
                 "dense_ms": t_dense * 1e3,
                 "sparse_ms": t_sparse * 1e3,
                 "speedup": t_dense / t_sparse,
                 "cache": dict(engine.stats()["cache"]),
+                "workspace": dict(engine.stats()["workspace"]),
             }
         )
     return rows
@@ -156,29 +168,54 @@ def _bench_resnet(
 def run_sparse_benchmark(
     ratios: Sequence[float] = (0.0, 0.5, 0.7, 0.9),
     batch_size: int = 8,
-    image_size: int = 32,
+    image_sizes: Sequence[int] = (32,),
     width: int = 64,
     depth: int = 4,
     repeats: int = 3,
     include_resnet: bool = True,
     config: Optional[PlanConfig] = None,
     seed: int = 0,
+    smoke: bool = False,
 ) -> Dict[str, object]:
     """Time dense-masked vs sparse-skipped inference across pruning ratios.
 
     Returns the ``BENCH_sparse.json`` document: a config header plus one
-    result row per (model, granularity, ratio) with best-of-``repeats``
-    wall-clock milliseconds, the speedup, and weight-slice cache statistics.
+    result row per (model, granularity, ratio, image_size) with
+    best-of-``repeats`` wall-clock milliseconds, the speedup, and
+    weight-slice cache statistics.  Sweeping ``image_sizes`` past 32 is
+    what exposes the large-feature-map regime (``OH*OW`` above the
+    stacked-path cutoff) where the tiled kernel layer earns its keep —
+    the original single-size recording hid it entirely.
+
+    ``smoke=True`` shrinks the sweep for the CI perf-smoke job (conv
+    stack only, highest ratio only, two repeats) and the ``summary``
+    block's regression verdict (see below) becomes the job's pass/fail
+    signal.
+
+    The ``summary`` block reports, per image size, the best speedup of
+    the *grouped* path (``granularity="batch"``: one signature, one
+    im2col/GEMM per conv) and the *per-input* path
+    (``granularity="input"``: distinct signatures → stacked fast path at
+    small maps, grouped singletons at large maps), plus
+    ``grouped_not_below_stacked`` — whether the grouped path held at
+    least ``GROUPED_REGRESSION_SLACK`` of the per-input speedup at every
+    size.  That guard is what CI enforces at image size 64.
     """
+    if smoke:
+        ratios = (max(ratios),)
+        include_resnet = False
+        repeats = min(repeats, 2)
+
     results: List[Dict[str, object]] = []
-    results += _bench_stack(
-        ratios, batch_size, image_size, width, depth, repeats, "input", config, seed
-    )
-    results += _bench_stack(
-        ratios, batch_size, image_size, width, depth, repeats, "batch", config, seed
-    )
-    if include_resnet:
-        results += _bench_resnet(ratios, batch_size, image_size, repeats, config, seed)
+    for image_size in image_sizes:
+        results += _bench_stack(
+            ratios, batch_size, image_size, width, depth, repeats, "input", config, seed
+        )
+        results += _bench_stack(
+            ratios, batch_size, image_size, width, depth, repeats, "batch", config, seed
+        )
+        if include_resnet:
+            results += _bench_resnet(ratios, batch_size, image_size, repeats, config, seed)
     return {
         "schema": BENCH_SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -186,13 +223,45 @@ def run_sparse_benchmark(
         "config": {
             "ratios": list(ratios),
             "batch_size": batch_size,
-            "image_size": image_size,
+            "image_sizes": [int(s) for s in image_sizes],
             "width": width,
             "depth": depth,
             "repeats": repeats,
             "seed": seed,
+            "smoke": smoke,
         },
+        "summary": summarize_paths(results),
         "results": results,
+    }
+
+
+#: Minimum grouped-path speedup as a fraction of the per-input path's,
+#: per image size.  Timer noise on shared CI runners makes an exact >=
+#: comparison flaky; a regression of the kind this guards against (the
+#: grouped path falling back to per-sample dense-scale work) shows up as
+#: a multiple, not a percentage.
+GROUPED_REGRESSION_SLACK = 0.6
+
+
+def summarize_paths(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Per-image-size grouped vs per-input speedups and the CI verdict."""
+    per_size: Dict[int, Dict[str, float]] = {}
+    for row in results:
+        if row["model"] != "conv_stack":
+            continue
+        size = int(row["image_size"])  # type: ignore[arg-type]
+        label = "grouped" if row["granularity"] == "batch" else "per_input"
+        entry = per_size.setdefault(size, {})
+        entry[label] = max(entry.get(label, 0.0), float(row["speedup"]))  # type: ignore[arg-type]
+    ok = all(
+        entry["grouped"] >= entry["per_input"] * GROUPED_REGRESSION_SLACK
+        for entry in per_size.values()
+        if "grouped" in entry and "per_input" in entry
+    )
+    return {
+        "by_image_size": {str(size): entry for size, entry in sorted(per_size.items())},
+        "grouped_regression_slack": GROUPED_REGRESSION_SLACK,
+        "grouped_not_below_stacked": bool(ok),
     }
 
 

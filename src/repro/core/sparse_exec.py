@@ -20,6 +20,16 @@ engine that realizes those savings on CPU, at batch scale:
   shapes are memoized per input geometry, and every convolution dispatches
   to a dense fast path when the pending mask is below the configured
   sparsity threshold (gather overhead would exceed the skipped work).
+* **Zero-copy kernel layer**: every convolution unfolds its input with the
+  channels-first :func:`repro.nn.functional.im2col_t` gather (blocked over
+  output-row tiles at large feature maps) straight into a plan-owned
+  :class:`~repro.core.workspace.WorkspaceArena` buffer, and the GEMM runs
+  ``np.matmul(weight_matrix, col, out=...)`` directly into the NCHW output
+  tensor — no patch-tensor materialization, no result transpose, and no
+  steady-state scratch allocation.  Arenas are per-thread
+  (:class:`~repro.core.workspace.ArenaPool`) and the weight-slice cache is
+  locked, so one compiled plan serves N session workers concurrently over
+  its read-only fused weights.
 
 Numerical contract (see ``tests/test_sparse_engine.py``):
 
@@ -40,6 +50,7 @@ which is exactly the deployment setting the paper targets.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -60,6 +71,7 @@ from ..nn import (
 )
 from ..nn import functional as F
 from .pruning import DynamicPruning
+from .workspace import ArenaPool, WorkspaceArena
 
 __all__ = [
     "mask_signature",
@@ -72,7 +84,51 @@ __all__ = [
     "SparseSequentialExecutor",
     "SparseResNetExecutor",
     "dense_reference_forward",
+    "STACKED_PATH_MAX_POSITIONS",
 ]
+
+#: Output-position cutoff for the stacked equal-kept-count fast path.
+#: Below it, a batch of distinct masks runs as one gather + one batched
+#: GEMM (per-sample Python overhead dominates small GEMMs); above it the
+#: grouped path's larger, fewer GEMMs and tiled im2col win.  Both paths
+#: produce bit-identical per-sample results (their GEMM slices see the
+#: same operand values, shapes, and strides), so the cutoff is purely a
+#: performance knob.
+STACKED_PATH_MAX_POSITIONS = 512
+
+
+def _ensure_contiguous(arr: np.ndarray) -> np.ndarray:
+    """Copy only when actually needed — the redundant-copy guard.
+
+    ``np.ascontiguousarray`` on an already-contiguous array is cheap but
+    not free (it re-runs dtype/layout resolution); the hot path calls this
+    instead so steady-state traffic skips the machinery entirely.
+    """
+    if arr.flags.c_contiguous:
+        return arr
+    return np.ascontiguousarray(arr)
+
+
+def _matmul_into(a: np.ndarray, b: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """``dst[...] = a @ b`` without a temporary when dtypes permit.
+
+    ``np.matmul(..., out=)`` requires the result dtype to match ``dst``
+    exactly; mixed-precision callers (rare — raw ``sparse_conv2d`` use)
+    fall back to an allocating matmul plus a casting copy.
+    """
+    if a.dtype == b.dtype == dst.dtype:
+        return np.matmul(a, b, out=dst)
+    dst[...] = np.matmul(a, b)
+    return dst
+
+
+def _take(
+    arena: Optional[WorkspaceArena], tag: str, shape: Tuple[int, ...], dtype: object
+) -> np.ndarray:
+    """Arena view when a workspace is available, fresh buffer otherwise."""
+    if arena is None:
+        return np.empty(shape, dtype=dtype)
+    return arena.take(tag, shape, dtype)
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +167,12 @@ class WeightSliceCache:
     repeated for every recurring mask; one cache instance is shared by every
     convolution in an :class:`ExecutionPlan` (layers disambiguate entries
     with their own key), and it persists across forward calls.
+
+    The cache is thread-safe: LRU bookkeeping mutates an ``OrderedDict``,
+    which multi-worker sessions hit concurrently, so every operation runs
+    under a lock.  Cached slices themselves are immutable once stored
+    (callers only read them), so handing the same array to two workers is
+    safe.
     """
 
     def __init__(self, max_entries: int = 256):
@@ -118,34 +180,42 @@ class WeightSliceCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._store: "OrderedDict[Tuple[object, bytes], np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: object, signature: bytes, weight: np.ndarray, kept: np.ndarray) -> np.ndarray:
         """Return the cached ``(out_c, kept*k*k)`` slice, gathering on miss."""
         full_key = (key, signature)
-        cached = self._store.get(full_key)
-        if cached is not None:
-            self.hits += 1
-            self._store.move_to_end(full_key)
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._store.get(full_key)
+            if cached is not None:
+                self.hits += 1
+                self._store.move_to_end(full_key)
+                return cached
+        # Gather outside the lock: it is the expensive part, and a
+        # duplicate gather from a racing worker is wasted work, not a
+        # correctness problem (both produce the same slice).
         out_c = weight.shape[0]
-        w_sub = np.ascontiguousarray(weight[:, kept].reshape(out_c, -1))
-        self._store[full_key] = w_sub
-        if len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+        w_sub = _ensure_contiguous(weight[:, kept].reshape(out_c, -1))
+        with self._lock:
+            self.misses += 1
+            self._store[full_key] = w_sub
+            if len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
         return w_sub
 
     def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters without dropping cached slices."""
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -170,6 +240,7 @@ def sparse_conv2d(
     cache: Optional[WeightSliceCache] = None,
     cache_key: Optional[object] = None,
     batch_invariant: bool = False,
+    arena: Optional[WorkspaceArena] = None,
 ) -> np.ndarray:
     """Batched convolution that skips pruned input channels and columns.
 
@@ -197,9 +268,19 @@ def sparse_conv2d(
         unique per weight tensor (the executors pass their op identity);
         ``id(weight)`` is unsafe — ids are reused after garbage collection.
     batch_invariant:
-        Run the GEMMs as per-sample slices so each sample's output does not
-        depend on which other samples share the batch (see
-        :attr:`PlanConfig.batch_invariant`).
+        Per-sample GEMM slicing for the *spatial* path, so each sample's
+        output does not depend on which other samples share the batch (see
+        :attr:`PlanConfig.batch_invariant`).  The channel paths are
+        batch-invariant unconditionally since the kernel-layer rewrite:
+        every GEMM already runs as fixed-shape ``(Cout, K) @ (K, OH*OW)``
+        per-sample slices over identical operand layouts, so the flag
+        costs nothing there.
+    arena:
+        Optional :class:`~repro.core.workspace.WorkspaceArena` supplying
+        the im2col and GEMM scratch buffers.  Without one, scratch is
+        freshly allocated per call (same results, more allocator traffic).
+        Arenas are single-thread-only; concurrent callers pass their own
+        (plans hand out one per thread).
 
     Returns
     -------
@@ -210,9 +291,8 @@ def sparse_conv2d(
     if in_c != c:
         raise ValueError(f"weight expects {in_c} input channels, got {c}")
     oh, ow = F.conv_output_shape(h, w, k, stride, padding)
-    out = np.zeros((n, out_c, oh, ow), dtype=x.dtype)
     if n == 0:
-        return out
+        return np.zeros((n, out_c, oh, ow), dtype=x.dtype)
 
     if cache is not None and cache_key is None:
         raise ValueError("cache_key is required when a WeightSliceCache is passed")
@@ -229,16 +309,13 @@ def sparse_conv2d(
     # with per-sample weight slices, instead of a Python loop over
     # signature groups of size one.  Each sample's GEMM slice sees exactly
     # the operands (values, shapes, strides) the per-request path would
-    # give it, so outputs stay bit-identical to one-at-a-time execution.
-    # Path dispatch is free to key on geometry: the stacked and grouped
-    # paths produce bit-identical per-sample results (verified by the
-    # engine equivalence tests), and large feature maps favor the grouped
-    # path's bigger, fewer GEMMs.
+    # give it, so outputs stay bit-identical to one-at-a-time execution —
+    # the cutoff (STACKED_PATH_MAX_POSITIONS) is purely a performance knob.
     if (
         spatial_mask is None
         and channel_mask is not None
         and len(groups) > 1
-        and oh * ow <= 512
+        and oh * ow <= STACKED_PATH_MAX_POSITIONS
     ):
         mask = np.asarray(channel_mask, dtype=bool)
         counts = mask.sum(axis=1)
@@ -247,28 +324,40 @@ def sparse_conv2d(
             # Row-wise kept indices, ascending (stable sort: False < True).
             kept_matrix = np.argsort(~mask, axis=1, kind="stable")[:, :kept_count]
             xg = x[np.arange(n)[:, None], kept_matrix]
-            col3 = F.im2col(xg, k, stride, padding).reshape(n, oh * ow, -1)
+            cols = kept_count * k * k
+            col = F.im2col_t(
+                xg, k, stride, padding,
+                out=_take(arena, "im2col", (n, cols, oh * ow), x.dtype),
+            )
+            w_stack = _take(arena, "wstack", (n, out_c, cols), weight.dtype)
             if cache is not None:
                 packed = np.packbits(mask, axis=1)
-                w_stack = np.stack(
-                    [
-                        cache.get(cache_key, packed[i].tobytes(), weight, kept_matrix[i])
-                        for i in range(n)
-                    ]
-                )
+                for i in range(n):
+                    w_stack[i] = cache.get(
+                        cache_key, packed[i].tobytes(), weight, kept_matrix[i]
+                    )
             else:
-                w_stack = np.ascontiguousarray(
-                    weight.reshape(out_c, c, k * k)[:, kept_matrix].transpose(1, 0, 2, 3)
-                ).reshape(n, out_c, -1)
-            # B operand as a (K, Cout) transpose view per slice — the same
-            # layout w_sub.T has on the per-request path, which matters
-            # because BLAS rounds differently per operand layout.
-            vals = np.matmul(np.ascontiguousarray(col3), w_stack.transpose(0, 2, 1))
+                # (Cout, N, kept, k*k) gather, transposed into the stack.
+                gathered = weight.reshape(out_c, c, k * k)[:, kept_matrix]
+                w_stack.reshape(n, out_c, kept_count, k * k)[...] = gathered.transpose(
+                    1, 0, 2, 3
+                )
+            out = np.empty((n, out_c, oh, ow), dtype=x.dtype)
+            # One batched GEMM, each (Cout, K) @ (K, OH*OW) slice writing
+            # NCHW output order directly — no result transpose.
+            _matmul_into(w_stack, col, out.reshape(n, out_c, oh * ow))
             if bias is not None:
-                vals = vals + bias
-            return np.ascontiguousarray(
-                vals.reshape(n, oh, ow, out_c).transpose(0, 3, 1, 2)
-            )
+                out += bias.reshape(1, out_c, 1, 1)
+            return out
+
+    # Grouped path.  Pure channel masking fully writes every non-skipped
+    # group, so zero-fill is only needed when some group drops all its
+    # channels (or a spatial mask leaves holes).
+    skips_possible = spatial_mask is not None or any(
+        kept is not None and kept.size == 0 for _, _, kept in groups
+    )
+    out = (np.zeros if skips_possible else np.empty)((n, out_c, oh, ow), dtype=x.dtype)
+    out_flat = out.reshape(n, out_c, oh * ow)
 
     for signature, idx, kept in groups:
         if kept is not None and kept.size == 0:
@@ -279,25 +368,35 @@ def sparse_conv2d(
         elif cache is not None and signature is not None:
             w_sub = cache.get(cache_key, signature, weight, kept)
         else:
-            w_sub = weight[:, kept].reshape(out_c, -1)
+            w_sub = _ensure_contiguous(weight[:, kept].reshape(out_c, -1))
 
+        ck = c if full_channels else int(kept.size)
         if spatial_mask is None:
-            xg = x[idx] if full_channels else x[np.ix_(idx, kept)]
-            col3 = F.im2col(xg, k, stride, padding).reshape(idx.size, oh * ow, -1)
-            if batch_invariant:
-                # Per-sample GEMM slices: np.matmul over the leading axis
-                # runs one fixed-shape (OH*OW, K) x (K, Cout) product per
-                # sample, so the result is independent of the group size.
-                # The contiguity normalization matters: im2col returns a
-                # strided *view* for single-sample inputs but a contiguous
-                # copy for groups, and BLAS rounds the two layouts
-                # differently.
-                vals = np.matmul(np.ascontiguousarray(col3), w_sub.T)
+            whole = idx.size == n
+            if whole and full_channels:
+                xg = x
             else:
-                vals = col3.reshape(idx.size * oh * ow, -1) @ w_sub.T
+                xg = x[idx] if full_channels else x[np.ix_(idx, kept)]
+            # Channels-first unfold, tiled to stream large feature maps
+            # through L2, gathered straight into the workspace.
+            col = F.im2col_t(
+                xg, k, stride, padding,
+                out=_take(arena, "im2col", (idx.size, ck * k * k, oh * ow), x.dtype),
+                tile_rows=F.default_tile_rows(ck, k, ow, x.dtype.itemsize),
+            )
+            # (Cout, K) @ (K, OH*OW) per sample: NCHW output order falls
+            # out of the GEMM, and a whole-batch group lands in the output
+            # tensor with no intermediate at all.  Per-sample slices see
+            # fixed operand shapes/strides regardless of group size, so
+            # the result is batch-invariant by construction.
+            dst = out_flat if whole else _take(
+                arena, "gemm", (idx.size, out_c, oh * ow), x.dtype
+            )
+            _matmul_into(w_sub, col, dst)
             if bias is not None:
-                vals = vals + bias
-            out[idx] = vals.reshape(idx.size, oh, ow, out_c).transpose(0, 3, 1, 2)
+                dst += bias[:, None]
+            if not whole:
+                out_flat[idx] = dst
         else:
             xg = x[idx] if full_channels else x[np.ix_(idx, kept)]
             if padding > 0:
@@ -315,7 +414,7 @@ def sparse_conv2d(
                 # One GEMM per sample over that sample's kept positions —
                 # the per-sample row count equals what a single-request run
                 # of the same sample would use, so results match bitwise.
-                vals = np.empty((ns.size, out_c), dtype=x.dtype)
+                vals = _take(arena, "spatial", (ns.size, out_c), x.dtype)
                 for g in range(idx.size):
                     rows = ns == g
                     if rows.any():
@@ -351,14 +450,17 @@ class PlanConfig:
     cache_entries:
         Capacity of the shared :class:`WeightSliceCache`.
     batch_invariant:
-        Execute every GEMM as per-sample slices (batched 3-D ``np.matmul``)
-        so each sample's output is bit-identical no matter how the batch is
-        composed.  BLAS picks different blocking (and hence summation
-        order) for different GEMM row counts, so the default flat GEMM can
+        Guarantee each sample's output is bit-identical no matter how the
+        batch is composed.  BLAS picks different blocking (and hence
+        summation order) for different GEMM row counts, so a flat GEMM can
         differ in the last ulp between a batch of 1 and a batch of 8; the
-        serving layer's micro-batching scheduler needs batch composition to
-        be unobservable, so :class:`repro.serve.InferenceSession` turns
-        this on.  Costs a few percent on CPU.
+        serving layer's micro-batching scheduler needs batch composition
+        to be unobservable, so :class:`repro.serve.InferenceSession` turns
+        this on.  Since the kernel-layer rewrite the convolution channel
+        paths run fixed-shape per-sample GEMM slices unconditionally (the
+        invariant form is also the zero-copy one), so the flag now only
+        steers the spatial-mask path and the classifier head; its CPU cost
+        is near zero.
     """
 
     fuse_conv_bn: bool = True
@@ -450,27 +552,30 @@ class _ConvOp:
                 spatial_mask = None
 
         if channel_mask is None and spatial_mask is None:
-            plan.dense_dispatches += 1
-            if config.batch_invariant:
-                oh, ow = self.output_shape(x.shape[2], x.shape[3])
-                k = self.weight.shape[2]
-                out_c = self.weight.shape[0]
-                col = F.im2col(x, k, self.stride, self.padding)
-                # ascontiguousarray: see the sparse path — im2col's layout
-                # depends on the batch size and BLAS rounds layouts
-                # differently.
-                col3 = np.ascontiguousarray(col.reshape(x.shape[0], oh * ow, -1))
-                vals = np.matmul(col3, self.weight.reshape(out_c, -1).T)
-                if self.bias is not None:
-                    vals = vals + self.bias
-                out = np.ascontiguousarray(
-                    vals.reshape(x.shape[0], oh, ow, out_c).transpose(0, 3, 1, 2)
-                )
-            else:
-                out, _, _ = F.conv2d_forward(x, self.weight, self.bias, self.stride, self.padding)
-                out = np.ascontiguousarray(out)
+            plan.count_dispatch(dense=True)
+            # Dense fast path on the same zero-copy kernels as the sparse
+            # paths: channels-first unfold into the per-thread workspace,
+            # then per-sample (Cout, K) @ (K, OH*OW) GEMM slices straight
+            # into the NCHW output.  Per-sample slicing makes this path
+            # batch-invariant whether or not the config demands it — the
+            # flat-GEMM variant it replaces saved no copies and broke the
+            # invariance contract.
+            n, c = x.shape[:2]
+            oh, ow = self.output_shape(x.shape[2], x.shape[3])
+            k = self.weight.shape[2]
+            out_c = self.weight.shape[0]
+            arena = plan.arena
+            col = F.im2col_t(
+                x, k, self.stride, self.padding,
+                out=arena.take("im2col", (n, c * k * k, oh * ow), x.dtype),
+                tile_rows=F.default_tile_rows(c, k, ow, x.dtype.itemsize),
+            )
+            out = np.empty((n, out_c, oh, ow), dtype=x.dtype)
+            _matmul_into(self.weight.reshape(out_c, -1), col, out.reshape(n, out_c, oh * ow))
+            if self.bias is not None:
+                out += self.bias.reshape(1, out_c, 1, 1)
         else:
-            plan.sparse_dispatches += 1
+            plan.count_dispatch(dense=False)
             out = sparse_conv2d(
                 x,
                 self.weight,
@@ -482,6 +587,7 @@ class _ConvOp:
                 cache=plan.cache,
                 cache_key=self.key,
                 batch_invariant=config.batch_invariant,
+                arena=plan.arena,
             )
         if zero_out is not None:
             out *= zero_out[:, None, :, :]
@@ -550,9 +656,11 @@ class _LinearOp:
 
     def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
         if plan.config.batch_invariant:
-            # One (1, F) x (F, O) product per sample — row count no longer
-            # steers BLAS blocking, so logits ignore batch composition.
-            out = np.matmul(x[:, None, :], self.weight.T)[:, 0, :]
+            # einsum's non-BLAS kernel reduces over the feature axis in a
+            # fixed order per output element, so logits ignore batch
+            # composition — without the old per-sample singleton-axis
+            # matmul detour (N separate gufunc GEMM dispatches).
+            out = np.einsum("nf,of->no", x, self.weight)
         else:
             out = x @ self.weight.T
         if self.bias is not None:
@@ -609,8 +717,31 @@ class ExecutionPlan:
         self.ops = ops
         self.config = config
         self.cache = WeightSliceCache(config.cache_entries)
+        self.arenas = ArenaPool()
+        self._dispatch_lock = threading.Lock()
         self.dense_dispatches = 0
         self.sparse_dispatches = 0
+
+    @property
+    def arena(self) -> WorkspaceArena:
+        """The calling thread's workspace arena (created on first use).
+
+        Plans are shared read-only across session workers; all mutable
+        per-call scratch lives here, one arena per thread.
+        """
+        return self.arenas.get()
+
+    def count_dispatch(self, dense: bool) -> None:
+        """Thread-safe dispatch telemetry (workers share one plan)."""
+        with self._dispatch_lock:
+            if dense:
+                self.dense_dispatches += 1
+            else:
+                self.sparse_dispatches += 1
+
+    def arena_stats(self) -> Dict[str, int]:
+        """Merged workspace counters across every worker thread."""
+        return self.arenas.stats()
 
     @classmethod
     def compile(
@@ -679,8 +810,9 @@ class ExecutionPlan:
         must not throw away the gathered slices — steady-state traffic keeps
         hitting them — so this only clears the counters.
         """
-        self.dense_dispatches = 0
-        self.sparse_dispatches = 0
+        with self._dispatch_lock:
+            self.dense_dispatches = 0
+            self.sparse_dispatches = 0
         self.cache.reset_counters()
 
     def describe(self) -> str:

@@ -1,0 +1,150 @@
+"""Workspace arenas: reusable scratch buffers for the zero-copy kernel layer.
+
+Every convolution in the sparse engine needs the same transient storage on
+every call — an unfolded patch matrix, a gathered input, a stacked weight
+slab.  Allocating (and for outputs, zeroing) those tens-of-megabytes
+tensors per layer per call makes large feature maps memory-bandwidth-bound
+before the GEMM even runs.  A :class:`WorkspaceArena` turns that traffic
+into steady-state reuse: buffers are keyed by ``(tag, dtype)``, grown
+monotonically to the high-water mark, and handed out as shaped views via
+:meth:`~WorkspaceArena.take`, so after warm-up the hot path performs no
+scratch allocation at all.
+
+Arenas are deliberately **not** thread-safe — a view handed out by
+``take`` stays valid only until the same tag is taken again, so sharing
+one arena across threads would corrupt in-flight work.  Concurrency is
+handled one level up by :class:`ArenaPool`, which owns one arena per
+thread (created lazily, registered for merged telemetry).  That is what
+lets :class:`~repro.serve.session.InferenceSession` run N workers over a
+single compiled plan: the plan's weights are read-only, and every worker
+scribbles in its own arena.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["WorkspaceArena", "ArenaPool"]
+
+
+class WorkspaceArena:
+    """Scratch buffers keyed by ``(tag, dtype)``, reused across calls.
+
+    ``take(tag, shape, dtype)`` returns a C-contiguous view of the backing
+    buffer for ``tag``, growing it when the requested size exceeds the
+    high-water mark.  The view's contents are uninitialized (callers
+    overwrite them — that is the point); a view is invalidated by the next
+    ``take`` of the same tag, which is why one arena must never be shared
+    between threads (see :class:`ArenaPool`).
+    """
+
+    __slots__ = ("_buffers", "_counters", "__weakref__")
+
+    def __init__(self, counters: Dict[str, int] | None = None) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+        # Counters live in a plain dict so an ArenaPool can keep them (a
+        # few ints) alive for merged telemetry after the arena itself —
+        # and its megabytes of buffers — die with their thread.
+        self._counters = counters if counters is not None else {"allocations": 0, "reuses": 0}
+
+    @property
+    def allocations(self) -> int:
+        return self._counters["allocations"]
+
+    @property
+    def reuses(self) -> int:
+        return self._counters["reuses"]
+
+    def take(self, tag: str, shape: Tuple[int, ...], dtype: object) -> np.ndarray:
+        """A writable ``shape``-shaped view of the ``tag`` buffer."""
+        key = (tag, np.dtype(dtype))
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.size < size:
+            buffer = np.empty(size, dtype=key[1])
+            self._buffers[key] = buffer
+            self._counters["allocations"] += 1
+        else:
+            self._counters["reuses"] += 1
+        return buffer[:size].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (memory pressure valve); counters survive."""
+        self._buffers.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "buffers": len(self._buffers),
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+            "bytes": self.nbytes,
+        }
+
+
+class ArenaPool:
+    """One :class:`WorkspaceArena` per thread, with merged telemetry.
+
+    ``get()`` returns the calling thread's arena, creating and registering
+    it on first use.  The registry (under a lock) exists only so
+    :meth:`stats` can aggregate across workers — the hot path touches
+    nothing shared.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        # Arenas are held by WEAK reference: the strong reference lives in
+        # the owning thread's ``threading.local`` slot, so a dead thread's
+        # arena — and its high-water-mark buffers — is freed instead of
+        # pinned for the plan's lifetime (long-running servers rotate
+        # threads).  The counter dicts are tiny and strongly held, so
+        # merged allocation/reuse telemetry stays exact across thread
+        # turnover; ``buffers``/``bytes`` naturally drop to the live set.
+        self._entries: List[Tuple["weakref.ref[WorkspaceArena]", Dict[str, int]]] = []
+        self._lock = threading.Lock()
+
+    def get(self) -> WorkspaceArena:
+        arena = getattr(self._local, "arena", None)
+        if arena is None:
+            arena = WorkspaceArena()
+            self._local.arena = arena
+            with self._lock:
+                self._entries.append((weakref.ref(arena), arena._counters))
+        return arena
+
+    def clear(self) -> None:
+        with self._lock:
+            for ref, _ in self._entries:
+                arena = ref()
+                if arena is not None:
+                    arena.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Merged counters across every thread that ever took a buffer.
+
+        ``arenas``/``buffers``/``bytes`` describe the *live* arenas;
+        ``allocations``/``reuses`` are lifetime totals, dead threads
+        included.
+        """
+        with self._lock:
+            entries = list(self._entries)
+        merged = {"arenas": 0, "buffers": 0, "allocations": 0, "reuses": 0, "bytes": 0}
+        for ref, counters in entries:
+            merged["allocations"] += counters["allocations"]
+            merged["reuses"] += counters["reuses"]
+            arena = ref()
+            if arena is not None:
+                merged["arenas"] += 1
+                merged["buffers"] += arena.stats["buffers"]
+                merged["bytes"] += arena.stats["bytes"]
+        return merged

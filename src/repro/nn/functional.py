@@ -15,11 +15,15 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
     "im2col",
+    "im2col_t",
+    "im2col_loop",
+    "default_tile_rows",
     "col2im",
     "conv2d",
     "conv2d_forward",
@@ -53,12 +57,132 @@ def conv_output_shape(h: int, w: int, kernel: int, stride: int, padding: int) ->
     return out_h, out_w
 
 
-def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+#: Destination-tile budget for the blocked im2col sweep.  256 KiB keeps a
+#: tile comfortably inside a typical per-core L2 slice, so the strided
+#: source reads stream through cache instead of thrashing it at large
+#: feature maps.
+L2_TILE_BYTES = 256 * 1024
+
+
+def default_tile_rows(channels: int, kernel: int, out_w: int, itemsize: int) -> int:
+    """Output-row tile height whose patch slab fits the L2 budget.
+
+    One output row of patches is ``channels * kernel * kernel * out_w``
+    elements; the blocked gather sweeps that many rows at a time.  The
+    batch size is deliberately absent: the tile copy iterates samples
+    sequentially (C-order destination), so the cache-resident working set
+    at any instant is one sample's source slab — sizing per batch would
+    shrink tiles N-fold and buy only loop overhead.
+    """
+    row_bytes = channels * kernel * kernel * out_w * itemsize
+    return max(1, L2_TILE_BYTES // max(row_bytes, 1))
+
+
+def _sliding_patches(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Strided patch *view* ``(N, C, OH, OW, k, k)`` — no patch tensor is
+    materialized; padding (when nonzero) is the only copy."""
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    return windows[:, :, ::stride, ::stride][:, :, :out_h, :out_w], out_h, out_w
+
+
+def _check_out(out: np.ndarray, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    if out.shape != shape:
+        raise ValueError(f"out buffer has shape {out.shape}, expected {shape}")
+    if out.dtype != dtype:
+        raise ValueError(f"out buffer has dtype {out.dtype}, expected {dtype}")
+    if not out.flags.c_contiguous:
+        raise ValueError("out buffer must be C-contiguous")
+    return out
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out: Optional[np.ndarray] = None,
+    tile_rows: Optional[int] = None,
+) -> np.ndarray:
     """Unfold NCHW image batches into a patch matrix.
 
     Returns an array of shape ``(N * out_h * out_w, C * kernel * kernel)``
     where each row is one receptive field, so convolution becomes a single
     matrix multiply against the reshaped filter bank.
+
+    The unfold is a single strided gather from a
+    ``sliding_window_view`` — no intermediate ``(N, C, k, k, OH, OW)``
+    tensor and no transpose copy.  ``out`` lets callers (the sparse
+    engine's workspace arena) provide the destination buffer, making the
+    whole operation allocation-free; ``tile_rows`` blocks the gather over
+    output-row tiles (see :func:`default_tile_rows`) so large feature maps
+    stream through L2 instead of thrashing it.  Tiling never changes the
+    result — it only reorders the copy.
+    """
+    n, c = x.shape[:2]
+    patches, out_h, out_w = _sliding_patches(x, kernel, stride, padding)
+    shape = (n * out_h * out_w, c * kernel * kernel)
+    if out is None:
+        out = np.empty(shape, dtype=x.dtype)
+    else:
+        _check_out(out, shape, x.dtype)
+    dst = out.reshape(n, out_h, out_w, c, kernel, kernel)
+    src = patches.transpose(0, 2, 3, 1, 4, 5)
+    if tile_rows is None or tile_rows >= out_h:
+        dst[...] = src
+    else:
+        for row in range(0, out_h, tile_rows):
+            stop = min(row + tile_rows, out_h)
+            dst[:, row:stop] = src[:, row:stop]
+    return out
+
+
+def im2col_t(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out: Optional[np.ndarray] = None,
+    tile_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Channels-first unfold: ``(N, C * kernel * kernel, OH * OW)``.
+
+    The transposed twin of :func:`im2col`, laid out so the convolution
+    GEMM ``weight_matrix @ col[n]`` produces ``(out_c, OH * OW)`` — NCHW
+    output order directly, with no transpose copy on the *result* side.
+    This is the layout the sparse engine's kernel layer computes in: one
+    gather in, GEMM straight into the output tensor.
+    """
+    n, c = x.shape[:2]
+    patches, out_h, out_w = _sliding_patches(x, kernel, stride, padding)
+    shape = (n, c * kernel * kernel, out_h * out_w)
+    if out is None:
+        out = np.empty(shape, dtype=x.dtype)
+    else:
+        _check_out(out, shape, x.dtype)
+    dst = out.reshape(n, c, kernel, kernel, out_h, out_w)
+    src = patches.transpose(0, 1, 4, 5, 2, 3)
+    if tile_rows is None or tile_rows >= out_h:
+        dst[...] = src
+    else:
+        for row in range(0, out_h, tile_rows):
+            stop = min(row + tile_rows, out_h)
+            dst[:, :, :, :, row:stop] = src[:, :, :, :, row:stop]
+    return out
+
+
+def im2col_loop(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Reference im2col (the pre-kernel-layer loop implementation).
+
+    Materializes the full ``(N, C, k, k, OH, OW)`` patch tensor and pays a
+    transpose+reshape copy.  Kept as the equivalence oracle for
+    :func:`im2col` / :func:`im2col_t` — the zero-copy gathers must
+    reproduce it bit-for-bit.
     """
     n, c, h, w = x.shape
     out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)

@@ -62,13 +62,16 @@ def _bench_model(
     requests: Sequence[np.ndarray],
     windows: Sequence[int],
     repeats: int,
+    workers: Sequence[int] = (1,),
 ) -> List[Dict[str, Any]]:
     engine = create_engine(
         model, backend="sparse", config=PlanConfig(batch_invariant=True)
     )
     engine(np.concatenate(requests[: max(windows)], axis=0))  # warm plan + cache
 
-    # Per-request reference: outputs double as the bit-exactness oracle.
+    # Per-request reference: outputs double as the bit-exactness oracle —
+    # for every window size AND worker count, since neither batch
+    # composition nor the executing worker may be observable.
     reference = [engine(r) for r in requests]
     t_seq = float("inf")
     for _ in range(repeats):
@@ -80,50 +83,54 @@ def _bench_model(
 
     rows: List[Dict[str, Any]] = []
     for window in windows:
-        session = InferenceSession(
-            engine,
-            SessionConfig(
-                max_batch=window,
-                batch_window_ms=50.0,
-                queue_depth=len(requests) + 8,
-            ),
-        )
-        try:
-            best = float("inf")
-            outputs: List[np.ndarray] = []
-            for _ in range(repeats):
-                session.reset_stats()
-                start = time.perf_counter()
-                outputs = session.infer_many(requests)
-                best = min(best, time.perf_counter() - start)
-            stats = session.stats()
-        finally:
-            session.close()
-        identical = all(
-            np.array_equal(out, ref) for out, ref in zip(outputs, reference)
-        )
-        rps = len(requests) / best
-        cache = stats["engine"].get("cache", {})
-        hits = int(cache.get("hits", 0))
-        misses = int(cache.get("misses", 0))
-        rows.append(
-            {
-                "model": label,
-                "window": int(window),
-                "requests": len(requests),
-                "sequential_ms": t_seq * 1e3,
-                "batched_ms": best * 1e3,
-                "sequential_rps": seq_rps,
-                "throughput_rps": rps,
-                "speedup": rps / seq_rps,
-                "bit_identical": bool(identical),
-                "latency_ms": stats["latency_ms"],
-                "occupancy": stats["occupancy"],
-                "mean_batch": stats["mean_batch"],
-                "cache_hit_rate": hits / (hits + misses) if hits + misses else None,
-                "cache": cache,
-            }
-        )
+        for worker_count in workers:
+            session = InferenceSession(
+                engine,
+                SessionConfig(
+                    max_batch=window,
+                    batch_window_ms=50.0,
+                    queue_depth=len(requests) + 8,
+                    workers=worker_count,
+                ),
+            )
+            try:
+                best = float("inf")
+                outputs: List[np.ndarray] = []
+                for _ in range(repeats):
+                    session.reset_stats()
+                    start = time.perf_counter()
+                    outputs = session.infer_many(requests)
+                    best = min(best, time.perf_counter() - start)
+                stats = session.stats()
+            finally:
+                session.close()
+            identical = all(
+                np.array_equal(out, ref) for out, ref in zip(outputs, reference)
+            )
+            rps = len(requests) / best
+            cache = stats["engine"].get("cache", {})
+            hits = int(cache.get("hits", 0))
+            misses = int(cache.get("misses", 0))
+            rows.append(
+                {
+                    "model": label,
+                    "window": int(window),
+                    "workers": int(worker_count),
+                    "requests": len(requests),
+                    "sequential_ms": t_seq * 1e3,
+                    "batched_ms": best * 1e3,
+                    "sequential_rps": seq_rps,
+                    "throughput_rps": rps,
+                    "speedup": rps / seq_rps,
+                    "bit_identical": bool(identical),
+                    "latency_ms": stats["latency_ms"],
+                    "occupancy": stats["occupancy"],
+                    "mean_batch": stats["mean_batch"],
+                    "per_worker": stats["per_worker"],
+                    "cache_hit_rate": hits / (hits + misses) if hits + misses else None,
+                    "cache": cache,
+                }
+            )
     return rows
 
 
@@ -136,13 +143,18 @@ def run_serve_benchmark(
     include_resnet: bool = True,
     seed: int = 0,
     smoke: bool = False,
+    workers: Sequence[int] = (1, 2),
 ) -> Dict[str, Any]:
     """Throughput/latency sweep over batch windows → ``BENCH_serve.json``.
 
     The workload is ``requests`` independent single-sample requests (the
     serving shape) with per-input dynamic pruning at ``channel_ratio``, so
     every window mixes distinct mask signatures exactly as real traffic
-    would.  ``smoke=True`` shrinks the sweep for CI end-to-end runs.
+    would.  Each window is swept across ``workers`` worker-thread counts;
+    on a single-core box extra workers buy little wall-clock but the rows
+    prove the contract that matters — ``bit_identical`` must hold no
+    matter which worker executed a window.  ``smoke=True`` shrinks the
+    sweep for CI end-to-end runs.
     """
     if smoke:
         windows = tuple(w for w in windows if w in (1, 8)) or (1, 8)
@@ -159,6 +171,7 @@ def run_serve_benchmark(
         _request_stream(requests, 8, seed + 1),
         windows,
         repeats,
+        workers,
     )
     if include_vgg:
         model = vgg16(num_classes=10, width_multiplier=0.125, seed=seed)
@@ -172,6 +185,7 @@ def run_serve_benchmark(
             _request_stream(requests, 32, seed + 2),
             windows,
             repeats,
+            workers,
         )
     if include_resnet:
         model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=seed)
@@ -183,13 +197,18 @@ def run_serve_benchmark(
             _request_stream(requests, 32, seed + 3),
             windows,
             repeats,
+            workers,
         )
 
     wide = [row for row in results if row["window"] >= 8]
+    multi = [row for row in results if row["workers"] > 1]
     summary = {
         "best_speedup_at_window_ge_8": max((r["speedup"] for r in wide), default=None),
         "best_window_row": max(wide, key=lambda r: r["speedup"])["model"] if wide else None,
         "bit_identical_all": all(r["bit_identical"] for r in results),
+        "bit_identical_multi_worker": (
+            all(r["bit_identical"] for r in multi) if multi else None
+        ),
     }
     return {
         "schema": SERVE_SCHEMA,
@@ -202,6 +221,7 @@ def run_serve_benchmark(
             "channel_ratio": channel_ratio,
             "seed": seed,
             "smoke": smoke,
+            "workers": [int(w) for w in workers],
         },
         "summary": summary,
         "results": results,

@@ -252,6 +252,41 @@ class ModelRegistry:
                 found.append(int(match.group(1)))
         return sorted(found)
 
+    def list_artifacts(self) -> List[Dict[str, Any]]:
+        """One row per stored version, without rebuilding any model.
+
+        This is what ``repro registry ls`` prints: enough to re-run a
+        serving or benchmark sweep from saved artifacts (name, version,
+        arch family, pruning-site count, recorded backend-relevant plan
+        knobs) plus the on-disk footprint of each version directory.
+        """
+        rows: List[Dict[str, Any]] = []
+        for name in self.names():
+            for version in self.versions(name):
+                path = os.path.join(self.root, name, f"v{version}")
+                with open(os.path.join(path, _MANIFEST), encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+                size = 0
+                for entry in os.listdir(path):
+                    full = os.path.join(path, entry)
+                    if os.path.isfile(full):
+                        size += os.path.getsize(full)
+                pruning = manifest.get("pruning") or []
+                rows.append(
+                    {
+                        "name": name,
+                        "version": version,
+                        "created_at": manifest.get("created_at"),
+                        "family": (manifest.get("arch") or {}).get("family"),
+                        "pruning_sites": len(pruning),
+                        "plan": manifest.get("plan") or {},
+                        "metadata": manifest.get("metadata") or {},
+                        "size_bytes": size,
+                        "path": path,
+                    }
+                )
+        return rows
+
     def resolve(self, name: str, version: Optional[int] = None) -> Tuple[int, str]:
         """Resolve (version, directory), defaulting to the newest version."""
         versions = self.versions(name)

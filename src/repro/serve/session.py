@@ -2,13 +2,13 @@
 
 :class:`InferenceSession` is the serving layer's unit of deployment: it
 owns an engine (any :class:`~repro.core.engine.EngineProtocol` backend), a
-bounded request queue, and a worker thread that **micro-batches** waiting
+bounded request queue, and N worker threads that **micro-batch** waiting
 requests before each engine call.  Fusing concurrent callers' requests is
 what lets the engine's mask-signature batching amortize *across callers* —
 one im2col/GEMM per mask group per window instead of per request — which
 is where the ≥3x serving throughput in ``BENCH_serve.json`` comes from.
 
-Scheduling model (single worker, two knobs):
+Scheduling model (three knobs):
 
 * ``max_batch`` — the batch window: at most this many samples are fused
   into one engine call.
@@ -16,6 +16,14 @@ Scheduling model (single worker, two knobs):
   the first request of a window arrives.  Under load the window fills
   instantly and the timeout never triggers; at low traffic a lone request
   pays at most this much extra latency.
+* ``workers`` — how many worker threads pull windows off the shared
+  queue.  Plan-backed engines are thread-safe (read-only fused weights,
+  per-thread workspace arenas, locked weight-slice cache — see
+  :attr:`~repro.core.engine.EngineProtocol.thread_safe`), so N workers
+  run the engine concurrently and compute-bound traffic scales with
+  cores; an engine that does not declare thread safety is transparently
+  serialized behind a lock.  Which worker executes a window is invisible
+  in the responses — the batch-invariance contract below covers it.
 
 Correctness contract: sessions compile their engine with
 ``PlanConfig(batch_invariant=True)`` by default, so the response to a
@@ -36,7 +44,7 @@ import dataclasses
 import queue
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,12 +76,17 @@ class SessionConfig:
     latency_window:
         Number of most-recent request latencies kept for the quantile
         telemetry.
+    workers:
+        Worker threads pulling windows off the shared queue.  ``1``
+        preserves the strictly-serial scheduler; ``N > 1`` needs (or
+        serializes around) a thread-safe engine.
     """
 
     max_batch: int = 8
     batch_window_ms: float = 2.0
     queue_depth: int = 256
     latency_window: int = 4096
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -84,6 +97,8 @@ class SessionConfig:
             raise ValueError("queue_depth must be >= 1")
         if self.latency_window < 1:
             raise ValueError("latency_window must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 class PendingResult:
@@ -154,27 +169,37 @@ class InferenceSession:
         self.engine = engine
         self.config = config or SessionConfig()
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.config.queue_depth)
-        self._carry: Optional[_Request] = None
         self._closed = False
         self._lock = threading.Lock()
         # Serializes the closed-check-then-enqueue in submit() against
         # close(), so no request can slip into the queue after the
-        # shutdown sentinel (it would never be answered).
+        # shutdown sentinels (it would never be answered).
         self._submit_lock = threading.Lock()
-        # The engine (plan, weight-slice cache, counters) is not
-        # thread-safe; the worker and the synchronous predict() path both
-        # run it, so engine calls are serialized.
-        self._engine_lock = threading.Lock()
+        # Engines that declare thread_safe (the plan-backed ones: read-only
+        # fused weights, per-thread arenas, locked slice cache) run
+        # concurrently across workers and predict() callers.  Everything
+        # else is serialized behind this lock.
+        self._engine_lock: Optional[threading.Lock] = (
+            None if getattr(engine, "thread_safe", False) else threading.Lock()
+        )
         self._latencies: List[float] = []
         self._requests = 0
         self._samples = 0
         self._batches = 0
         self._batched_samples = 0
         self._errors = 0
-        self._worker = threading.Thread(
-            target=self._run, name="repro-inference-session", daemon=True
-        )
-        self._worker.start()
+        self._worker_batches: Dict[str, int] = {}
+        self._workers = [
+            threading.Thread(
+                target=self._run,
+                name=f"repro-inference-worker-{i}",
+                args=(f"worker-{i}",),
+                daemon=True,
+            )
+            for i in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
 
     # ------------------------------------------------------------------
     # Construction conveniences
@@ -300,8 +325,7 @@ class InferenceSession:
             raise SessionClosed("cannot predict on a closed InferenceSession")
         array = self._normalize(batch)
         start = time.perf_counter()
-        with self._engine_lock:
-            out = self.engine(array)
+        out = self._run_engine(array)
         elapsed = time.perf_counter() - start
         with self._lock:
             self._requests += 1
@@ -310,11 +334,28 @@ class InferenceSession:
         return out
 
     # ------------------------------------------------------------------
-    # Worker
+    # Workers
     # ------------------------------------------------------------------
-    def _collect(self, first: _Request) -> List[_Request]:
-        """Gather up to ``max_batch`` samples, waiting ``batch_window_ms``."""
+    def _run_engine(self, fused: np.ndarray) -> np.ndarray:
+        """One engine call, serialized only for non-thread-safe engines."""
+        if self._engine_lock is None:
+            return self.engine(fused)
+        with self._engine_lock:
+            return self.engine(fused)
+
+    def _collect(
+        self, first: _Request
+    ) -> Tuple[List[_Request], Optional[_Request], bool]:
+        """Gather up to ``max_batch`` samples, waiting ``batch_window_ms``.
+
+        Returns ``(batch, carry, saw_shutdown)``; ``carry`` is a request
+        that would have overflowed this window and belongs to the calling
+        worker's next one.  Collection state is all worker-local — N
+        workers collect from the shared queue concurrently.
+        """
         batch = [first]
+        carry: Optional[_Request] = None
+        saw_shutdown = False
         size = first.array.shape[0]
         deadline = time.perf_counter() + self.config.batch_window_ms / 1e3
         while size < self.config.max_batch:
@@ -327,19 +368,24 @@ class InferenceSession:
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
-                # Keep the sentinel for the outer loop.
-                self._carry_shutdown = True
+                # A shutdown sentinel surfaced mid-window: this worker
+                # takes it as its own exit ticket.  close() posts exactly
+                # one sentinel per worker, so the accounting only works if
+                # a worker never consumes a second one — _run guarantees
+                # that by never touching the queue again once shutdown is
+                # seen (a deferred carry executes as its own window).
+                saw_shutdown = True
                 break
             request: _Request = item  # type: ignore[assignment]
             if size + request.array.shape[0] > self.config.max_batch:
                 # Would overflow the window: defer to the next one.
-                self._carry = request
+                carry = request
                 break
             batch.append(request)
             size += request.array.shape[0]
-        return batch
+        return batch, carry, saw_shutdown
 
-    def _execute(self, batch: List[_Request]) -> None:
+    def _execute(self, batch: List[_Request], worker: str) -> None:
         sizes = [r.array.shape[0] for r in batch]
         try:
             # Fusing inside the try keeps the worker alive when a window
@@ -349,8 +395,7 @@ class InferenceSession:
             fused = batch[0].array if len(batch) == 1 else np.concatenate(
                 [r.array for r in batch], axis=0
             )
-            with self._engine_lock:
-                out = self.engine(fused)
+            out = self._run_engine(fused)
         except BaseException as error:  # noqa: BLE001 - surfaced per request
             with self._lock:
                 self._errors += len(batch)
@@ -366,6 +411,7 @@ class InferenceSession:
             self._samples += sum(sizes)
             self._batches += 1
             self._batched_samples += sum(sizes)
+            self._worker_batches[worker] = self._worker_batches.get(worker, 0) + 1
             for request in batch:
                 self._record_latency(done - request.pending.submitted_at)
         offset = 0
@@ -373,19 +419,28 @@ class InferenceSession:
             request.pending._resolve(out[offset : offset + size], None)
             offset += size
 
-    def _run(self) -> None:
-        self._carry_shutdown = False
+    def _run(self, worker: str) -> None:
+        carry: Optional[_Request] = None
+        shutdown = False
         while True:
-            if self._carry is not None:
-                first, self._carry = self._carry, None
+            if carry is not None:
+                first, carry = carry, None
             else:
+                if shutdown:
+                    break
                 item = self._queue.get()
                 if item is _SHUTDOWN:
                     break
                 first = item  # type: ignore[assignment]
-            self._execute(self._collect(first))
-            if self._carry_shutdown and self._carry is None:
-                break
+            if shutdown:
+                # Already holding the exit ticket: drain the deferred
+                # carry as a lone window without pulling from the queue —
+                # collecting again could swallow a sibling's sentinel.
+                batch: List[_Request] = [first]
+            else:
+                batch, carry, saw_shutdown = self._collect(first)
+                shutdown = shutdown or saw_shutdown
+            self._execute(batch, worker)
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -401,7 +456,9 @@ class InferenceSession:
         ``occupancy`` is mean samples-per-window over ``max_batch`` — how
         full the scheduler runs its windows (1.0 = every engine call fully
         fused).  ``latency_ms`` quantiles cover the last
-        ``latency_window`` requests, submit-to-resolve.
+        ``latency_window`` requests, submit-to-resolve.  With multiple
+        workers the counters are the merged totals; ``per_worker`` breaks
+        window counts down by worker thread (it sums to ``batches``).
         """
         with self._lock:
             latencies = np.asarray(self._latencies, dtype=np.float64)
@@ -412,6 +469,8 @@ class InferenceSession:
                 "batches": batches,
                 "errors": self._errors,
                 "max_batch": self.config.max_batch,
+                "workers": self.config.workers,
+                "per_worker": dict(self._worker_batches),
                 "mean_batch": (self._batched_samples / batches) if batches else 0.0,
                 "occupancy": (
                     self._batched_samples / (batches * self.config.max_batch)
@@ -440,22 +499,26 @@ class InferenceSession:
             self._batches = 0
             self._batched_samples = 0
             self._errors = 0
+            self._worker_batches = {}
         self.engine.reset_stats()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, timeout: Optional[float] = None) -> None:
-        """Stop accepting requests and join the worker.
+        """Stop accepting requests and join every worker.
 
-        Requests already queued are answered before the worker exits.
+        Requests already queued are answered before the workers exit; one
+        shutdown sentinel is posted per worker.
         """
         with self._submit_lock:
             if self._closed:
                 return
             self._closed = True
-            self._queue.put(_SHUTDOWN)
-        self._worker.join(timeout)
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout)
 
     @property
     def closed(self) -> bool:

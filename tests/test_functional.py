@@ -57,6 +57,92 @@ class TestIm2Col:
         assert col.shape == (4, 4)
 
 
+KSP_GRID = [
+    (k, s, p)
+    for k in (1, 2, 3, 5)
+    for s in (1, 2, 3)
+    for p in (0, 1, 2)
+]
+
+
+class TestIm2ColKernels:
+    """The zero-copy gathers must reproduce the loop reference bit-for-bit."""
+
+    @pytest.mark.parametrize("kernel,stride,padding", KSP_GRID)
+    def test_strided_matches_loop(self, rng, kernel, stride, padding):
+        x = rng.normal(size=(3, 4, 9, 11)).astype(np.float32)
+        ref = F.im2col_loop(x, kernel, stride, padding)
+        np.testing.assert_array_equal(F.im2col(x, kernel, stride, padding), ref)
+
+    @pytest.mark.parametrize("kernel,stride,padding", KSP_GRID)
+    def test_tiled_matches_untiled(self, rng, kernel, stride, padding):
+        x = rng.normal(size=(2, 3, 10, 9)).astype(np.float32)
+        ref = F.im2col(x, kernel, stride, padding)
+        for tile in (1, 2, 3, 1000):
+            np.testing.assert_array_equal(
+                F.im2col(x, kernel, stride, padding, tile_rows=tile), ref
+            )
+
+    @pytest.mark.parametrize("kernel,stride,padding", KSP_GRID)
+    def test_transposed_layout_matches(self, rng, kernel, stride, padding):
+        # im2col_t is im2col with rows (n, oh, ow) and columns (c, k, k)
+        # exchanged: same values, NCHW-friendly layout.
+        x = rng.normal(size=(2, 3, 9, 8)).astype(np.float32)
+        n, c = x.shape[:2]
+        oh, ow = F.conv_output_shape(9, 8, kernel, stride, padding)
+        ref = (
+            F.im2col(x, kernel, stride, padding)
+            .reshape(n, oh, ow, c, kernel, kernel)
+            .transpose(0, 3, 4, 5, 1, 2)
+            .reshape(n, c * kernel * kernel, oh * ow)
+        )
+        np.testing.assert_array_equal(F.im2col_t(x, kernel, stride, padding), ref)
+        for tile in (1, 2, 1000):
+            np.testing.assert_array_equal(
+                F.im2col_t(x, kernel, stride, padding, tile_rows=tile), ref
+            )
+
+    def test_out_buffer_is_written_and_returned(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        ref = F.im2col(x, 3, 1, 1)
+        buf = np.full_like(ref, np.nan)
+        got = F.im2col(x, 3, 1, 1, out=buf)
+        assert got is buf
+        np.testing.assert_array_equal(buf, ref)
+        ref_t = F.im2col_t(x, 3, 1, 1)
+        buf_t = np.full_like(ref_t, np.nan)
+        assert F.im2col_t(x, 3, 1, 1, out=buf_t) is buf_t
+        np.testing.assert_array_equal(buf_t, ref_t)
+
+    def test_out_buffer_validated(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        with pytest.raises(ValueError):
+            F.im2col(x, 3, 1, 0, out=np.empty((1, 1), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.im2col(x, 3, 1, 0, out=np.empty((9, 18), dtype=np.float64))
+        fortran = np.asfortranarray(np.empty((9, 18), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.im2col(x, 3, 1, 0, out=fortran)
+
+    @pytest.mark.parametrize("kernel,stride,padding", [(2, 1, 0), (3, 1, 1), (3, 2, 1), (5, 3, 2)])
+    def test_col2im_roundtrip_adjoint(self, rng, kernel, stride, padding):
+        # <im2col(x), y> == <x, col2im(y)> must keep holding with the
+        # strided gather feeding the fold.
+        x = rng.normal(size=(2, 3, 9, 9))
+        col = F.im2col(x, kernel, stride, padding)
+        y = rng.normal(size=col.shape)
+        lhs = (col * y).sum()
+        rhs = (x * F.col2im(y, x.shape, kernel, stride, padding)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_default_tile_rows_targets_l2(self):
+        # One row of 64-channel 3x3 patches at OW=64 is ~147KB in float32:
+        # the tile should be a single row; tiny maps get the whole sweep.
+        assert F.default_tile_rows(64, 3, 64, 4) == 1
+        assert F.default_tile_rows(4, 3, 8, 4) >= 8
+        assert F.default_tile_rows(1, 1, 1, 4) >= 1
+
+
 class TestConv2d:
     @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
     def test_matches_brute_force(self, rng, stride, padding):

@@ -123,6 +123,25 @@ class TestModelRegistry:
         with pytest.raises(ArtifactNotFoundError):
             registry.load("m", 9)
 
+    def test_list_artifacts_reports_versions_and_sizes(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        assert registry.list_artifacts() == []
+        handle = slim_vgg_handle()
+        registry.save("vgg", handle, metadata={"note": "a"})
+        registry.save("vgg", handle)
+        registry.save("res", slim_resnet_handle())
+        rows = registry.list_artifacts()
+        assert [(r["name"], r["version"]) for r in rows] == [
+            ("res", 1), ("vgg", 1), ("vgg", 2),
+        ]
+        for row in rows:
+            assert row["size_bytes"] > 0
+            assert row["created_at"]
+            assert row["family"] in {"vgg", "resnet"}
+            assert row["pruning_sites"] > 0
+            assert "batch_invariant" in row["plan"]
+        assert rows[1]["metadata"] == {"note": "a"}
+
     def test_parse_ref(self):
         assert parse_ref("name") == ("name", None)
         assert parse_ref("name@v3") == ("name", 3)
@@ -381,6 +400,141 @@ class TestInferenceSession:
             assert stats["requests"] == 1 and stats["samples"] == 32
             # Window occupancy describes only scheduler-fused batches.
             assert stats["batches"] == 0 and stats["occupancy"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Multi-worker sessions
+# ----------------------------------------------------------------------
+class TestMultiWorkerSession:
+    def test_outputs_bit_identical_across_worker_counts(self):
+        stack = build_conv_stack(0.6, width=16, depth=3)
+        engine = create_engine(stack, "sparse", config=PlanConfig(batch_invariant=True))
+        assert engine.thread_safe
+        requests = make_requests(24, image_size=16, seed=21)
+        reference = [engine(r) for r in requests]
+        for workers in (1, 2, 4):
+            with InferenceSession(
+                engine,
+                SessionConfig(max_batch=4, batch_window_ms=5.0, workers=workers),
+            ) as session:
+                outputs = session.infer_many(requests)
+            for out, ref in zip(outputs, reference):
+                np.testing.assert_array_equal(out, ref)
+
+    def test_concurrent_submitters_get_their_own_answers(self):
+        import threading
+
+        stack = build_conv_stack(0.6, width=16, depth=3)
+        requests = make_requests(30, image_size=16, seed=22)
+        engine = create_engine(stack, "sparse", config=PlanConfig(batch_invariant=True))
+        reference = [engine(r) for r in requests]
+        results: dict = {}
+        with InferenceSession(
+            engine, SessionConfig(max_batch=4, batch_window_ms=5.0, workers=3)
+        ) as session:
+
+            def client(start: int) -> None:
+                for i in range(start, len(requests), 3):
+                    results[i] = session.infer(requests[i])
+
+            threads = [threading.Thread(target=client, args=(s,)) for s in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = session.stats()
+        assert stats["requests"] == 30
+        assert stats["errors"] == 0
+        for i, ref in enumerate(reference):
+            np.testing.assert_array_equal(results[i], ref)
+
+    def test_merged_telemetry_sums_per_worker(self):
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(max_batch=2, batch_window_ms=5.0, workers=2),
+        ) as session:
+            session.infer_many(make_requests(12, image_size=16, seed=23))
+            stats = session.stats()
+        assert stats["workers"] == 2
+        assert stats["requests"] == 12
+        assert sum(stats["per_worker"].values()) == stats["batches"]
+        # Per-thread workspace arenas surface in the merged engine stats.
+        assert stats["engine"]["workspace"]["arenas"] >= 1
+
+    def test_non_thread_safe_engine_is_serialized_not_rejected(self):
+        model = vgg16(num_classes=10, width_multiplier=0.125, seed=1)
+        model.eval()
+        engine = DenseEngine(model)
+        assert not engine.thread_safe
+        requests = make_requests(6, seed=24)
+        reference = [engine(r) for r in requests]
+        # max_batch=1: DenseEngine is not batch-invariant, so only
+        # per-request windows can be compared bitwise — the point here is
+        # that two workers around a non-thread-safe engine still serialize
+        # onto correct answers instead of racing the autograd state.
+        with InferenceSession(
+            engine, SessionConfig(max_batch=1, batch_window_ms=5.0, workers=2)
+        ) as session:
+            outputs = session.infer_many(requests)
+        for out, ref in zip(outputs, reference):
+            np.testing.assert_array_equal(out, ref)
+
+    def test_close_race_with_tiny_queue_strands_no_request(self):
+        import threading
+        import time
+
+        # Regression: with queue_depth < workers, a shutdown sentinel can
+        # surface mid-window while close() is still blocked posting the
+        # next one.  A worker must take it as its own exit ticket (never
+        # re-post, never collect again) or its window's requests would be
+        # stranded unresolved.
+        stack = build_conv_stack(0.5, width=16, depth=3)
+        requests = make_requests(6, image_size=16, seed=30)
+        for _ in range(5):
+            session = InferenceSession.from_model(
+                stack, backend="sparse",
+                session=SessionConfig(
+                    max_batch=4, batch_window_ms=1.0, queue_depth=1, workers=2
+                ),
+            )
+            accepted: list = []
+
+            def client() -> None:
+                for r in requests:
+                    try:
+                        accepted.append(session.submit(r))
+                    except SessionClosed:
+                        return
+
+            threads = [threading.Thread(target=client) for _ in range(2)]
+            for t in threads:
+                t.start()
+            time.sleep(0.002)
+            session.close(timeout=10.0)
+            for t in threads:
+                t.join(timeout=10.0)
+            for pending in accepted:
+                # A stranded request would raise TimeoutError here.
+                assert pending.result(timeout=10.0).shape[0] == 1
+            for worker in session._workers:
+                worker.join(timeout=10.0)
+                assert not worker.is_alive()
+
+    def test_close_stops_every_worker(self):
+        session = InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3), backend="sparse",
+            session=SessionConfig(workers=3),
+        )
+        session.infer(make_requests(1, image_size=16, seed=25)[0])
+        session.close(timeout=10.0)
+        for worker in session._workers:
+            assert not worker.is_alive()
+        with pytest.raises(SessionClosed):
+            session.submit(make_requests(1, image_size=16)[0])
+
+    def test_workers_config_validated(self):
+        with pytest.raises(ValueError):
+            SessionConfig(workers=0)
 
 
 # ----------------------------------------------------------------------

@@ -321,3 +321,104 @@ class TestResNetPlanEquivalence:
         misses = executor.plan.cache.misses
         executor(x)
         assert executor.plan.cache.misses == misses
+
+
+# ----------------------------------------------------------------------
+# Zero-copy kernel layer: workspace reuse and per-sample bit-identity
+# ----------------------------------------------------------------------
+class TestWorkspaceReuse:
+    def test_arena_reuses_buffers_across_plan_calls(self, rng):
+        stack = pruned_stack()
+        executor = SparseSequentialExecutor(stack, PlanConfig(dense_threshold=0.0))
+        x = rng.normal(size=(4, 3, 10, 10)).astype(np.float32)
+        executor(x)
+        warm = executor.plan.arena_stats()
+        assert warm["allocations"] > 0
+        first = executor(x)
+        after_one = executor.plan.arena_stats()
+        # Steady state: repeat traffic performs no scratch allocation.
+        assert after_one["allocations"] == warm["allocations"]
+        assert after_one["reuses"] > warm["reuses"]
+        second = executor(x)
+        np.testing.assert_array_equal(first, second)
+
+    def test_resnet_plan_reuses_workspace(self, rng):
+        from repro.models import ResNet
+
+        model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=0)
+        model.eval()
+        instrument_model(model, PruningConfig([0.6] * 3, [0.0] * 3))
+        executor = SparseResNetExecutor(model)
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        executor(x)
+        allocations = executor.plan.arena_stats()["allocations"]
+        executor(x)
+        assert executor.plan.arena_stats()["allocations"] == allocations
+
+    def test_raw_sparse_conv2d_accepts_external_arena(self, rng):
+        from repro.core.workspace import WorkspaceArena
+
+        x = rng.normal(size=(4, 8, 9, 9)).astype(np.float32)
+        w = rng.normal(size=(5, 8, 3, 3)).astype(np.float32)
+        mask = rng.random((4, 8)) < 0.5
+        mask[:, 0] = True
+        masked = x * mask[:, :, None, None]
+        arena = WorkspaceArena()
+        first = sparse_conv2d(masked, w, None, 1, 1, channel_mask=mask, arena=arena)
+        taken = arena.allocations
+        assert taken > 0
+        second = sparse_conv2d(masked, w, None, 1, 1, channel_mask=mask, arena=arena)
+        assert arena.allocations == taken
+        assert arena.reuses > 0
+        np.testing.assert_array_equal(first, second)
+        bare = sparse_conv2d(masked, w, None, 1, 1, channel_mask=mask)
+        np.testing.assert_array_equal(first, bare)
+
+
+class TestPerSampleBitIdentity:
+    """Batch composition must be unobservable, bit for bit.
+
+    Since the kernel-layer rewrite every channel-path GEMM runs as
+    fixed-shape per-sample slices, so this holds for the stacked and the
+    grouped path alike — with or without ``batch_invariant``.
+    """
+
+    def test_stacked_path_matches_per_sample_exactly(self, rng):
+        # Distinct equal-count masks at a small map -> stacked fast path.
+        x = rng.normal(size=(6, 12, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(5, 12, 3, 3)).astype(np.float32)
+        b = rng.normal(size=(5,)).astype(np.float32)
+        order = np.stack([rng.permutation(12) for _ in range(6)])
+        mask = order < 5  # five kept channels each, all signatures distinct
+        assert len(group_by_mask_signature(mask)) > 1
+        masked = x * mask[:, :, None, None]
+        batched = sparse_conv2d(masked, w, b, 1, 1, channel_mask=mask)
+        for i in range(6):
+            single = sparse_conv2d(
+                masked[i : i + 1], w, b, 1, 1, channel_mask=mask[i : i + 1]
+            )
+            np.testing.assert_array_equal(batched[i : i + 1], single)
+
+    def test_grouped_path_matches_per_sample_exactly(self, rng):
+        # Large map (> stacked cutoff) with repeated signatures -> grouped.
+        x = rng.normal(size=(4, 6, 26, 26)).astype(np.float32)
+        w = rng.normal(size=(4, 6, 3, 3)).astype(np.float32)
+        base = np.stack([rng.random(6) < d for d in (0.5, 0.8)])
+        mask = base[np.array([0, 1, 0, 1])]
+        masked = x * mask[:, :, None, None]
+        batched = sparse_conv2d(masked, w, None, 1, 1, channel_mask=mask)
+        for i in range(4):
+            single = sparse_conv2d(
+                masked[i : i + 1], w, None, 1, 1, channel_mask=mask[i : i + 1]
+            )
+            np.testing.assert_array_equal(batched[i : i + 1], single)
+
+    def test_plan_outputs_ignore_batch_composition(self, rng):
+        stack = pruned_stack(granularity="input")
+        executor = SparseSequentialExecutor(
+            stack, PlanConfig(batch_invariant=True, dense_threshold=0.0)
+        )
+        x = rng.normal(size=(5, 3, 10, 10)).astype(np.float32)
+        batched = executor(x)
+        for i in range(5):
+            np.testing.assert_array_equal(executor(x[i : i + 1]), batched[i : i + 1])

@@ -1,0 +1,132 @@
+"""Tests for the workspace arenas behind the zero-copy kernel layer."""
+
+import threading
+
+import numpy as np
+
+from repro.core.workspace import ArenaPool, WorkspaceArena
+
+
+class TestWorkspaceArena:
+    def test_reuses_buffer_across_takes(self):
+        arena = WorkspaceArena()
+        first = arena.take("col", (4, 8), np.float32)
+        first[...] = 1.0
+        second = arena.take("col", (4, 8), np.float32)
+        # Same backing memory: the arena handed the buffer back.
+        assert np.shares_memory(first, second)
+        assert arena.allocations == 1
+        assert arena.reuses == 1
+
+    def test_smaller_request_reuses_grown_buffer(self):
+        arena = WorkspaceArena()
+        arena.take("col", (16, 16), np.float32)
+        small = arena.take("col", (2, 3), np.float32)
+        assert small.shape == (2, 3)
+        assert arena.allocations == 1
+        assert arena.reuses == 1
+
+    def test_growth_allocates_once_per_high_water_mark(self):
+        arena = WorkspaceArena()
+        arena.take("col", (8,), np.float32)
+        arena.take("col", (64,), np.float32)  # grow
+        arena.take("col", (32,), np.float32)  # fits
+        assert arena.allocations == 2
+        assert arena.reuses == 1
+
+    def test_tags_and_dtypes_are_isolated(self):
+        arena = WorkspaceArena()
+        a = arena.take("col", (4,), np.float32)
+        b = arena.take("gemm", (4,), np.float32)
+        c = arena.take("col", (4,), np.float64)
+        assert not np.shares_memory(a, b)
+        assert not np.shares_memory(a, c)
+        assert arena.allocations == 3
+
+    def test_views_are_contiguous_and_writable(self):
+        arena = WorkspaceArena()
+        view = arena.take("col", (3, 5, 7), np.float32)
+        assert view.flags.c_contiguous and view.flags.writeable
+        view[...] = 2.0  # must not raise
+
+    def test_stats_and_clear(self):
+        arena = WorkspaceArena()
+        arena.take("col", (1024,), np.float32)
+        stats = arena.stats
+        assert stats["buffers"] == 1
+        assert stats["bytes"] == 4096
+        arena.clear()
+        assert arena.stats["buffers"] == 0
+        # Counters survive a clear (telemetry, not storage).
+        assert arena.stats["allocations"] == 1
+
+
+class TestArenaPool:
+    def test_same_thread_same_arena(self):
+        pool = ArenaPool()
+        assert pool.get() is pool.get()
+
+    def test_threads_get_isolated_arenas(self):
+        pool = ArenaPool()
+        main_arena = pool.get()
+        seen = []
+
+        def worker():
+            arena = pool.get()
+            arena.take("col", (8,), np.float32)
+            seen.append(arena)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(a) for a in seen} | {id(main_arena)}) == 4
+
+    def test_merged_stats_cover_all_threads(self):
+        pool = ArenaPool()
+        pool.get().take("col", (8,), np.float32)
+        barrier = threading.Event()
+
+        def worker():
+            pool.get().take("col", (8,), np.float32)
+            pool.get().take("col", (8,), np.float32)
+            barrier.wait(5.0)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        try:
+            # Poll until the worker's takes are visible, while it is alive.
+            for _ in range(500):
+                if pool.stats()["allocations"] == 2:
+                    break
+                threading.Event().wait(0.01)
+            stats = pool.stats()
+        finally:
+            barrier.set()
+            t.join()
+        assert stats["arenas"] == 2
+        assert stats["allocations"] == 2
+        assert stats["reuses"] == 1
+
+    def test_dead_threads_free_buffers_but_keep_counters(self):
+        import gc
+
+        pool = ArenaPool()
+
+        def worker():
+            pool.get().take("col", (1024,), np.float32)
+            pool.get().take("col", (1024,), np.float32)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        gc.collect()
+        stats = pool.stats()
+        # The thread is gone: its arena (and megabytes of scratch) must
+        # not be pinned by the pool...
+        assert stats["arenas"] == 0
+        assert stats["bytes"] == 0
+        # ...but the lifetime telemetry survives.
+        assert stats["allocations"] == 1
+        assert stats["reuses"] == 1
