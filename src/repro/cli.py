@@ -118,7 +118,7 @@ def cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def cmd_autotune(args: argparse.Namespace) -> int:
-    from .core.autotune import greedy_ratio_search
+    from .core.autotune import autotune_metadata, greedy_ratio_search
 
     handle, test_loader = _trained_handle(args.arch, seed=args.seed)
     result = greedy_ratio_search(
@@ -139,6 +139,28 @@ def cmd_autotune(args: argparse.Namespace) -> int:
     for step in result.history:
         print(f"    block {step.block + 1} -> {step.ratio:.2f}: "
               f"acc {step.accuracy:.3f}, red {step.reduction_pct:.1f}%")
+    if args.save:
+        from .serve import ModelRegistry
+
+        # greedy_ratio_search leaves the handle at the winning vector, so
+        # the artifact's pruning sites record exactly what was measured.
+        handle.model.eval()
+        registry = ModelRegistry(args.registry)
+        name, version = registry.save(
+            args.save,
+            handle,
+            metadata=autotune_metadata(
+                result,
+                arch=args.arch,
+                seed=args.seed,
+                search={
+                    "target_reduction_pct": args.target,
+                    "tolerance": args.tolerance,
+                    "step": args.step,
+                },
+            ),
+        )
+        print(f"  saved tuned artifact {name}@v{version} to {args.registry}")
     return 0
 
 
@@ -307,23 +329,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_registry(args: argparse.Namespace) -> int:
-    from .serve import ModelRegistry
+    from .serve import ArtifactNotFoundError, ModelRegistry, parse_ref
 
-    if args.action != "ls":
-        print(f"unknown registry action {args.action!r} (expected ls)")
-        return 2
     registry = ModelRegistry(args.registry)
-    rows = registry.list_artifacts()
-    if not rows:
-        print(f"no artifacts in {args.registry}")
+    if args.action == "ls":
+        rows = registry.list_artifacts()
+        if not rows:
+            print(f"no artifacts in {args.registry}")
+            return 0
+        print(f"{'name':<20} {'ver':>4} {'family':>8} {'sites':>5} {'size':>9} "
+              f"{'sha256':>10}  created")
+        for row in rows:
+            size_kb = row["size_bytes"] / 1024.0
+            sha = (row["weights_sha256"] or "-")[:10]
+            print(f"{row['name']:<20} {'v' + str(row['version']):>4} "
+                  f"{str(row['family']):>8} {row['pruning_sites']:>5} "
+                  f"{size_kb:>8.1f}K {sha:>10}  {row['created_at']}")
+        print(f"\n{len(rows)} artifact version(s) in {args.registry}")
         return 0
-    print(f"{'name':<20} {'ver':>4} {'family':>8} {'sites':>5} {'size':>9}  created")
-    for row in rows:
-        size_kb = row["size_bytes"] / 1024.0
-        print(f"{row['name']:<20} {'v' + str(row['version']):>4} "
-              f"{str(row['family']):>8} {row['pruning_sites']:>5} "
-              f"{size_kb:>8.1f}K  {row['created_at']}")
-    print(f"\n{len(rows)} artifact version(s) in {args.registry}")
+    if args.action == "rm":
+        if not args.ref:
+            print("registry rm needs an artifact reference (name or name@vN)")
+            return 2
+        try:
+            name, version = parse_ref(args.ref)
+        except ValueError as error:
+            print(error)
+            return 2
+        try:
+            removed = registry.delete(name, version)
+        except ArtifactNotFoundError as error:
+            print(f"artifact not found: {error.args[0]}")
+            return 2
+        print(f"removed {name} version(s) {', '.join('v' + str(v) for v in removed)} "
+              f"from {args.registry}")
+        return 0
+    # gc
+    report = registry.gc(keep_last=args.keep)
+    for name, versions in sorted(report["removed"].items()):
+        print(f"pruned {name}: {', '.join('v' + str(v) for v in versions)}")
+    for path in report["tmp_removed"]:
+        print(f"swept stale temp dir {path}")
+    if not report["removed"] and not report["tmp_removed"]:
+        print(f"nothing to collect in {args.registry} (keep-last {args.keep})")
+    else:
+        print(f"freed {report['bytes_freed'] / 1024.0:.1f}K from {args.registry}")
     return 0
 
 
@@ -375,6 +425,70 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_adaptive(args: argparse.Namespace) -> int:
+    from .serve import run_adaptive_benchmark, write_serve_json
+
+    try:
+        fractions = [float(f) for f in args.fractions.split(",") if f.strip()]
+        image_sizes = [int(s) for s in str(args.image_size).split(",") if s.strip()]
+        workers = [int(w) for w in args.workers.split(",") if w.strip()]
+    except ValueError:
+        print("invalid --fractions/--image-size/--workers "
+              "(expected e.g. 0.5,1.0,1.5 and 32,64 and 1,2)")
+        return 2
+    if not fractions or any(f <= 0 for f in fractions):
+        print(f"invalid --fractions {args.fractions!r} (must be positive)")
+        return 2
+    if not image_sizes or any(s < 4 for s in image_sizes):
+        print(f"invalid --image-size {args.image_size!r} (sizes must be >= 4)")
+        return 2
+    if not workers or any(w < 1 for w in workers):
+        print(f"invalid --workers {args.workers!r} (every count must be >= 1)")
+        return 2
+    document = run_adaptive_benchmark(
+        fractions=fractions,
+        image_sizes=image_sizes,
+        batch_size=args.batch_size,
+        width=args.width,
+        depth=args.depth,
+        repeats=args.repeats,
+        seed=args.seed,
+        smoke=args.smoke,
+        workers=workers,
+    )
+    write_serve_json(document, args.output)
+    print(f"{'frac':>5} {'size':>5} {'keep':>5} {'dense(ms)':>10} {'fallbk(ms)':>11} "
+          f"{'ragged(ms)':>11} {'vs dense':>9} {'vs fallbk':>10} {'exact':>6}")
+    for row in document["results"]:
+        exact = row["bit_identical"] and all(
+            s["bit_identical"] for s in row["sessions"].values()
+        )
+        print(f"{row['threshold_fraction']:>5.2f} {row['image_size']:>5} "
+              f"{row['keep_fraction']:>5.2f} {row['dense_ms']:>10.1f} "
+              f"{row['fallback_ms']:>11.1f} {row['ragged_ms']:>11.1f} "
+              f"{row['speedup_vs_dense']:>8.2f}x {row['speedup_vs_fallback']:>9.2f}x "
+              f"{str(bool(exact)):>6}")
+    summary = document["summary"]
+    print(f"\nbest ragged speedup: {summary['best_speedup_vs_dense']:.2f}x vs dense, "
+          f"{summary['best_speedup_vs_fallback']:.2f}x vs per-input fallback; "
+          f"bit-identical everywhere (incl. workers=2): {summary['bit_identical_all']}")
+    if summary["ragged_beats_dense_at_keep_le_half"] is not None:
+        print(f"ragged beats dense at keep fraction <= 0.5: "
+              f"{summary['ragged_beats_dense_at_keep_le_half']}")
+    print(f"recorded {len(document['results'])} measurements to {args.output}")
+    if args.smoke:
+        if not summary["bit_identical_all"]:
+            print("CONTRACT VIOLATION: ragged serving outputs depended on batch "
+                  "composition or worker identity")
+            return 1
+        if not summary["ragged_not_below_fallback"]:
+            print("PERF REGRESSION: ragged path fell below "
+                  f"{summary['ragged_regression_slack']:.0%} of the per-input "
+                  "fallback's throughput")
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -405,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_auto.add_argument("--target", type=float, default=30.0, help="FLOPs reduction %%")
     p_auto.add_argument("--tolerance", type=float, default=0.15, help="accuracy-drop budget")
     p_auto.add_argument("--step", type=float, default=0.15, help="ratio increment per move")
+    p_auto.add_argument("--save", default=None, metavar="NAME",
+                        help="register the tuned model as an artifact with the "
+                             "measured accuracy/FLOPs in its metadata")
+    p_auto.add_argument("--registry", default="artifacts",
+                        help="registry root directory for --save")
     p_auto.set_defaults(func=cmd_autotune)
 
     p_bench = sub.add_parser(
@@ -490,13 +609,46 @@ def build_parser() -> argparse.ArgumentParser:
                           help="tiny sweep for CI end-to-end checks")
     p_bserve.set_defaults(func=cmd_bench_serve)
 
-    p_registry = sub.add_parser(
-        "registry", help="inspect a model-artifact registry"
+    p_badapt = sub.add_parser(
+        "bench-adaptive",
+        help="adaptive (threshold-mode) ragged serving sweep, record "
+             "BENCH_adaptive.json",
     )
-    p_registry.add_argument("action", choices=["ls"],
-                            help="ls: list artifact names, versions, and sizes")
+    p_badapt.add_argument("--output", default="BENCH_adaptive.json")
+    p_badapt.add_argument("--fractions", default="0.5,0.75,1.0,1.1",
+                          help="comma-separated calibration fractions of the "
+                               "median attention (higher prunes harder)")
+    p_badapt.add_argument("--image-size", default="16,32,64",
+                          help="comma-separated input resolutions to sweep "
+                               "(16 is the high-QPS tier where bucketing "
+                               "pays most)")
+    p_badapt.add_argument("--batch-size", type=int, default=8)
+    p_badapt.add_argument("--width", type=int, default=64)
+    p_badapt.add_argument("--depth", type=int, default=4)
+    p_badapt.add_argument("--repeats", type=int, default=3)
+    p_badapt.add_argument("--workers", default="1,2",
+                          help="comma-separated session worker counts for the "
+                               "bit-identity rows")
+    p_badapt.add_argument("--smoke", action="store_true",
+                          help="CI smoke: single grid point; exit 1 on a "
+                               "bit-identity violation or if the ragged path "
+                               "regresses below the per-input fallback")
+    p_badapt.set_defaults(func=cmd_bench_adaptive)
+
+    p_registry = sub.add_parser(
+        "registry", help="inspect and maintain a model-artifact registry"
+    )
+    p_registry.add_argument("action", choices=["ls", "rm", "gc"],
+                            help="ls: list artifacts; rm: delete one artifact "
+                                 "(or version); gc: prune old versions and "
+                                 "stale temp dirs")
+    p_registry.add_argument("ref", nargs="?", default=None,
+                            help="artifact reference for rm (name or name@vN; "
+                                 "a bare name removes every version)")
     p_registry.add_argument("--registry", default="artifacts",
                             help="registry root directory")
+    p_registry.add_argument("--keep", type=int, default=1,
+                            help="gc: newest versions to keep per artifact")
     p_registry.set_defaults(func=cmd_registry)
 
     for sub_parser in sub.choices.values():

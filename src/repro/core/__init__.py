@@ -13,18 +13,29 @@
 """
 
 from .attention import CRITERIA, channel_attention, make_criterion, spatial_attention
-from .autotune import AutotuneResult, AutotuneStep, greedy_ratio_search
+from .autotune import AutotuneResult, AutotuneStep, autotune_metadata, greedy_ratio_search
 from .engine import (
     DenseEngine,
     EngineProtocol,
     SparseEngine,
     available_backends,
     create_engine,
+    model_is_adaptive,
     model_sparsity,
     register_backend,
 )
 from .flops import DynamicFlopsReport, FlopsReport, LayerFlops, count_flops, dynamic_flops
-from .masks import channel_mask, keep_fraction, reserved_count, spatial_mask, topk_mask
+from .masks import (
+    MaskSpec,
+    channel_mask,
+    group_by_kept_count,
+    keep_fraction,
+    kept_counts,
+    quantize_kept_count,
+    reserved_count,
+    spatial_mask,
+    topk_mask,
+)
 from .pruning import (
     DynamicPruning,
     InstrumentedModel,
@@ -59,6 +70,10 @@ __all__ = [
     "channel_mask",
     "spatial_mask",
     "keep_fraction",
+    "MaskSpec",
+    "kept_counts",
+    "quantize_kept_count",
+    "group_by_kept_count",
     "DynamicPruning",
     "PruningConfig",
     "InstrumentedModel",
@@ -98,7 +113,9 @@ __all__ = [
     "register_backend",
     "available_backends",
     "model_sparsity",
+    "model_is_adaptive",
     "greedy_ratio_search",
     "AutotuneResult",
     "AutotuneStep",
+    "autotune_metadata",
 ]

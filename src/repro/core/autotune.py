@@ -15,14 +15,19 @@ paper's workflow: sensitivity → ratio vector → TTD ratio ascent.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..nn.data import DataLoader
 from .flops import count_flops, dynamic_flops
 from .pruning import InstrumentedModel
 from .training import evaluate
 
-__all__ = ["AutotuneStep", "AutotuneResult", "greedy_ratio_search"]
+__all__ = [
+    "AutotuneStep",
+    "AutotuneResult",
+    "greedy_ratio_search",
+    "autotune_metadata",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +54,30 @@ class AutotuneResult:
     @property
     def accuracy_drop(self) -> float:
         return self.baseline_accuracy - self.accuracy
+
+
+def autotune_metadata(result: AutotuneResult, **extra: Any) -> Dict[str, Any]:
+    """Registry-artifact metadata for a tuned ratio vector.
+
+    ``repro autotune --save`` records the search outcome — the chosen
+    ratios plus the *measured* accuracy and FLOPs reduction — alongside
+    the artifact, so a serving deployment can audit what the vector cost
+    without re-running the search.  ``extra`` keys (arch, seed, search
+    knobs) merge in at the top level.
+    """
+    return {
+        "source": "autotune",
+        "autotune": {
+            "ratios": [round(float(r), 6) for r in result.ratios],
+            "accuracy": float(result.accuracy),
+            "baseline_accuracy": float(result.baseline_accuracy),
+            "accuracy_drop": float(result.accuracy_drop),
+            "reduction_pct": float(result.reduction_pct),
+            "target_reached": bool(result.target_reached),
+            "accepted_moves": len(result.history),
+        },
+        **extra,
+    }
 
 
 def _measure(

@@ -19,6 +19,19 @@ backends behind :func:`create_engine`:
     ``auto_threshold`` of its dimension (gather savings beat overhead),
     falling back to ``dense`` for unpruned models or layer graphs the plan
     compiler cannot handle.
+``adaptive``
+    The ``sparse`` plan compiled with ``ragged_mode="always"``: every
+    channel mask — adaptive threshold masks *and* fixed top-k masks —
+    executes through kept-count-bucketed GEMMs.  This is the backend for
+    threshold-mode (per-input keep fraction) serving; note that plain
+    ``sparse``/``auto`` already route threshold-mode sites raggedly
+    (``ragged_mode="auto"``), so ``adaptive`` is for forcing the bucketed
+    path uniformly.
+
+Models carrying FBS-style learned gates (:class:`repro.baselines.dynamic.
+GatedModel`) compile like instrumented models: the gates become plan ops
+that arm the following convolution, so the closest prior dynamic method
+runs on the same batched engine as AntiDote masks.
 
 New backends register with :func:`register_backend`; the serving layer
 (:mod:`repro.serve`) builds every session through this factory, so an
@@ -27,6 +40,7 @@ artifact's metadata can name its backend as data.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -50,6 +64,7 @@ __all__ = [
     "create_engine",
     "iter_pruners",
     "model_sparsity",
+    "model_is_adaptive",
     "as_layer_stack",
 ]
 
@@ -95,13 +110,32 @@ class EngineProtocol:
     def describe(self) -> str:
         return f"{type(self).__name__}(backend={self.backend!r})"
 
+    def request_bucket(self, x: np.ndarray) -> Optional[int]:
+        """Scheduling bucket hint for one request (``None`` = unbucketed).
+
+        Engines that can cheaply predict how a request will group inside
+        their batching machinery (e.g. the sparse plan's kept-count
+        buckets) override this; the serving scheduler uses it for
+        kept-count-aware window assembly when
+        :attr:`repro.serve.SessionConfig.bucket_requests` is on.
+        """
+        return None
+
 
 # ----------------------------------------------------------------------
 # Model normalization helpers
 # ----------------------------------------------------------------------
 def _unwrap(model: object) -> Module:
-    """Peel an :class:`InstrumentedModel` down to the underlying module."""
-    if isinstance(model, InstrumentedModel):
+    """Peel an instrumentation handle down to the underlying module.
+
+    Both :class:`~repro.core.pruning.InstrumentedModel` (AntiDote sites)
+    and :class:`~repro.baselines.dynamic.GatedModel` (FBS gates) are thin
+    handles whose pruning layers live *inside* the wrapped module's graph,
+    so unwrapping loses nothing.
+    """
+    from ..baselines.dynamic import GatedModel
+
+    if isinstance(model, (InstrumentedModel, GatedModel)):
         return model.model
     if isinstance(model, Module):
         return model
@@ -142,13 +176,24 @@ def model_sparsity(model: Module) -> float:
 
     ``0.0`` for uninstrumented or fully disabled models.  ``threshold``
     mode sites report their on/off ratio switches, which is the best static
-    proxy available before any input is seen.
+    proxy available before any input is seen.  FBS-style gates count with
+    their configured ``prune_ratio``.
     """
+    from ..baselines.dynamic import FBSGate
+
     worst = 0.0
     for pruner in iter_pruners(model):
         if pruner.active:
             worst = max(worst, pruner.channel_ratio, pruner.spatial_ratio)
+    for module in model.modules():
+        if isinstance(module, FBSGate) and module.active:
+            worst = max(worst, module.prune_ratio)
     return worst
+
+
+def model_is_adaptive(model: Module) -> bool:
+    """Whether any active pruning site produces ragged (threshold) masks."""
+    return any(pruner.adaptive for pruner in iter_pruners(model) if pruner.active)
 
 
 # ----------------------------------------------------------------------
@@ -226,12 +271,22 @@ class SparseEngine(EngineProtocol):
             "backend": self.backend,
             "dense_dispatches": self.plan.dense_dispatches,
             "sparse_dispatches": self.plan.sparse_dispatches,
+            "ragged_dispatches": self.plan.ragged_dispatches,
             "cache": dict(self.plan.cache_stats),
             "workspace": self.plan.arena_stats(),
         }
 
     def reset_stats(self) -> None:
         self.plan.reset_stats()
+
+    def request_bucket(self, x: np.ndarray) -> Optional[int]:
+        """Kept-count bucket of the plan's first pruning site for ``x``.
+
+        Runs the compiled op prefix up to the first site (a fraction of a
+        forward pass, on the calling thread, thread-safe); ``None`` when
+        the plan has no channel-pruning site.
+        """
+        return self.plan.kept_count_bucket(np.asarray(x, dtype=np.float32))
 
     def describe(self) -> str:
         if isinstance(self.model, ResNet):
@@ -286,9 +341,32 @@ def _build_auto(
         return DenseEngine(inner, config)
 
 
+def _build_adaptive(
+    model: object,
+    config: Optional[PlanConfig] = None,
+) -> EngineProtocol:
+    """Plan-backed engine with kept-count-bucketed execution forced on.
+
+    ``ragged_mode="always"`` makes every :class:`DynamicPruning` channel
+    mask — threshold *and* top-k — run through the padded bucket GEMMs,
+    so mixed adaptive/static deployments use one uniform dispatch.  (FBS
+    :class:`~repro.baselines.dynamic.FBSGate` masks are fixed-ratio top-k
+    with equal kept-counts by construction; they compile on this backend
+    too but keep their signature-grouped dispatch — there is no
+    raggedness to bucket.)  The graph must be compilable: unlike ``auto``
+    there is no dense fallback, because a dense fallback could not honor
+    the ragged batch-invariance contract this backend is chosen for.
+    """
+    config = dataclasses.replace(config or PlanConfig(), ragged_mode="always")
+    engine = SparseEngine(_unwrap(model), config)
+    engine.backend = "adaptive"
+    return engine
+
+
 register_backend("dense", DenseEngine)
 register_backend("sparse", SparseEngine)
 register_backend("auto", _build_auto)
+register_backend("adaptive", _build_adaptive)
 
 
 def create_engine(

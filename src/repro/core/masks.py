@@ -9,7 +9,8 @@ that is what the paper's tables report (e.g. per-block channel ratios
 
 from __future__ import annotations
 
-from typing import Tuple
+import dataclasses
+from typing import List, Tuple
 
 import numpy as np
 
@@ -23,6 +24,10 @@ __all__ = [
     "threshold_channel_mask",
     "threshold_spatial_mask",
     "batch_union",
+    "MaskSpec",
+    "kept_counts",
+    "quantize_kept_count",
+    "group_by_kept_count",
 ]
 
 
@@ -134,6 +139,113 @@ def threshold_spatial_mask(spatial_scores: np.ndarray, threshold: float) -> np.n
     """Threshold variant of Eq. 4 over ``(N, H, W)`` spatial attention."""
     n, h, w = spatial_scores.shape
     return threshold_mask(spatial_scores.reshape(n, h * w), threshold).reshape(n, h, w)
+
+
+# ----------------------------------------------------------------------
+# MaskSpec: one description for both mask-building rules
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class MaskSpec:
+    """How a pruning site turns attention scores into a binary mask.
+
+    Unifies the paper's fixed top-k rule (``mode="topk"``: every sample
+    keeps ``reserved_count(total, ratio)`` components) and the adaptive
+    threshold rule (``mode="threshold"``: components scoring strictly above
+    ``threshold`` survive, so the kept *count* varies per sample).  The
+    distinction matters operationally: top-k masks have one kept-count per
+    batch and stack into equal-shape GEMMs, threshold masks are **ragged**
+    and need kept-count bucketing (:func:`group_by_kept_count`) to batch.
+
+    Attributes
+    ----------
+    mode:
+        ``"topk"`` (Eqs. 3-4) or ``"threshold"`` (adaptive extension).
+    ratio:
+        Pruning ratio for top-k mode.  In threshold mode the ratio is only
+        an on/off switch at the pruning site; it does not shape the mask.
+    threshold:
+        Score cut-off for threshold mode (ignored by top-k).
+    """
+
+    mode: str = "topk"
+    ratio: float = 0.0
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("topk", "threshold"):
+            raise ValueError(f"mode must be 'topk' or 'threshold', got {self.mode!r}")
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError(f"ratio must be in [0, 1], got {self.ratio}")
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether per-sample kept-counts can differ (ragged execution)."""
+        return self.mode == "threshold"
+
+    def build(self, scores: np.ndarray) -> np.ndarray:
+        """Row-wise boolean mask over ``(N, M)`` scores."""
+        if self.mode == "topk":
+            return topk_mask(scores, reserved_count(scores.shape[1], self.ratio))
+        return threshold_mask(scores, self.threshold)
+
+    def build_spatial(self, scores: np.ndarray) -> np.ndarray:
+        """Mask over ``(N, H, W)`` spatial scores (flattened internally)."""
+        n, h, w = scores.shape
+        return self.build(scores.reshape(n, h * w)).reshape(n, h, w)
+
+    def signature(self) -> Tuple[str, float]:
+        """Hashable identity of the rule (for plan/bucket cache keys)."""
+        if self.mode == "topk":
+            return ("topk", self.ratio)
+        return ("threshold", self.threshold)
+
+
+def kept_counts(mask: np.ndarray) -> np.ndarray:
+    """Per-sample kept component counts of a ``(N, ...)`` boolean mask."""
+    mask = np.asarray(mask, dtype=bool)
+    return mask.reshape(mask.shape[0], -1).sum(axis=1).astype(np.int64)
+
+
+def quantize_kept_count(count: int, total: int, quantum: int = 4) -> int:
+    """Round a kept-count up to the next bucket boundary.
+
+    Ragged batches are executed one padded GEMM per *bucket*; quantizing
+    counts up to multiples of ``quantum`` (clamped to ``total``) trades a
+    bounded amount of zero-padded work for far fewer distinct GEMM shapes
+    — which is also what keeps workspace-arena buffers reusable across
+    calls instead of re-growing for every novel count.  ``0`` stays ``0``
+    (an all-dropped sample computes nothing).
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if quantum < 1:
+        raise ValueError("quantum must be >= 1")
+    if count <= 0:
+        return 0
+    return min(int(total), -(-int(count) // quantum) * quantum)
+
+
+def group_by_kept_count(
+    mask: np.ndarray, quantum: int = 4
+) -> List[Tuple[int, np.ndarray]]:
+    """Partition batch rows into quantized kept-count buckets.
+
+    Returns ``(bucket_count, sample_indices)`` pairs sorted by bucket
+    count ascending.  Every sample lands in exactly one bucket; the bucket
+    count is :func:`quantize_kept_count` of the row's kept-count, so a
+    sample's bucket depends only on its *own* mask — the property that
+    makes bucketed execution batch-invariant.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    counts = kept_counts(mask)
+    total = int(mask.reshape(mask.shape[0], -1).shape[1])
+    quantized = np.array(
+        [quantize_kept_count(int(c), total, quantum) for c in counts], dtype=np.int64
+    )
+    buckets: List[Tuple[int, np.ndarray]] = []
+    for value in np.unique(quantized):
+        buckets.append((int(value), np.flatnonzero(quantized == value)))
+    return buckets
 
 
 def batch_union(mask: np.ndarray) -> np.ndarray:

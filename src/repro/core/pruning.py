@@ -34,13 +34,7 @@ from ..nn import Module, Sequential
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 from .attention import make_criterion
-from .masks import (
-    batch_union,
-    channel_mask,
-    spatial_mask,
-    threshold_channel_mask,
-    threshold_spatial_mask,
-)
+from .masks import MaskSpec, batch_union
 
 __all__ = [
     "DynamicPruning",
@@ -168,6 +162,18 @@ class DynamicPruning(Module):
         """
         return self.enabled and (self.channel_ratio > 0.0 or self.spatial_ratio > 0.0)
 
+    @property
+    def adaptive(self) -> bool:
+        """Whether this site produces ragged (per-input kept-count) masks."""
+        return self.mask_mode == "threshold"
+
+    def mask_spec(self, dimension: str) -> MaskSpec:
+        """The :class:`~repro.core.masks.MaskSpec` for one mask dimension."""
+        if dimension not in ("channel", "spatial"):
+            raise ValueError("dimension must be 'channel' or 'spatial'")
+        ratio = self.channel_ratio if dimension == "channel" else self.spatial_ratio
+        return MaskSpec(self.mask_mode, ratio, self.threshold)
+
     def compute_masks(
         self, fm: np.ndarray, update_stats: bool = True
     ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
@@ -188,19 +194,13 @@ class DynamicPruning(Module):
         sp_keep = 1.0
         sp_keep_pooled = 1.0
         if self.channel_ratio > 0.0:
-            if self.mask_mode == "topk":
-                cm = channel_mask(ch_scores, self.channel_ratio)
-            else:
-                cm = threshold_channel_mask(ch_scores, self.threshold)
+            cm = self.mask_spec("channel").build(ch_scores)
             if self.granularity == "batch":
                 cm = batch_union(cm)
             ch_keep = cm.mean()
         self.last_channel_mask = cm
         if self.spatial_ratio > 0.0:
-            if self.mask_mode == "topk":
-                sm = spatial_mask(sp_scores, self.spatial_ratio)
-            else:
-                sm = threshold_spatial_mask(sp_scores, self.threshold)
+            sm = self.mask_spec("spatial").build_spatial(sp_scores)
             if self.granularity == "batch":
                 sm = batch_union(sm)
             sp_keep = sm.mean()

@@ -10,6 +10,15 @@ engine that realizes those savings on CPU, at batch scale:
   ``granularity="batch"`` guarantees it) are grouped by a packed bit
   signature and executed with **one im2col + one GEMM per group**, reusing
   the vectorized :func:`repro.nn.functional.im2col`.
+* **Ragged kept-count bucketing** (:func:`_ragged_channel_conv`): *adaptive*
+  (threshold-mode) masks keep a different channel count per sample, which
+  defeats both signature grouping and the stacked equal-kept-count path.
+  Samples are bucketed by their kept-count quantized to
+  ``PlanConfig.kept_quantum`` and each bucket runs padded batched GEMMs —
+  zero-filled weight tail columns, cache-resident sample tiles — so the
+  dynamic-inference workload (``mask_mode="threshold"``, FBS-style gates)
+  executes batched instead of one sample at a time, while staying
+  bit-identical to per-request execution.
 * **Weight-slice caching** (:class:`WeightSliceCache`): gathering the kept
   columns of a filter bank is pure memory traffic; slices are cached across
   layers *and* calls keyed by ``(layer, mask signature)``, so steady-state
@@ -70,6 +79,7 @@ from ..nn import (
     Sequential,
 )
 from ..nn import functional as F
+from .masks import group_by_kept_count, quantize_kept_count
 from .pruning import DynamicPruning
 from .workspace import ArenaPool, WorkspaceArena
 
@@ -95,6 +105,15 @@ __all__ = [
 #: same operand values, shapes, and strides), so the cutoff is purely a
 #: performance knob.
 STACKED_PATH_MAX_POSITIONS = 512
+
+#: Per-chunk im2col budget for the ragged path's sample tiling.  A
+#: kept-count bucket is executed in chunks whose unfolded patch slab stays
+#: within this many bytes, so the im2col → GEMM round trip runs out of
+#: cache instead of spilling a whole bucket's tens of megabytes to DRAM
+#: and reading them straight back.  Tiling only splits the gufunc batch
+#: axis — every per-sample GEMM slice keeps the same shape, strides, and
+#: operand values — so results are bit-identical at any tile size.
+RAGGED_TILE_BYTES = 4 * 1024 * 1024
 
 
 def _ensure_contiguous(arr: np.ndarray) -> np.ndarray:
@@ -184,9 +203,22 @@ class WeightSliceCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: object, signature: bytes, weight: np.ndarray, kept: np.ndarray) -> np.ndarray:
-        """Return the cached ``(out_c, kept*k*k)`` slice, gathering on miss."""
-        full_key = (key, signature)
+    def get(
+        self,
+        key: object,
+        signature: bytes,
+        weight: np.ndarray,
+        kept: np.ndarray,
+        pad_to: Optional[int] = None,
+    ) -> np.ndarray:
+        """Return the cached ``(out_c, kept*k*k)`` slice, gathering on miss.
+
+        ``pad_to`` (the ragged path's bucket width) pads the kept axis with
+        zero columns up to ``pad_to`` channels, so the slice drops into a
+        fixed-shape bucket GEMM; padded and unpadded slices for the same
+        signature are distinct cache entries.
+        """
+        full_key = (key, signature, pad_to)
         with self._lock:
             cached = self._store.get(full_key)
             if cached is not None:
@@ -198,6 +230,11 @@ class WeightSliceCache:
         # correctness problem (both produce the same slice).
         out_c = weight.shape[0]
         w_sub = _ensure_contiguous(weight[:, kept].reshape(out_c, -1))
+        if pad_to is not None and pad_to > kept.size:
+            taps = weight.shape[2] * weight.shape[3]
+            padded = np.zeros((out_c, pad_to * taps), dtype=weight.dtype)
+            padded[:, : w_sub.shape[1]] = w_sub
+            w_sub = padded
         with self._lock:
             self.misses += 1
             self._store[full_key] = w_sub
@@ -226,6 +263,156 @@ class WeightSliceCache:
 
 
 # ----------------------------------------------------------------------
+# Ragged (kept-count-bucketed) channel convolution
+# ----------------------------------------------------------------------
+def _ragged_channel_conv(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    mask: np.ndarray,
+    *,
+    kept_quantum: int,
+    cache: Optional[WeightSliceCache],
+    cache_key: Optional[object],
+    arena: Optional[WorkspaceArena],
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Channel skipping for *ragged* masks: one padded GEMM per bucket.
+
+    Adaptive (threshold-mode) masks keep a different channel count per
+    sample, which defeats both the stacked equal-kept-count fast path and
+    signature grouping (every sample is its own group).  Here samples are
+    bucketed by their kept-count quantized up to ``kept_quantum``
+    (:func:`~repro.core.masks.group_by_kept_count`) and each bucket runs
+    ONE batched GEMM over per-sample ``(Cout, Kq*k*k)`` weight slices whose
+    tail columns — the quantization padding — are zero-filled, so padded
+    slots contribute exact zeros.
+
+    Batch-invariance is by construction: a sample's bucket width depends
+    only on its own mask and the fixed quantum, every per-sample GEMM
+    slice has the same shape/strides whether the sample arrives alone or
+    in a fused window, and the padded operand values are a deterministic
+    function of the sample's mask.  Executing the same sample per-request
+    therefore reproduces its batched output bit for bit.
+    """
+    n, c, h, w = x.shape
+    out_c = weight.shape[0]
+    k = weight.shape[2]
+    kk = k * k
+    positions = oh * ow
+    counts = mask.sum(axis=1).astype(np.int64)
+    buckets = group_by_kept_count(mask, kept_quantum)
+    # All-dropped rows compute nothing; only then does the output need
+    # pre-zeroing (every populated bucket fully writes its rows).
+    any_empty = buckets[0][0] == 0
+    out = (np.zeros if any_empty else np.empty)((n, out_c, oh, ow), dtype=x.dtype)
+    out_flat = out.reshape(n, out_c, positions)
+
+    for bucket_count, idx in buckets:
+        if bucket_count == 0:
+            continue
+        bsz = int(idx.size)
+        whole = bsz == n
+        if bucket_count >= c and int(counts[idx].min()) == c:
+            # Every sample here keeps every channel: run dense per-sample
+            # GEMM slices with no gather at all.  Samples whose quantized
+            # count merely *rounds up* to the dimension stay on the general
+            # branch below — its zeroed weight tail is what keeps dropped
+            # channels out of the sums whether or not the caller pre-masked
+            # the input (the documented channel-skip contract).  Mixing the
+            # branches inside one bucket is bit-safe: for a keep-all sample
+            # the general branch's gather order is the identity, so both
+            # branches hand the GEMM identical (Cout, C*k*k) operands.
+            xg = x if whole else x[idx]
+            col = F.im2col_t(
+                xg, k, stride, padding,
+                out=_take(arena, "im2col", (bsz, c * kk, positions), x.dtype),
+                tile_rows=F.default_tile_rows(c, k, ow, x.dtype.itemsize),
+            )
+            dst = out_flat if whole else _take(
+                arena, "gemm", (bsz, out_c, positions), x.dtype
+            )
+            _matmul_into(weight.reshape(out_c, -1), col, dst)
+        else:
+            rows = mask[idx]
+            # Per-sample padded channel order: kept indices ascending, then
+            # the sample's dropped channels filling the quantization tail.
+            # Tail slots gather real input channels but multiply against
+            # zeroed weight columns, so they add exact zeros to every sum.
+            order = np.argsort(~rows, axis=1, kind="stable")[:, :bucket_count]
+            cols = bucket_count * kk
+            packed = np.packbits(rows, axis=1) if cache is not None else None
+            # Sample tiling: bound the im2col → GEMM working set so it
+            # stays cache-resident (see RAGGED_TILE_BYTES).  Chunk sizes
+            # depend only on the bucket width and the conv geometry.
+            tile = max(
+                1, RAGGED_TILE_BYTES // max(cols * positions * x.dtype.itemsize, 1)
+            )
+            for start in range(0, bsz, tile):
+                stop = min(start + tile, bsz)
+                csz = stop - start
+                chunk = idx[start:stop]
+                xg = x[chunk[:, None], order[start:stop]]
+                col = F.im2col_t(
+                    xg, k, stride, padding,
+                    out=_take(arena, "im2col", (csz, cols, positions), x.dtype),
+                    tile_rows=F.default_tile_rows(
+                        bucket_count, k, ow, x.dtype.itemsize
+                    ),
+                )
+                if cache is not None and csz == 1:
+                    # Lone sample in its chunk: the cached padded slice is
+                    # the GEMM operand directly — no stack copy.  A cached
+                    # (Cout, cols) slice is contiguous exactly like a
+                    # w_stack row, so the GEMM is bit-identical either way.
+                    kept = np.flatnonzero(rows[start])
+                    w_op: np.ndarray = cache.get(
+                        cache_key, packed[start].tobytes(), weight, kept,
+                        pad_to=bucket_count,
+                    )
+                else:
+                    w_stack = _take(
+                        arena, "ragged_w", (csz, out_c, cols), weight.dtype
+                    )
+                    if cache is not None:
+                        for i in range(start, stop):
+                            kept = np.flatnonzero(rows[i])
+                            w_stack[i - start] = cache.get(
+                                cache_key, packed[i].tobytes(), weight, kept,
+                                pad_to=bucket_count,
+                            )
+                    else:
+                        gathered = weight.reshape(out_c, c, kk)[:, order[start:stop]]
+                        w4 = w_stack.reshape(csz, out_c, bucket_count, kk)
+                        w4[...] = gathered.transpose(1, 0, 2, 3)
+                        pad_rows, pad_slots = np.nonzero(
+                            np.arange(bucket_count)[None, :]
+                            >= counts[chunk][:, None]
+                        )
+                        if pad_rows.size:
+                            w4[pad_rows, :, pad_slots, :] = 0.0
+                    w_op = w_stack
+                chunk_whole = whole and csz == n
+                dst = out_flat if chunk_whole else _take(
+                    arena, "gemm", (csz, out_c, positions), x.dtype
+                )
+                _matmul_into(w_op, col, dst)
+                if bias is not None:
+                    dst += bias[:, None]
+                if not chunk_whole:
+                    out_flat[chunk] = dst
+            continue
+        if bias is not None:
+            dst += bias[:, None]
+        if not whole:
+            out_flat[idx] = dst
+    return out
+
+
+# ----------------------------------------------------------------------
 # Batched sparse convolution
 # ----------------------------------------------------------------------
 def sparse_conv2d(
@@ -241,6 +428,8 @@ def sparse_conv2d(
     cache_key: Optional[object] = None,
     batch_invariant: bool = False,
     arena: Optional[WorkspaceArena] = None,
+    ragged: bool = False,
+    kept_quantum: int = 4,
 ) -> np.ndarray:
     """Batched convolution that skips pruned input channels and columns.
 
@@ -281,6 +470,16 @@ def sparse_conv2d(
         freshly allocated per call (same results, more allocator traffic).
         Arenas are single-thread-only; concurrent callers pass their own
         (plans hand out one per thread).
+    ragged / kept_quantum:
+        ``ragged=True`` routes channel masks through kept-count-bucketed
+        execution (see :func:`_ragged_channel_conv`): samples are grouped
+        by their kept-count quantized up to ``kept_quantum`` and each
+        bucket runs one padded batched GEMM.  This is the path for
+        *adaptive* (threshold-mode) masks, whose per-sample kept-counts
+        differ; it applies to every batch composition — including
+        singletons — so results stay bit-identical to per-request
+        execution.  Ignored when a spatial mask is present (the spatial
+        path is already per-sample).
 
     Returns
     -------
@@ -296,6 +495,24 @@ def sparse_conv2d(
 
     if cache is not None and cache_key is None:
         raise ValueError("cache_key is required when a WeightSliceCache is passed")
+    if ragged and channel_mask is not None and spatial_mask is None:
+        # Ragged masks bypass signature grouping entirely: bucket shapes
+        # depend only on each sample's own kept-count, never on batch
+        # composition, so this branch must fire for singletons too.
+        return _ragged_channel_conv(
+            x,
+            weight,
+            bias,
+            stride,
+            padding,
+            np.asarray(channel_mask, dtype=bool),
+            kept_quantum=kept_quantum,
+            cache=cache,
+            cache_key=cache_key,
+            arena=arena,
+            oh=oh,
+            ow=ow,
+        )
     if channel_mask is None:
         groups: List[Tuple[Optional[bytes], np.ndarray, Optional[np.ndarray]]] = [
             (None, np.arange(n), None)
@@ -461,28 +678,62 @@ class PlanConfig:
         invariant form is also the zero-copy one), so the flag now only
         steers the spatial-mask path and the classifier head; its CPU cost
         is near zero.
+    ragged_mode:
+        When convolutions use kept-count-bucketed (ragged) execution for
+        channel masks.  ``"auto"`` (default) engages it exactly for
+        *adaptive* pruning sites (``mask_mode="threshold"``), whose ragged
+        kept-counts the stacked/grouped paths cannot batch; ``"always"``
+        forces it for every channel mask (the ``adaptive`` engine
+        backend); ``"never"`` preserves the pre-ragged dispatch — adaptive
+        batches then degrade to per-sample signature groups (the slow
+        fallback the benchmark measures against).
+    kept_quantum:
+        Bucket granularity for ragged execution: per-sample kept-counts
+        are quantized up to the next multiple before bucketing.  Larger
+        quanta mean fewer GEMM shapes and better arena reuse but more
+        zero-padded work per sample; ``4`` measured best across the
+        bench-adaptive grid (the padding tax stays under ~10% while
+        near-miss counts still share buckets).
     """
 
     fuse_conv_bn: bool = True
     dense_threshold: float = 0.15
     cache_entries: int = 256
     batch_invariant: bool = False
+    ragged_mode: str = "auto"
+    kept_quantum: int = 4
+
+    def __post_init__(self) -> None:
+        if self.ragged_mode not in ("auto", "always", "never"):
+            raise ValueError(
+                f"ragged_mode must be 'auto', 'always' or 'never', got {self.ragged_mode!r}"
+            )
+        if self.kept_quantum < 1:
+            raise ValueError("kept_quantum must be >= 1")
 
 
 class _MaskState:
-    """Pending masks produced by a pruning site, consumed by the next conv."""
+    """Pending masks produced by a pruning site, consumed by the next conv.
 
-    __slots__ = ("channel", "spatial")
+    ``ragged`` marks the pending channel mask as adaptive (per-sample
+    kept-counts may differ), which routes the consuming convolution onto
+    the kept-count-bucketed path and disables the batch-mean dispatch
+    shortcuts (their decisions would depend on batch composition).
+    """
+
+    __slots__ = ("channel", "spatial", "ragged")
 
     def __init__(self) -> None:
         self.channel: Optional[np.ndarray] = None
         self.spatial: Optional[np.ndarray] = None
+        self.ragged = False
 
-    def take(self) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
-        channel, spatial = self.channel, self.spatial
+    def take(self) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], bool]:
+        channel, spatial, ragged = self.channel, self.spatial, self.ragged
         self.channel = None
         self.spatial = None
-        return channel, spatial
+        self.ragged = False
+        return channel, spatial, ragged
 
 
 class _ConvOp:
@@ -534,15 +785,21 @@ class _ConvOp:
         return shape
 
     def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
-        channel_mask, spatial_mask = state.take()
+        channel_mask, spatial_mask, ragged = state.take()
         config = plan.config
         zero_out: Optional[np.ndarray] = None
 
-        if channel_mask is not None:
+        # The batch-mean dispatch shortcuts below are skipped for ragged
+        # masks: their decisions depend on who shares the batch, which
+        # would break the batch-invariance contract for adaptive traffic.
+        # The ragged path handles the dense-ish regime itself — samples
+        # whose quantized kept-count reaches the channel dimension land in
+        # a full-width bucket, a per-sample decision.
+        if channel_mask is not None and not ragged:
             if 1.0 - float(channel_mask.mean()) < config.dense_threshold:
                 # Input channels are already zeroed upstream: dense is exact.
                 channel_mask = None
-        if spatial_mask is not None:
+        if spatial_mask is not None and not ragged:
             oh, ow = self.output_shape(x.shape[2], x.shape[3])
             keep2d = spatial_mask[:, :: self.stride, :: self.stride][:, :oh, :ow]
             if 1.0 - float(keep2d.mean()) < config.dense_threshold:
@@ -552,7 +809,7 @@ class _ConvOp:
                 spatial_mask = None
 
         if channel_mask is None and spatial_mask is None:
-            plan.count_dispatch(dense=True)
+            plan.count_dispatch("dense")
             # Dense fast path on the same zero-copy kernels as the sparse
             # paths: channels-first unfold into the per-thread workspace,
             # then per-sample (Cout, K) @ (K, OH*OW) GEMM slices straight
@@ -575,7 +832,8 @@ class _ConvOp:
             if self.bias is not None:
                 out += self.bias.reshape(1, out_c, 1, 1)
         else:
-            plan.count_dispatch(dense=False)
+            use_ragged = ragged and channel_mask is not None and spatial_mask is None
+            plan.count_dispatch("ragged" if use_ragged else "sparse")
             out = sparse_conv2d(
                 x,
                 self.weight,
@@ -588,6 +846,8 @@ class _ConvOp:
                 cache_key=self.key,
                 batch_invariant=config.batch_invariant,
                 arena=plan.arena,
+                ragged=use_ragged,
+                kept_quantum=config.kept_quantum,
             )
         if zero_out is not None:
             out *= zero_out[:, None, :, :]
@@ -676,6 +936,10 @@ class _PruneOp:
     def __init__(self, layer: DynamicPruning):
         self.layer = layer
 
+    def _ragged(self, plan: "ExecutionPlan") -> bool:
+        mode = plan.config.ragged_mode
+        return mode == "always" or (mode == "auto" and self.layer.adaptive)
+
     def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
         layer = self.layer
         if not layer.active:
@@ -689,7 +953,67 @@ class _PruneOp:
             x = x * spatial_mask[:, None, :, :]
         state.channel = channel_mask
         state.spatial = spatial_mask
+        state.ragged = self._ragged(plan)
         return x
+
+    def bucket_hint(self, fm: np.ndarray, plan: "ExecutionPlan") -> Optional[int]:
+        """Quantized kept-count of this site for a probe feature map.
+
+        Used by the serving scheduler's kept-count-aware window assembly
+        (:meth:`ExecutionPlan.kept_count_bucket`); returns ``None`` when
+        the site cannot produce a ragged channel mask.
+        """
+        layer = self.layer
+        if not layer.active or layer.channel_ratio <= 0.0:
+            return None
+        channel_mask, _ = layer.compute_masks(fm, update_stats=False)
+        if channel_mask is None:
+            return None
+        counts = channel_mask.sum(axis=1)
+        return quantize_kept_count(
+            int(round(float(counts.mean()))),
+            channel_mask.shape[1],
+            plan.config.kept_quantum,
+        )
+
+
+class _GateOp:
+    """A compiled FBS-style learned gate (:class:`repro.baselines.dynamic.FBSGate`).
+
+    Reproduces the gate's eval-time forward on raw arrays — GAP squeeze,
+    linear saliency predictor, ReLU, deterministic-tie top-k mask, and the
+    mean-1 renormalized boosting of kept channels — then arms the next
+    convolution with the binary mask, so suppressed channels are actually
+    *skipped* instead of multiplied by zero.  Gate statistics are not
+    updated (deployment runs must not pollute training-side accounting).
+    FBS is a fixed-ratio top-k method, so its masks are never ragged.
+    """
+
+    __slots__ = ("layer",)
+
+    def __init__(self, layer: object):
+        self.layer = layer
+
+    def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
+        from .masks import channel_mask as make_channel_mask
+
+        layer = self.layer
+        if not layer.active:
+            return x
+        n, c = x.shape[:2]
+        squeezed = x.mean(axis=(2, 3))
+        predictor = layer.predictor
+        saliency = squeezed @ predictor.weight.data.T
+        if predictor.bias is not None:
+            saliency = saliency + predictor.bias.data
+        np.maximum(saliency, 0.0, out=saliency)
+        tie_break = np.arange(c, dtype=saliency.dtype) * 1e-9
+        mask = make_channel_mask(saliency + tie_break, layer.prune_ratio)
+        gated = saliency * mask
+        denom = gated.mean(axis=1, keepdims=True) + 1e-6
+        gated = gated / denom
+        state.channel = mask
+        return x * gated[:, :, None, None]
 
 
 def _flatten(layers: Iterable[Module]) -> List[Module]:
@@ -721,6 +1045,7 @@ class ExecutionPlan:
         self._dispatch_lock = threading.Lock()
         self.dense_dispatches = 0
         self.sparse_dispatches = 0
+        self.ragged_dispatches = 0
 
     @property
     def arena(self) -> WorkspaceArena:
@@ -731,11 +1056,17 @@ class ExecutionPlan:
         """
         return self.arenas.get()
 
-    def count_dispatch(self, dense: bool) -> None:
-        """Thread-safe dispatch telemetry (workers share one plan)."""
+    def count_dispatch(self, kind: str) -> None:
+        """Thread-safe dispatch telemetry (workers share one plan).
+
+        ``kind`` is ``"dense"``, ``"sparse"`` (signature-grouped / stacked
+        masked paths) or ``"ragged"`` (kept-count-bucketed adaptive path).
+        """
         with self._dispatch_lock:
-            if dense:
+            if kind == "dense":
                 self.dense_dispatches += 1
+            elif kind == "ragged":
+                self.ragged_dispatches += 1
             else:
                 self.sparse_dispatches += 1
 
@@ -749,6 +1080,11 @@ class ExecutionPlan:
         layers: Sequence[Module],
         config: Optional[PlanConfig] = None,
     ) -> "ExecutionPlan":
+        # Imported here, not at module top: baselines.dynamic itself
+        # imports from repro.core, and a module-level import would tie the
+        # two packages' initialization order together.
+        from ..baselines.dynamic import FBSGate
+
         config = config or PlanConfig()
         flat = _flatten(layers)
         ops: List[object] = []
@@ -787,6 +1123,9 @@ class ExecutionPlan:
             elif isinstance(layer, DynamicPruning):
                 ops.append(_PruneOp(layer))
                 i += 1
+            elif isinstance(layer, FBSGate):
+                ops.append(_GateOp(layer))
+                i += 1
             elif isinstance(layer, Identity):
                 i += 1
             else:
@@ -798,6 +1137,24 @@ class ExecutionPlan:
         for op in self.ops:
             x = op.run(x, state, self)
         return x
+
+    def kept_count_bucket(self, x: np.ndarray) -> Optional[int]:
+        """Quantized kept-count of the *first* pruning site for ``x``.
+
+        The serving scheduler's kept-count-aware window assembly calls
+        this at admission time to group requests that will bucket together
+        inside the engine.  It runs the op prefix up to the first
+        :class:`_PruneOp` (a fraction of a forward pass) and returns
+        ``None`` when the plan has no adaptive channel site — callers then
+        fall back to unbucketed scheduling.  The probe's convolutions use
+        the calling thread's arena and count toward dispatch telemetry.
+        """
+        state = _MaskState()
+        for op in self.ops:
+            if isinstance(op, _PruneOp):
+                return op.bucket_hint(x, self)
+            x = op.run(x, state, self)
+        return None
 
     @property
     def cache_stats(self) -> Dict[str, int]:
@@ -813,6 +1170,7 @@ class ExecutionPlan:
         with self._dispatch_lock:
             self.dense_dispatches = 0
             self.sparse_dispatches = 0
+            self.ragged_dispatches = 0
         self.cache.reset_counters()
 
     def describe(self) -> str:
@@ -844,9 +1202,12 @@ class SparseSequentialExecutor:
     SUPPORTED = (Conv2d, BatchNorm2d, ReLU, MaxPool2d, GlobalAvgPool2d, Linear, DynamicPruning)
 
     def __init__(self, layers: Sequential, config: Optional[PlanConfig] = None):
+        from ..baselines.dynamic import FBSGate
+
+        supported = self.SUPPORTED + (FBSGate,)
         self.layers: List[Module] = _flatten(layers)
         for layer in self.layers:
-            if not isinstance(layer, self.SUPPORTED):
+            if not isinstance(layer, supported):
                 raise TypeError(
                     f"SparseSequentialExecutor cannot interpret {type(layer).__name__}"
                 )
@@ -873,7 +1234,7 @@ class _BlockPlan:
         self,
         conv1: _ConvOp,
         bn1: Optional[_BNOp],
-        prune: Optional[_PruneOp],
+        prune: Optional[object],  # _PruneOp or _GateOp
         conv2: _ConvOp,
         bn2: Optional[_BNOp],
         shortcut: Optional[_ConvOp],
@@ -912,14 +1273,18 @@ class ResNetPlan(ExecutionPlan):
         self.fc = _LinearOp(model.fc)
 
     def _compile_block(self, block: BasicBlock, fuse: bool, key: int) -> _BlockPlan:
+        from ..baselines.dynamic import FBSGate
+
         conv1 = _ConvOp.compile(block.conv1, block.bn1 if fuse else None, fuse, key)
         conv2 = _ConvOp.compile(block.conv2, block.bn2 if fuse else None, False, key + 1)
-        prune: Optional[_PruneOp] = None
+        prune: Optional[object] = None
         site = block.relu1
         if isinstance(site, Sequential):
             for sub in site:
                 if isinstance(sub, DynamicPruning):
                     prune = _PruneOp(sub)
+                elif isinstance(sub, FBSGate):
+                    prune = _GateOp(sub)
         shortcut: Optional[_ConvOp] = None
         shortcut_bn: Optional[_BNOp] = None
         if not isinstance(block.shortcut, Identity):
@@ -965,6 +1330,22 @@ class ResNetPlan(ExecutionPlan):
             out = self._run_block(block_plan, out)
         out = out.mean(axis=(2, 3))
         return self.fc.run(out, state, self)
+
+    def kept_count_bucket(self, x: np.ndarray) -> Optional[int]:
+        """Probe the first pruned block's site (see :class:`ExecutionPlan`)."""
+        state = _MaskState()
+        out = self.stem.run(x, state, self)
+        if self.stem_bn is not None:
+            out = np.maximum(self.stem_bn.run(out, state, self), 0.0)
+        for block_plan in self.blocks:
+            if isinstance(block_plan.prune, _PruneOp):
+                probe_state = _MaskState()
+                fm = block_plan.conv1.run(out, probe_state, self)
+                if block_plan.bn1 is not None:
+                    fm = np.maximum(block_plan.bn1.run(fm, probe_state, self), 0.0)
+                return block_plan.prune.bucket_hint(fm, self)
+            out = self._run_block(block_plan, out)
+        return None
 
 
 class SparseResNetExecutor:

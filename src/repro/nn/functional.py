@@ -79,16 +79,96 @@ def default_tile_rows(channels: int, kernel: int, out_w: int, itemsize: int) -> 
 
 
 def _sliding_patches(
-    x: np.ndarray, kernel: int, stride: int, padding: int
+    x: np.ndarray, kernel: int, stride: int
 ) -> Tuple[np.ndarray, int, int]:
-    """Strided patch *view* ``(N, C, OH, OW, k, k)`` — no patch tensor is
-    materialized; padding (when nonzero) is the only copy."""
+    """Strided patch *view* ``(N, C, OH, OW, k, k)`` of an unpadded input —
+    no patch tensor is materialized and nothing is copied."""
     n, c, h, w = x.shape
-    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, 0)
     windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))
     return windows[:, :, ::stride, ::stride][:, :, :out_h, :out_w], out_h, out_w
+
+
+def _tap_bounds(
+    offset: int, stride: int, padding: int, extent: int, out_extent: int
+) -> Tuple[int, int, int]:
+    """Valid output range ``[lo, hi)`` of one kernel tap, plus the input
+    coordinate of its first in-bounds read.
+
+    Tap ``offset`` reads input coordinate ``offset + stride*o - padding``
+    for output position ``o``; outside ``[0, extent)`` the read falls in
+    the (conceptual) zero halo.
+    """
+    lo = max(0, -((offset - padding) // stride))
+    hi = min(out_extent, (extent - 1 + padding - offset) // stride + 1)
+    return lo, hi, offset + stride * lo - padding
+
+
+def _gather_taps(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    dst: np.ndarray,
+    out_h: int,
+    out_w: int,
+    tile_rows: Optional[int],
+    channels_first: bool,
+) -> None:
+    """Padded-destination unfold: write the interior, zero the halo.
+
+    The pre-kernel-layer implementation materialized a padded *copy* of
+    the input (``np.pad``) and gathered from a sliding-window view of it —
+    the kernel layer's last per-call input copy.  This gathers tap-by-tap
+    straight from the unpadded input instead: for each of the ``k*k``
+    kernel taps, the in-bounds slab is a strided slice copy and the
+    out-of-bounds halo bands are zero-filled in the destination.  The
+    bytes written are identical to the padded gather's, so results are
+    bit-for-bit the same; the ``(N, C, H+2p, W+2p)`` intermediate is gone.
+
+    ``dst`` is the 6-D destination view — ``(N, C, k, k, OH, OW)`` when
+    ``channels_first`` (the :func:`im2col_t` layout) else
+    ``(N, OH, OW, C, k, k)`` (:func:`im2col`).
+    """
+    h, w = x.shape[2], x.shape[3]
+    # One tap writes a (N, C, rows, OW) slab — 1/k² of the full patch row
+    # that default_tile_rows budgets for — so the tile height scales up by
+    # k² to keep the same bytes-per-tile working set.
+    if tile_rows is not None:
+        tile_rows = max(1, tile_rows * kernel * kernel)
+    for ky in range(kernel):
+        oy_lo, oy_hi, iy_lo = _tap_bounds(ky, stride, padding, h, out_h)
+        for kx in range(kernel):
+            ox_lo, ox_hi, ix_lo = _tap_bounds(kx, stride, padding, w, out_w)
+            if channels_first:
+                tap = dst[:, :, ky, kx]  # (N, C, OH, OW)
+            else:
+                tap = np.moveaxis(dst[..., ky, kx], 3, 1)  # view, same layout
+            if oy_hi <= oy_lo or ox_hi <= ox_lo:
+                tap[...] = 0
+                continue
+            # Zero only the halo bands, not the interior about to be filled.
+            if oy_lo > 0:
+                tap[:, :, :oy_lo, :] = 0
+            if oy_hi < out_h:
+                tap[:, :, oy_hi:, :] = 0
+            if ox_lo > 0:
+                tap[:, :, oy_lo:oy_hi, :ox_lo] = 0
+            if ox_hi < out_w:
+                tap[:, :, oy_lo:oy_hi, ox_hi:] = 0
+            rows = oy_hi - oy_lo
+            src = x[
+                :,
+                :,
+                iy_lo : iy_lo + (rows - 1) * stride + 1 : stride,
+                ix_lo : ix_lo + (ox_hi - ox_lo - 1) * stride + 1 : stride,
+            ]
+            if tile_rows is None or tile_rows >= rows:
+                tap[:, :, oy_lo:oy_hi, ox_lo:ox_hi] = src
+            else:
+                for row in range(0, rows, tile_rows):
+                    stop = min(row + tile_rows, rows)
+                    tap[:, :, oy_lo + row : oy_lo + stop, ox_lo:ox_hi] = src[:, :, row:stop]
 
 
 def _check_out(out: np.ndarray, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
@@ -117,21 +197,31 @@ def im2col(
 
     The unfold is a single strided gather from a
     ``sliding_window_view`` — no intermediate ``(N, C, k, k, OH, OW)``
-    tensor and no transpose copy.  ``out`` lets callers (the sparse
+    tensor and no transpose copy.  With ``padding > 0`` the gather runs
+    tap-by-tap against the *unpadded* input, zero-filling the halo bands
+    in the destination (:func:`_gather_taps`) — no padded copy of the
+    input is ever materialized.  ``out`` lets callers (the sparse
     engine's workspace arena) provide the destination buffer, making the
     whole operation allocation-free; ``tile_rows`` blocks the gather over
     output-row tiles (see :func:`default_tile_rows`) so large feature maps
-    stream through L2 instead of thrashing it.  Tiling never changes the
-    result — it only reorders the copy.
+    stream through L2 instead of thrashing it.  Neither tiling nor the
+    tap-wise sweep changes the result — they only reorder the copy.
     """
     n, c = x.shape[:2]
-    patches, out_h, out_w = _sliding_patches(x, kernel, stride, padding)
+    out_h, out_w = conv_output_shape(x.shape[2], x.shape[3], kernel, stride, padding)
     shape = (n * out_h * out_w, c * kernel * kernel)
     if out is None:
         out = np.empty(shape, dtype=x.dtype)
     else:
         _check_out(out, shape, x.dtype)
     dst = out.reshape(n, out_h, out_w, c, kernel, kernel)
+    if padding > 0:
+        _gather_taps(
+            x, kernel, stride, padding, dst, out_h, out_w, tile_rows,
+            channels_first=False,
+        )
+        return out
+    patches, _, _ = _sliding_patches(x, kernel, stride)
     src = patches.transpose(0, 2, 3, 1, 4, 5)
     if tile_rows is None or tile_rows >= out_h:
         dst[...] = src
@@ -156,16 +246,25 @@ def im2col_t(
     GEMM ``weight_matrix @ col[n]`` produces ``(out_c, OH * OW)`` — NCHW
     output order directly, with no transpose copy on the *result* side.
     This is the layout the sparse engine's kernel layer computes in: one
-    gather in, GEMM straight into the output tensor.
+    gather in, GEMM straight into the output tensor.  Like :func:`im2col`,
+    padding is applied as zero-filled destination halo bands rather than a
+    padded input copy.
     """
     n, c = x.shape[:2]
-    patches, out_h, out_w = _sliding_patches(x, kernel, stride, padding)
+    out_h, out_w = conv_output_shape(x.shape[2], x.shape[3], kernel, stride, padding)
     shape = (n, c * kernel * kernel, out_h * out_w)
     if out is None:
         out = np.empty(shape, dtype=x.dtype)
     else:
         _check_out(out, shape, x.dtype)
     dst = out.reshape(n, c, kernel, kernel, out_h, out_w)
+    if padding > 0:
+        _gather_taps(
+            x, kernel, stride, padding, dst, out_h, out_w, tile_rows,
+            channels_first=True,
+        )
+        return out
+    patches, _, _ = _sliding_patches(x, kernel, stride)
     src = patches.transpose(0, 1, 4, 5, 2, 3)
     if tile_rows is None or tile_rows >= out_h:
         dst[...] = src

@@ -27,10 +27,17 @@ from ..core.engine import (
     model_sparsity,
     register_backend,
 )
-from .bench import SERVE_SCHEMA, run_serve_benchmark, write_serve_json
+from .bench import (
+    ADAPTIVE_SCHEMA,
+    SERVE_SCHEMA,
+    run_adaptive_benchmark,
+    run_serve_benchmark,
+    write_serve_json,
+)
 from .loop import decode_request, serve_lines, synthetic_request_lines
 from .registry import (
     ARTIFACT_SCHEMA,
+    ArtifactIntegrityError,
     ArtifactNotFoundError,
     LoadedArtifact,
     ModelRegistry,
@@ -49,6 +56,7 @@ __all__ = [
     "model_sparsity",
     "ARTIFACT_SCHEMA",
     "ArtifactNotFoundError",
+    "ArtifactIntegrityError",
     "LoadedArtifact",
     "ModelRegistry",
     "parse_ref",
@@ -58,7 +66,9 @@ __all__ = [
     "SessionClosed",
     "PendingResult",
     "SERVE_SCHEMA",
+    "ADAPTIVE_SCHEMA",
     "run_serve_benchmark",
+    "run_adaptive_benchmark",
     "write_serve_json",
     "decode_request",
     "serve_lines",

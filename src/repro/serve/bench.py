@@ -31,21 +31,42 @@ from __future__ import annotations
 import json
 import platform
 import time
+from types import SimpleNamespace
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.engine import create_engine
-from ..core.pruning import PruningConfig, instrument_model
-from ..core.runtime_bench import build_conv_stack
-from ..core.sparse_exec import PlanConfig
+from ..core.pruning import (
+    DynamicPruning,
+    InstrumentedModel,
+    PruningConfig,
+    calibrate_thresholds,
+    instrument_model,
+)
+from ..core.runtime_bench import build_conv_stack, timed
+from ..core.sparse_exec import PlanConfig, dense_reference_forward
 from ..models.resnet import ResNet
 from ..models.vgg import vgg16
 from .session import InferenceSession, SessionConfig
 
-__all__ = ["SERVE_SCHEMA", "run_serve_benchmark", "write_serve_json"]
+__all__ = [
+    "SERVE_SCHEMA",
+    "ADAPTIVE_SCHEMA",
+    "RAGGED_REGRESSION_SLACK",
+    "run_serve_benchmark",
+    "run_adaptive_benchmark",
+    "write_serve_json",
+]
 
 SERVE_SCHEMA = "repro.bench_serve.v1"
+ADAPTIVE_SCHEMA = "repro.bench_adaptive.v1"
+
+#: Minimum ragged-path speedup over the per-input fallback for the CI
+#: smoke verdict.  The regression this guards against — adaptive batches
+#: degrading back to one signature-group GEMM per sample — costs a
+#: multiple, not a percentage, so the slack only absorbs timer noise.
+RAGGED_REGRESSION_SLACK = 0.8
 
 
 def _request_stream(count: int, image_size: int, seed: int) -> List[np.ndarray]:
@@ -219,6 +240,207 @@ def run_serve_benchmark(
             "requests": requests,
             "repeats": repeats,
             "channel_ratio": channel_ratio,
+            "seed": seed,
+            "smoke": smoke,
+            "workers": [int(w) for w in workers],
+        },
+        "summary": summary,
+        "results": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# Adaptive (threshold-mode / ragged) serving benchmark
+# ----------------------------------------------------------------------
+def _threshold_stack(
+    fraction: float,
+    image_size: int,
+    width: int,
+    depth: int,
+    seed: int,
+    calibration_batch: int = 8,
+):
+    """A conv stack in calibrated threshold mode (per-input keep fraction).
+
+    Thresholds come from :func:`repro.core.pruning.calibrate_thresholds`
+    at ``fraction`` of each site's batch-median channel attention — the
+    same calibration a deployment would run — so the keep fraction, and
+    with it the per-sample kept-counts, genuinely varies across inputs.
+    """
+    stack = build_conv_stack(0.5, width=width, depth=depth, seed=seed)
+    pruners = [m for m in stack.modules() if isinstance(m, DynamicPruning)]
+    handle = InstrumentedModel(
+        stack, [(SimpleNamespace(path=f"site{i}"), p) for i, p in enumerate(pruners)]
+    )
+    calib = np.random.default_rng(seed + 11).normal(
+        size=(calibration_batch, 3, image_size, image_size)
+    ).astype(np.float32)
+    calibrate_thresholds(handle, calib, fraction=fraction)
+    return stack, handle
+
+
+def run_adaptive_benchmark(
+    fractions: Sequence[float] = (0.5, 0.75, 1.0, 1.1),
+    image_sizes: Sequence[int] = (16, 32, 64),
+    batch_size: int = 8,
+    width: int = 64,
+    depth: int = 4,
+    repeats: int = 3,
+    seed: int = 0,
+    smoke: bool = False,
+    workers: Sequence[int] = (1, 2),
+) -> Dict[str, Any]:
+    """Threshold-grid × image-size sweep → ``BENCH_adaptive.json``.
+
+    The workload PR 1–3 engines excluded: *adaptive* per-input keep
+    fractions, where every sample in a batch keeps a different channel
+    count.  For each calibration ``fraction`` (higher → lower keep) and
+    image size the harness measures, on the same weights and inputs:
+
+    * ``dense_ms`` — the masked-but-unskipped reference forward;
+    * ``fallback_ms`` — the sparse engine with ``ragged_mode="never"``,
+      i.e. the pre-ragged behavior where mixed kept-counts degrade to one
+      signature group per sample;
+    * ``ragged_ms`` — the kept-count-bucketed path (``adaptive`` backend).
+
+    Bit-exactness is asserted two ways per row: the ragged batch against
+    per-request execution through the same engine, and an
+    :class:`InferenceSession` at each worker count (including
+    ``workers=2``) against the same per-request oracle — ragged bucketing
+    must not leak batch composition or worker identity into responses.
+    """
+    if smoke:
+        fractions = (max(fractions),)
+        image_sizes = tuple(image_sizes[:1]) or (32,)
+        repeats = min(repeats, 2)
+        workers = tuple(w for w in workers if w in (1, 2)) or (1, 2)
+
+    results: List[Dict[str, Any]] = []
+    for image_size in image_sizes:
+        batch = np.random.default_rng(seed + 1).normal(
+            size=(batch_size, 3, image_size, image_size)
+        ).astype(np.float32)
+        requests = [batch[i : i + 1] for i in range(batch_size)]
+        for fraction in fractions:
+            stack, handle = _threshold_stack(
+                fraction, image_size, width, depth, seed
+            )
+            # Measured keep fraction (and kept-count spread) of this grid
+            # point: forward once with stats on, then reset.
+            handle.reset_stats()
+            dense_reference_forward(stack, batch)
+            keeps = [p.mean_channel_keep for _, p in handle.pruners]
+            counts = sorted(
+                int(c)
+                for p in (pr for _, pr in handle.pruners)
+                if p.last_channel_mask is not None
+                for c in p.last_channel_mask.sum(axis=1)
+            )
+            handle.reset_stats()
+
+            plan = PlanConfig(batch_invariant=True, dense_threshold=0.0)
+            ragged_engine = create_engine(stack, backend="adaptive", config=plan)
+            fallback_engine = create_engine(
+                stack,
+                backend="sparse",
+                config=PlanConfig(
+                    batch_invariant=True, dense_threshold=0.0, ragged_mode="never"
+                ),
+            )
+            ragged_engine(batch)  # warm plans + caches
+            fallback_engine(batch)
+            t_dense = timed(lambda: dense_reference_forward(stack, batch), repeats)
+            t_ragged = timed(lambda: ragged_engine(batch), repeats)
+            t_fallback = timed(lambda: fallback_engine(batch), repeats)
+
+            # Bit-exactness oracle: per-request execution on the ragged
+            # engine.  The batched rows must reproduce it exactly.
+            reference = [ragged_engine(r) for r in requests]
+            batched = ragged_engine(batch)
+            identical_batch = all(
+                np.array_equal(batched[i : i + 1], reference[i])
+                for i in range(batch_size)
+            )
+            session_rows: Dict[str, Dict[str, Any]] = {}
+            for worker_count in workers:
+                session = InferenceSession(
+                    ragged_engine,
+                    SessionConfig(
+                        max_batch=batch_size,
+                        batch_window_ms=50.0,
+                        queue_depth=batch_size + 8,
+                        workers=worker_count,
+                        bucket_requests=True,
+                    ),
+                )
+                try:
+                    best = float("inf")
+                    outputs: List[np.ndarray] = []
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        outputs = session.infer_many(requests)
+                        best = min(best, time.perf_counter() - start)
+                    stats = session.stats()
+                finally:
+                    session.close()
+                session_rows[str(worker_count)] = {
+                    "rps": len(requests) / best,
+                    "bit_identical": bool(
+                        all(
+                            np.array_equal(out, ref)
+                            for out, ref in zip(outputs, reference)
+                        )
+                    ),
+                    "bucket_windows": stats["bucket_windows"],
+                }
+            results.append(
+                {
+                    "model": "conv_stack",
+                    "mode": "threshold",
+                    "threshold_fraction": float(fraction),
+                    "image_size": int(image_size),
+                    "batch_size": int(batch_size),
+                    "keep_fraction": float(np.mean(keeps)),
+                    "kept_count_spread": [counts[0], counts[-1]] if counts else None,
+                    "dense_ms": t_dense * 1e3,
+                    "fallback_ms": t_fallback * 1e3,
+                    "ragged_ms": t_ragged * 1e3,
+                    "speedup_vs_dense": t_dense / t_ragged,
+                    "speedup_vs_fallback": t_fallback / t_ragged,
+                    "ragged_dispatches": ragged_engine.stats()["ragged_dispatches"],
+                    "bit_identical": bool(identical_batch),
+                    "sessions": session_rows,
+                }
+            )
+
+    half_keep = [r for r in results if r["keep_fraction"] <= 0.5]
+    bit_identical_all = all(
+        r["bit_identical"] and all(s["bit_identical"] for s in r["sessions"].values())
+        for r in results
+    )
+    summary = {
+        "bit_identical_all": bit_identical_all,
+        "ragged_beats_dense_at_keep_le_half": (
+            all(r["speedup_vs_dense"] > 1.0 for r in half_keep) if half_keep else None
+        ),
+        "best_speedup_vs_dense": max(r["speedup_vs_dense"] for r in results),
+        "best_speedup_vs_fallback": max(r["speedup_vs_fallback"] for r in results),
+        "ragged_regression_slack": RAGGED_REGRESSION_SLACK,
+        "ragged_not_below_fallback": all(
+            r["speedup_vs_fallback"] >= RAGGED_REGRESSION_SLACK for r in results
+        ),
+    }
+    return {
+        "schema": ADAPTIVE_SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {"python": platform.python_version(), "machine": platform.machine()},
+        "config": {
+            "fractions": [float(f) for f in fractions],
+            "image_sizes": [int(s) for s in image_sizes],
+            "batch_size": batch_size,
+            "width": width,
+            "depth": depth,
+            "repeats": repeats,
             "seed": seed,
             "smoke": smoke,
             "workers": [int(w) for w in workers],

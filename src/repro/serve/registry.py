@@ -33,9 +33,11 @@ never leaves a half-registered version.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import re
+import shutil
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -50,6 +52,7 @@ from ..nn.serialization import load_state_dict, save_state_dict
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactNotFoundError",
+    "ArtifactIntegrityError",
     "LoadedArtifact",
     "ModelRegistry",
     "parse_ref",
@@ -64,6 +67,29 @@ _VERSION_RE = re.compile(r"^v(\d+)$")
 
 class ArtifactNotFoundError(KeyError):
     """Requested name/version does not exist in the registry."""
+
+
+class ArtifactIntegrityError(ValueError):
+    """Stored weights do not match the manifest's recorded content hash."""
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _dir_size(path: str) -> int:
+    total = 0
+    for root, _, files in os.walk(path):
+        for name in files:
+            try:
+                total += os.path.getsize(os.path.join(root, name))
+            except OSError:
+                pass
+    return total
 
 
 def parse_ref(ref: str) -> Tuple[str, Optional[int]]:
@@ -282,6 +308,9 @@ class ModelRegistry:
                         "plan": manifest.get("plan") or {},
                         "metadata": manifest.get("metadata") or {},
                         "size_bytes": size,
+                        "weights_sha256": (manifest.get("content") or {}).get(
+                            "weights_sha256"
+                        ),
                         "path": path,
                     }
                 )
@@ -299,6 +328,80 @@ class ModelRegistry:
                 f"artifact {name!r} has no version v{version} (have {versions})"
             )
         return version, os.path.join(self.root, name, f"v{version}")
+
+    # ------------------------------------------------------------------
+    def delete(self, name: str, version: Optional[int] = None) -> List[int]:
+        """Remove one version of ``name`` (or, with ``version=None``, all).
+
+        Returns the removed version numbers.  The artifact's directory is
+        dropped once its last version is gone, so a deleted name vanishes
+        from :meth:`names` entirely.  Raises
+        :class:`ArtifactNotFoundError` for unknown names/versions —
+        deletion is an operator action and a silent no-op would hide
+        typos.
+        """
+        if version is None:
+            removed = self.versions(name)
+            if not removed:
+                raise ArtifactNotFoundError(f"no artifact named {name!r} in {self.root}")
+            for v in removed:
+                shutil.rmtree(os.path.join(self.root, name, f"v{v}"))
+        else:
+            resolved, path = self.resolve(name, version)
+            shutil.rmtree(path)
+            removed = [resolved]
+        base = os.path.join(self.root, name)
+        if os.path.isdir(base) and not self.versions(name):
+            shutil.rmtree(base, ignore_errors=True)
+        return removed
+
+    def gc(self, keep_last: int = 1, tmp_age_seconds: float = 3600.0) -> Dict[str, Any]:
+        """Prune old artifact versions and stale temp directories.
+
+        Keeps the newest ``keep_last`` versions of every artifact
+        (``0`` removes everything) and sweeps ``.tmp-*`` directories left
+        by crashed saves.  Only temp directories untouched for
+        ``tmp_age_seconds`` (default one hour) are swept — a fresh one may
+        belong to a save in flight in another process, and deleting it
+        would break the atomic-save guarantee.  Returns
+        ``{"removed": {name: [versions]}, "tmp_removed": [paths],
+        "bytes_freed": int}``.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        removed: Dict[str, List[int]] = {}
+        tmp_removed: List[str] = []
+        bytes_freed = 0
+        now = time.time()
+        for entry in sorted(os.listdir(self.root)):
+            base = os.path.join(self.root, entry)
+            if not os.path.isdir(base):
+                continue
+            for sub in sorted(os.listdir(base)):
+                if sub.startswith(".tmp-"):
+                    tmp_path = os.path.join(base, sub)
+                    try:
+                        age = now - os.path.getmtime(tmp_path)
+                    except OSError:
+                        continue  # vanished mid-scan (save completed)
+                    if age < tmp_age_seconds:
+                        continue
+                    bytes_freed += _dir_size(tmp_path)
+                    shutil.rmtree(tmp_path, ignore_errors=True)
+                    tmp_removed.append(tmp_path)
+            versions = self.versions(entry)
+            # max(0, ...): keep_last beyond the version count must be a
+            # no-op, not a negative slice wrapping around the list.
+            drop = versions[: max(0, len(versions) - keep_last)]
+            for v in drop:
+                path = os.path.join(base, f"v{v}")
+                bytes_freed += _dir_size(path)
+                shutil.rmtree(path)
+            if drop:
+                removed[entry] = drop
+            if os.path.isdir(base) and not os.listdir(base):
+                os.rmdir(base)
+        return {"removed": removed, "tmp_removed": tmp_removed, "bytes_freed": bytes_freed}
 
     # ------------------------------------------------------------------
     def save(
@@ -345,7 +448,14 @@ class ModelRegistry:
         tmp_dir = os.path.join(base, f".tmp-v{version}-{os.getpid()}")
         os.makedirs(tmp_dir)
         try:
-            save_state_dict(module.state_dict(), os.path.join(tmp_dir, _WEIGHTS))
+            weights_path = os.path.join(tmp_dir, _WEIGHTS)
+            save_state_dict(module.state_dict(), weights_path)
+            # Content hash of the weights as written: load() re-hashes and
+            # refuses silently corrupted or tampered artifacts.
+            manifest["content"] = {
+                "weights_sha256": _sha256_file(weights_path),
+                "weights_bytes": os.path.getsize(weights_path),
+            }
             with open(os.path.join(tmp_dir, _MANIFEST), "w", encoding="utf-8") as fh:
                 json.dump({**manifest, "version": version}, fh, indent=2)
                 fh.write("\n")
@@ -393,8 +503,20 @@ class ModelRegistry:
             raise ValueError(
                 f"artifact {name}@v{version} needs unregistered arch family {family!r}"
             ) from None
+        weights_path = os.path.join(path, _WEIGHTS)
+        content = manifest.get("content") or {}
+        recorded = content.get("weights_sha256")
+        if recorded:
+            # Pre-hash-era artifacts (no "content" block) load unverified;
+            # everything saved since records its digest and must match it.
+            actual = _sha256_file(weights_path)
+            if actual != recorded:
+                raise ArtifactIntegrityError(
+                    f"artifact {name}@v{version} weights hash mismatch: "
+                    f"manifest records sha256 {recorded}, file is {actual}"
+                )
         model = builder(**arch)
-        model.load_state_dict(load_state_dict(os.path.join(path, _WEIGHTS)))
+        model.load_state_dict(load_state_dict(weights_path))
         model.eval()
 
         handle = None

@@ -24,6 +24,12 @@ Scheduling model (three knobs):
   cores; an engine that does not declare thread safety is transparently
   serialized behind a lock.  Which worker executes a window is invisible
   in the responses — the batch-invariance contract below covers it.
+* ``bucket_requests`` / ``bucket_fn`` — kept-count-aware window assembly
+  for adaptive (threshold-mode) models: requests are tagged with their
+  engine bucket at submit time and only same-bucket requests fuse, so a
+  single heavy request does not pad every other sample's ragged GEMMs up
+  to its kept-count.  Off by default; purely a throughput knob (responses
+  are bit-identical either way).
 
 Correctness contract: sessions compile their engine with
 ``PlanConfig(batch_invariant=True)`` by default, so the response to a
@@ -44,7 +50,8 @@ import dataclasses
 import queue
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,6 +87,23 @@ class SessionConfig:
         Worker threads pulling windows off the shared queue.  ``1``
         preserves the strictly-serial scheduler; ``N > 1`` needs (or
         serializes around) a thread-safe engine.
+    bucket_requests:
+        Kept-count-aware window assembly for adaptive (threshold-mode)
+        models.  Each request is tagged at submit time with the engine's
+        :meth:`~repro.core.engine.EngineProtocol.request_bucket` hint —
+        the quantized kept-count of the plan's first pruning site — and
+        the collector only fuses same-bucket requests into a window, so
+        one heavy outlier does not drag zero-padded bucket work into
+        everyone else's GEMMs.  Mismatched arrivals are deferred, never
+        dropped, and become the seeds of the next windows in arrival
+        order.  The probe runs a fraction of a forward pass on the
+        submitting thread; responses stay bit-identical either way (the
+        engine is batch-invariant), so this knob is purely a throughput
+        trade.
+    bucket_fn:
+        Custom bucket key function ``(array) -> hashable`` overriding the
+        engine hint (e.g. to bucket by image size or a caller-side cost
+        class).  Implies bucket-aware assembly when set.
     """
 
     max_batch: int = 8
@@ -87,6 +111,8 @@ class SessionConfig:
     queue_depth: int = 256
     latency_window: int = 4096
     workers: int = 1
+    bucket_requests: bool = False
+    bucket_fn: Optional[Callable[[np.ndarray], Any]] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -134,11 +160,12 @@ class PendingResult:
 
 
 class _Request:
-    __slots__ = ("array", "pending")
+    __slots__ = ("array", "pending", "bucket")
 
-    def __init__(self, array: np.ndarray, pending: PendingResult):
+    def __init__(self, array: np.ndarray, pending: PendingResult, bucket: Any = None):
         self.array = array
         self.pending = pending
+        self.bucket = bucket
 
 
 _SHUTDOWN = object()
@@ -189,6 +216,7 @@ class InferenceSession:
         self._batched_samples = 0
         self._errors = 0
         self._worker_batches: Dict[str, int] = {}
+        self._bucket_batches: Dict[Any, int] = {}
         self._workers = [
             threading.Thread(
                 target=self._run,
@@ -272,6 +300,10 @@ class InferenceSession:
                 f"is {self.config.max_batch}; split it or use predict()"
             )
         pending = PendingResult()
+        # The bucket probe runs before the lock (it may cost a fraction of
+        # a forward pass) and on the submitting thread, so N concurrent
+        # clients probe in parallel against the thread-safe engine.
+        bucket = self._request_bucket(array)
         # Holding the lock across the put keeps the check atomic with the
         # enqueue; close() takes the same lock before sending its
         # sentinel, so nothing enqueues behind it.  A put blocked on a
@@ -280,8 +312,17 @@ class InferenceSession:
         with self._submit_lock:
             if self._closed:
                 raise SessionClosed("cannot submit to a closed InferenceSession")
-            self._queue.put(_Request(array, pending), block=block, timeout=timeout)
+            self._queue.put(_Request(array, pending, bucket), block=block, timeout=timeout)
         return pending
+
+    def _request_bucket(self, array: np.ndarray) -> Any:
+        """Scheduling bucket for one normalized request (None = unbucketed)."""
+        if self.config.bucket_fn is not None:
+            return self.config.bucket_fn(array)
+        if self.config.bucket_requests:
+            probe = getattr(self.engine, "request_bucket", None)
+            return probe(array) if probe is not None else None
+        return None
 
     @staticmethod
     def _normalize(x: np.ndarray) -> np.ndarray:
@@ -344,19 +385,38 @@ class InferenceSession:
             return self.engine(fused)
 
     def _collect(
-        self, first: _Request
-    ) -> Tuple[List[_Request], Optional[_Request], bool]:
-        """Gather up to ``max_batch`` samples, waiting ``batch_window_ms``.
+        self, first: _Request, stash: "Deque[_Request]"
+    ) -> Tuple[List[_Request], bool]:
+        """Gather up to ``max_batch`` same-bucket samples into one window.
 
-        Returns ``(batch, carry, saw_shutdown)``; ``carry`` is a request
-        that would have overflowed this window and belongs to the calling
-        worker's next one.  Collection state is all worker-local — N
-        workers collect from the shared queue concurrently.
+        Returns ``(batch, saw_shutdown)``.  Requests that cannot join this
+        window — they would overflow it, or carry a different scheduling
+        bucket — are deferred onto ``stash`` and become the seeds of the
+        calling worker's next windows, in arrival order (no request is
+        ever dropped or starved: the stash is always drained before the
+        queue is touched again).  Collection state is all worker-local —
+        N workers collect from the shared queue concurrently.  With
+        bucketing off every request's bucket is ``None``, and this reduces
+        exactly to the original single-carry collector.
         """
         batch = [first]
-        carry: Optional[_Request] = None
         saw_shutdown = False
         size = first.array.shape[0]
+        bucket = first.bucket
+        # Compatible requests deferred by an earlier window join first.
+        if stash:
+            passed_over: List[_Request] = []
+            while stash:
+                request = stash.popleft()
+                if (
+                    request.bucket == bucket
+                    and size + request.array.shape[0] <= self.config.max_batch
+                ):
+                    batch.append(request)
+                    size += request.array.shape[0]
+                else:
+                    passed_over.append(request)
+            stash.extend(passed_over)
         deadline = time.perf_counter() + self.config.batch_window_ms / 1e3
         while size < self.config.max_batch:
             remaining = deadline - time.perf_counter()
@@ -373,17 +433,22 @@ class InferenceSession:
                 # one sentinel per worker, so the accounting only works if
                 # a worker never consumes a second one — _run guarantees
                 # that by never touching the queue again once shutdown is
-                # seen (a deferred carry executes as its own window).
+                # seen (deferred stash entries execute as lone windows).
                 saw_shutdown = True
                 break
-            request: _Request = item  # type: ignore[assignment]
-            if size + request.array.shape[0] > self.config.max_batch:
-                # Would overflow the window: defer to the next one.
-                carry = request
+            request = item  # type: ignore[assignment]
+            if (
+                request.bucket != bucket
+                or size + request.array.shape[0] > self.config.max_batch
+            ):
+                # Wrong bucket or would overflow: defer to a later window.
+                stash.append(request)
+                if request.bucket != bucket:
+                    continue  # keep filling this bucket until the deadline
                 break
             batch.append(request)
             size += request.array.shape[0]
-        return batch, carry, saw_shutdown
+        return batch, saw_shutdown
 
     def _execute(self, batch: List[_Request], worker: str) -> None:
         sizes = [r.array.shape[0] for r in batch]
@@ -412,6 +477,9 @@ class InferenceSession:
             self._batches += 1
             self._batched_samples += sum(sizes)
             self._worker_batches[worker] = self._worker_batches.get(worker, 0) + 1
+            bucket = batch[0].bucket
+            if bucket is not None:
+                self._bucket_batches[bucket] = self._bucket_batches.get(bucket, 0) + 1
             for request in batch:
                 self._record_latency(done - request.pending.submitted_at)
         offset = 0
@@ -420,11 +488,11 @@ class InferenceSession:
             offset += size
 
     def _run(self, worker: str) -> None:
-        carry: Optional[_Request] = None
+        stash: Deque[_Request] = deque()
         shutdown = False
         while True:
-            if carry is not None:
-                first, carry = carry, None
+            if stash:
+                first = stash.popleft()
             else:
                 if shutdown:
                     break
@@ -434,11 +502,11 @@ class InferenceSession:
                 first = item  # type: ignore[assignment]
             if shutdown:
                 # Already holding the exit ticket: drain the deferred
-                # carry as a lone window without pulling from the queue —
+                # stash as lone windows without pulling from the queue —
                 # collecting again could swallow a sibling's sentinel.
                 batch: List[_Request] = [first]
             else:
-                batch, carry, saw_shutdown = self._collect(first)
+                batch, saw_shutdown = self._collect(first, stash)
                 shutdown = shutdown or saw_shutdown
             self._execute(batch, worker)
 
@@ -471,6 +539,11 @@ class InferenceSession:
                 "max_batch": self.config.max_batch,
                 "workers": self.config.workers,
                 "per_worker": dict(self._worker_batches),
+                "bucket_windows": {
+                    str(key): count for key, count in sorted(
+                        self._bucket_batches.items(), key=lambda kv: str(kv[0])
+                    )
+                },
                 "mean_batch": (self._batched_samples / batches) if batches else 0.0,
                 "occupancy": (
                     self._batched_samples / (batches * self.config.max_batch)
@@ -500,6 +573,7 @@ class InferenceSession:
             self._batched_samples = 0
             self._errors = 0
             self._worker_batches = {}
+            self._bucket_batches = {}
         self.engine.reset_stats()
 
     # ------------------------------------------------------------------

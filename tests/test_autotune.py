@@ -98,3 +98,52 @@ class TestSearch:
         for point, pruner in handle.pruners:
             assert pruner.spatial_ratio == pytest.approx(result.ratios[point.block_index])
             assert pruner.channel_ratio == 0.0
+
+
+class TestAutotuneArtifacts:
+    """The autotune → registry pipeline (``repro autotune --save``)."""
+
+    def _result(self):
+        from repro.core.autotune import AutotuneStep
+
+        return AutotuneResult(
+            ratios=[0.2, 0.0, 0.4, 0.6, 0.6],
+            accuracy=0.71,
+            reduction_pct=31.5,
+            baseline_accuracy=0.75,
+            target_reached=True,
+            history=[AutotuneStep(block=2, ratio=0.4, accuracy=0.73, reduction_pct=12.0)],
+        )
+
+    def test_metadata_records_measured_outcome(self):
+        from repro.core.autotune import autotune_metadata
+
+        meta = autotune_metadata(self._result(), arch="vgg16", seed=3)
+        assert meta["source"] == "autotune"
+        assert meta["arch"] == "vgg16" and meta["seed"] == 3
+        tuned = meta["autotune"]
+        assert tuned["ratios"] == [0.2, 0.0, 0.4, 0.6, 0.6]
+        assert tuned["accuracy"] == pytest.approx(0.71)
+        assert tuned["reduction_pct"] == pytest.approx(31.5)
+        assert tuned["accuracy_drop"] == pytest.approx(0.04)
+        assert tuned["target_reached"] is True
+        assert tuned["accepted_moves"] == 1
+
+    def test_saved_artifact_carries_tuned_vector(self, trained, tmp_path):
+        from repro.core.autotune import autotune_metadata
+        from repro.serve import ModelRegistry
+
+        handle, _ = trained
+        result = self._result()
+        handle.set_block_ratios(result.ratios, [0.0] * len(result.ratios))
+        registry = ModelRegistry(str(tmp_path))
+        name, version = registry.save(
+            "tuned", handle, metadata=autotune_metadata(result, arch="vgg16")
+        )
+        manifest = registry.manifest(name, version)
+        assert manifest["metadata"]["autotune"]["reduction_pct"] == pytest.approx(31.5)
+        artifact = registry.load(name, version)
+        loaded = {pt.block_index: pr.channel_ratio for pt, pr in artifact.handle.pruners}
+        for block, ratio in enumerate(result.ratios):
+            if block in loaded:
+                assert loaded[block] == pytest.approx(ratio)

@@ -102,6 +102,33 @@ class TestIm2ColKernels:
                 F.im2col_t(x, kernel, stride, padding, tile_rows=tile), ref
             )
 
+    def test_padded_gather_overwrites_stale_buffer(self, rng):
+        # The padded-destination gather zero-fills the halo bands instead
+        # of reading from a padded input copy; with a reused (arena)
+        # buffer every halo byte must be written, or stale data from the
+        # previous call leaks into the patch matrix.
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float32)
+        for kernel, stride, padding in [(3, 1, 1), (3, 2, 2), (5, 1, 2)]:
+            ref = F.im2col_loop(x, kernel, stride, padding)
+            poisoned = np.full_like(ref, np.nan)
+            np.testing.assert_array_equal(
+                F.im2col(x, kernel, stride, padding, out=poisoned), ref
+            )
+            oh, ow = F.conv_output_shape(7, 7, kernel, stride, padding)
+            ref_t = ref.reshape(2, oh * ow, -1).transpose(0, 2, 1)
+            poisoned_t = np.full_like(np.ascontiguousarray(ref_t), np.nan)
+            np.testing.assert_array_equal(
+                F.im2col_t(x, kernel, stride, padding, out=poisoned_t), ref_t
+            )
+
+    def test_padding_beyond_kernel_reach(self, rng):
+        # Taps that are fully out of bounds for every output position must
+        # come back as exact zero planes (tiny input, huge padding).
+        x = rng.normal(size=(1, 2, 3, 3)).astype(np.float32)
+        for kernel, stride, padding in [(3, 1, 3), (2, 2, 3), (3, 3, 4)]:
+            ref = F.im2col_loop(x, kernel, stride, padding)
+            np.testing.assert_array_equal(F.im2col(x, kernel, stride, padding), ref)
+
     def test_out_buffer_is_written_and_returned(self, rng):
         x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
         ref = F.im2col(x, 3, 1, 1)

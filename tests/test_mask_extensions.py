@@ -52,6 +52,39 @@ class TestThresholdMask:
         assert mask.shape == (2, 4, 5)
         np.testing.assert_array_equal(mask, scores > 0.5)
 
+    def test_all_kept_when_everything_clears(self, rng):
+        # Threshold below the minimum (or negative) keeps every component.
+        scores = rng.random((3, 6)) + 1.0
+        np.testing.assert_array_equal(threshold_mask(scores, 0.5), np.ones((3, 6), bool))
+        np.testing.assert_array_equal(threshold_mask(scores, -1.0), np.ones((3, 6), bool))
+
+    def test_all_pruned_rows_each_keep_their_best(self):
+        # Every row below threshold: the at-least-one invariant holds per
+        # row, picking each row's own argmax.
+        scores = np.array([[0.3, 0.1, 0.2], [0.0, 0.05, 0.01]])
+        mask = threshold_mask(scores, 1.0)
+        np.testing.assert_array_equal(mask, [[True, False, False], [False, True, False]])
+
+    def test_ties_at_threshold_are_pruned(self):
+        # "Strictly above" semantics: components scoring exactly the
+        # threshold drop, including whole rows of exact ties (argmax
+        # rescue picks index 0 then).
+        scores = np.array([[0.4, 0.4, 0.4], [0.4, 0.5, 0.4]])
+        mask = threshold_mask(scores, 0.4)
+        np.testing.assert_array_equal(mask, [[True, False, False], [False, True, False]])
+
+    def test_ragged_counts_feed_bucketing(self, rng):
+        # The serving-side contract: threshold masks produce per-row kept
+        # counts that the kept-count bucketing partitions exhaustively.
+        from repro.core.masks import group_by_kept_count, kept_counts
+
+        scores = rng.random((8, 16))
+        mask = threshold_mask(scores, 0.7)
+        counts = kept_counts(mask)
+        assert len(set(counts.tolist())) > 1  # genuinely ragged
+        buckets = group_by_kept_count(mask, 4)
+        assert sum(idx.size for _, idx in buckets) == 8
+
 
 class TestBatchUnion:
     def test_union_semantics(self):

@@ -221,6 +221,124 @@ class TestModelRegistry:
 
 
 # ----------------------------------------------------------------------
+# Registry operations: content hashes, delete, gc
+# ----------------------------------------------------------------------
+class TestRegistryOperations:
+    def test_manifest_records_content_hash(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("m", slim_vgg_handle())
+        manifest = registry.manifest("m")
+        content = manifest["content"]
+        assert len(content["weights_sha256"]) == 64
+        assert content["weights_bytes"] > 0
+        rows = registry.list_artifacts()
+        assert rows[0]["weights_sha256"] == content["weights_sha256"]
+
+    def test_load_verifies_hash(self, tmp_path):
+        import os
+
+        from repro.serve import ArtifactIntegrityError
+
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("m", slim_vgg_handle())
+        registry.load("m")  # intact: verifies silently
+        weights = os.path.join(str(tmp_path), "m", "v1", "weights.npz")
+        with open(weights, "r+b") as fh:
+            fh.seek(40)
+            fh.write(b"\x13\x37\x13\x37")
+        with pytest.raises(ArtifactIntegrityError, match="hash mismatch"):
+            registry.load("m")
+
+    def test_delete_version_and_name(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        handle = slim_vgg_handle()
+        registry.save("m", handle)
+        registry.save("m", handle)
+        assert registry.delete("m", 1) == [1]
+        assert registry.versions("m") == [2]
+        assert registry.delete("m") == [2]
+        assert registry.names() == []
+        with pytest.raises(ArtifactNotFoundError):
+            registry.delete("m")
+        with pytest.raises(ArtifactNotFoundError):
+            registry.delete("ghost", 3)
+
+    def test_gc_keeps_newest_and_sweeps_tmp(self, tmp_path):
+        import os
+
+        registry = ModelRegistry(str(tmp_path))
+        handle = slim_vgg_handle()
+        for _ in range(3):
+            registry.save("m", handle)
+        registry.save("other", handle)
+        stale = os.path.join(str(tmp_path), "m", ".tmp-v9-123")
+        os.makedirs(stale)
+        with open(os.path.join(stale, "junk"), "w") as fh:
+            fh.write("x")
+        os.utime(stale, (0, 0))  # crashed long ago
+        report = registry.gc(keep_last=1)
+        assert report["removed"] == {"m": [1, 2]}
+        assert report["tmp_removed"] == [stale]
+        assert report["bytes_freed"] > 0
+        assert registry.versions("m") == [3]
+        assert registry.versions("other") == [1]
+        # idempotent
+        assert registry.gc(keep_last=1)["removed"] == {}
+
+    def test_gc_spares_fresh_tmp_dirs(self, tmp_path):
+        # A fresh .tmp-* directory may be a save in flight in another
+        # process; gc must not break the atomic-save guarantee.
+        import os
+
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("m", slim_vgg_handle())
+        live = os.path.join(str(tmp_path), "m", ".tmp-v2-999")
+        os.makedirs(live)
+        report = registry.gc(keep_last=1)
+        assert report["tmp_removed"] == []
+        assert os.path.isdir(live)
+        # explicit short threshold sweeps it
+        os.utime(live, (0, 0))
+        assert registry.gc(keep_last=1)["tmp_removed"] == [live]
+
+    def test_gc_keep_beyond_version_count_is_noop(self, tmp_path):
+        # keep_last larger than an artifact's version count must keep
+        # everything, not wrap the slice around and drop versions.
+        registry = ModelRegistry(str(tmp_path))
+        handle = slim_vgg_handle()
+        registry.save("m", handle)
+        registry.save("m", handle)
+        report = registry.gc(keep_last=3)
+        assert report["removed"] == {}
+        assert registry.versions("m") == [1, 2]
+
+    def test_gc_keep_zero_empties_registry(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("m", slim_vgg_handle())
+        report = registry.gc(keep_last=0)
+        assert report["removed"] == {"m": [1]}
+        assert registry.names() == []
+        with pytest.raises(ValueError):
+            registry.gc(keep_last=-1)
+
+    def test_cli_registry_rm_and_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        registry = ModelRegistry(str(tmp_path))
+        handle = slim_vgg_handle()
+        registry.save("m", handle)
+        registry.save("m", handle)
+        assert main(["registry", "rm", "m@v1", "--registry", str(tmp_path)]) == 0
+        assert registry.versions("m") == [2]
+        assert main(["registry", "rm", "ghost", "--registry", str(tmp_path)]) == 2
+        assert main(["registry", "rm", "--registry", str(tmp_path)]) == 2
+        registry.save("m", handle)
+        assert main(["registry", "gc", "--registry", str(tmp_path), "--keep", "1"]) == 0
+        assert registry.versions("m") == [3]
+        capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
 # InferenceSession
 # ----------------------------------------------------------------------
 class TestInferenceSession:
