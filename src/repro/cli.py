@@ -232,13 +232,24 @@ def _session_from_args(args: argparse.Namespace):
     """Build the InferenceSession ``repro serve`` / tests drive."""
     from .serve import InferenceSession, ModelRegistry, SessionConfig
 
+    backend = args.backend
+    engine_kwargs = {}
+    workers = args.workers
+    if getattr(args, "proc_workers", 0):
+        # Process-parallel serving: the pool replaces the in-process
+        # engine; session worker threads only dispatch, so give the pool
+        # at least as many dispatchers as processes.
+        backend = "procpool"
+        engine_kwargs["proc_workers"] = args.proc_workers
+        workers = max(workers, args.proc_workers)
     session_config = SessionConfig(
-        max_batch=args.max_batch, batch_window_ms=args.window_ms, workers=args.workers
+        max_batch=args.max_batch, batch_window_ms=args.window_ms, workers=workers
     )
     if args.registry and args.model:
         registry = ModelRegistry(args.registry)
         return InferenceSession.from_registry(
-            registry, args.model, backend=args.backend, session=session_config
+            registry, args.model, backend=backend, session=session_config,
+            **engine_kwargs,
         )
     # No artifact named: serve a self-contained demo stack so the loop can
     # be exercised without a prior save-artifact run.
@@ -246,7 +257,7 @@ def _session_from_args(args: argparse.Namespace):
 
     stack = build_conv_stack(0.6, width=16, depth=4, seed=args.seed)
     return InferenceSession.from_model(
-        stack, backend=args.backend, session=session_config
+        stack, backend=backend, session=session_config, **engine_kwargs
     )
 
 
@@ -309,7 +320,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
         try:
             stats = serve_lines(
-                session, lines, out, include_output=not args.no_output
+                session, lines, out, include_output=not args.no_output,
+                result_timeout=args.timeout if args.timeout > 0 else None,
             )
         finally:
             if out is not sys.stdout:
@@ -383,14 +395,20 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     try:
         windows = [int(w) for w in args.windows.split(",") if w.strip()]
         workers = [int(w) for w in args.workers.split(",") if w.strip()]
+        proc_workers = [int(w) for w in args.proc_workers.split(",") if w.strip()]
     except ValueError:
-        print(f"invalid --windows/--workers (expected e.g. 1,4,8,16 and 1,2)")
+        print("invalid --windows/--workers/--proc-workers "
+              "(expected e.g. 1,4,8,16 and 1,2 and 1,2,4)")
         return 2
     if any(w < 1 for w in windows) or not windows:
         print(f"invalid --windows {args.windows!r} (every window must be >= 1)")
         return 2
     if any(w < 1 for w in workers) or not workers:
         print(f"invalid --workers {args.workers!r} (every count must be >= 1)")
+        return 2
+    if any(w < 1 for w in proc_workers):
+        print(f"invalid --proc-workers {args.proc_workers!r} "
+              "(every count must be >= 1)")
         return 2
     document = run_serve_benchmark(
         windows=windows,
@@ -402,12 +420,15 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         smoke=args.smoke,
         workers=workers,
+        proc_workers=proc_workers,
     )
     write_serve_json(document, args.output)
-    print(f"{'model':>11} {'window':>6} {'wkrs':>4} {'seq rps':>8} {'rps':>8} {'speedup':>8} "
+    print(f"{'model':>11} {'backend':>8} {'window':>6} {'wkrs':>4} {'seq rps':>8} "
+          f"{'rps':>8} {'speedup':>8} "
           f"{'p50(ms)':>8} {'p95(ms)':>8} {'occ':>5} {'exact':>6}")
     for row in document["results"]:
-        print(f"{row['model']:>11} {row['window']:>6} {row['workers']:>4} "
+        print(f"{row['model']:>11} {row.get('backend', 'threads'):>8} "
+              f"{row['window']:>6} {row['workers']:>4} "
               f"{row['sequential_rps']:>8.0f} "
               f"{row['throughput_rps']:>8.0f} {row['speedup']:>7.2f}x "
               f"{row['latency_ms']['p50']:>8.1f} {row['latency_ms']['p95']:>8.1f} "
@@ -421,7 +442,20 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     else:
         print(f"\nno window >= 8 in the sweep; "
               f"bit-identical everywhere: {summary['bit_identical_all']}")
+    if summary["bit_identical_procpool"] is not None:
+        print(f"procpool: bit-identical {summary['bit_identical_procpool']}, "
+              f"best speedup {summary['best_procpool_speedup']:.2f}x, "
+              f"respawns {summary['procpool_respawns']}")
     print(f"recorded {len(document['results'])} measurements to {args.output}")
+    if args.smoke:
+        if not summary["bit_identical_all"]:
+            print("CONTRACT VIOLATION: serving outputs depended on batch "
+                  "composition, worker thread, or worker process")
+            return 1
+        if summary["bit_identical_procpool"] is False:
+            print("CONTRACT VIOLATION: procpool responses differ from "
+                  "in-process per-request execution")
+            return 1
     return 0
 
 
@@ -586,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="how long the collector waits to fill a window")
     p_serve.add_argument("--workers", type=int, default=1,
                          help="worker threads sharing the request queue")
+    p_serve.add_argument("--proc-workers", type=int, default=0,
+                         help="serve through a process-parallel engine pool "
+                              "of N worker processes (0 = in-process engine)")
+    p_serve.add_argument("--timeout", type=float, default=60.0,
+                         help="per-request result timeout in seconds "
+                              "(0 = wait forever)")
     p_serve.add_argument("--no-output", action="store_true",
                          help="omit logits from responses (argmax + latency only)")
     p_serve.set_defaults(func=cmd_serve)
@@ -605,8 +645,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bserve.add_argument("--no-resnet", action="store_true", help="skip the ResNet subject")
     p_bserve.add_argument("--workers", default="1,2",
                           help="comma-separated worker-thread counts to sweep")
+    p_bserve.add_argument("--proc-workers", default="",
+                          help="comma-separated worker-process counts for the "
+                               "procpool backend rows (e.g. 1,2,4; empty "
+                               "skips the process-pool sweep)")
     p_bserve.add_argument("--smoke", action="store_true",
-                          help="tiny sweep for CI end-to-end checks")
+                          help="tiny sweep for CI end-to-end checks; exits "
+                               "nonzero on any bit-identity violation "
+                               "(incl. the procpool backend)")
     p_bserve.set_defaults(func=cmd_bench_serve)
 
     p_badapt = sub.add_parser(

@@ -64,32 +64,47 @@ def spatial_attention(feature_map: np.ndarray) -> np.ndarray:
 ScoreFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
 
 
+class _AttentionScore:
+    """The paper's criterion (Eqs. 1-2): raw attention coefficients."""
+
+    def __call__(self, fm: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return channel_attention(fm), spatial_attention(fm)
+
+
+class _InverseScore:
+    """Sec. III-C control: negated attention, least-attended kept first."""
+
+    def __call__(self, fm: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return -channel_attention(fm), -spatial_attention(fm)
+
+
+class _RandomScore:
+    """Sec. III-C control: uniform random scores from an owned generator."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, fm: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        n, c, h, w = fm.shape
+        return self.rng.random((n, c)), self.rng.random((n, h, w))
+
+
 def make_criterion(name: str, rng: Optional[np.random.Generator] = None) -> ScoreFn:
     """Build a scoring function ``feature_map -> (channel_scores, spatial_scores)``.
 
     ``"attention"`` is the paper's criterion; ``"random"`` and ``"inverse"``
-    are the Sec. III-C controls.  Higher score = kept earlier.
+    are the Sec. III-C controls.  Higher score = kept earlier.  The
+    returned callables are plain picklable objects (not closures), so a
+    model carrying them can be shipped to spawned worker processes — the
+    process-parallel engine pool relies on this.
     """
     if name == "attention":
-
-        def score(fm: np.ndarray):
-            return channel_attention(fm), spatial_attention(fm)
-
-    elif name == "inverse":
-
-        def score(fm: np.ndarray):
-            return -channel_attention(fm), -spatial_attention(fm)
-
-    elif name == "random":
-        generator = rng or np.random.default_rng()
-
-        def score(fm: np.ndarray):
-            n, c, h, w = fm.shape
-            return generator.random((n, c)), generator.random((n, h, w))
-
-    else:
-        raise ValueError(f"unknown criterion {name!r}; expected one of {sorted(CRITERIA)}")
-    return score
+        return _AttentionScore()
+    if name == "inverse":
+        return _InverseScore()
+    if name == "random":
+        return _RandomScore(rng)
+    raise ValueError(f"unknown criterion {name!r}; expected one of {sorted(CRITERIA)}")
 
 
 CRITERIA: Dict[str, str] = {

@@ -27,6 +27,11 @@ backends behind :func:`create_engine`:
     ``sparse``/``auto`` already route threshold-mode sites raggedly
     (``ragged_mode="auto"``), so ``adaptive`` is for forcing the bucketed
     path uniformly.
+``procpool``
+    A process-parallel pool of bit-identical engine replicas behind
+    :mod:`multiprocessing.shared_memory` transport (``proc_workers=N``) —
+    the true multi-core serving backend; see
+    :mod:`repro.serve.procpool`.
 
 Models carrying FBS-style learned gates (:class:`repro.baselines.dynamic.
 GatedModel`) compile like instrumented models: the gates become plan ops
@@ -363,10 +368,28 @@ def _build_adaptive(
     return engine
 
 
+def _build_procpool(
+    model: object = None,
+    config: Optional[PlanConfig] = None,
+    **kwargs: object,
+) -> EngineProtocol:
+    """Process-parallel engine pool (lazy import: it lives in the serving
+    layer, one level up — see :mod:`repro.serve.procpool`).
+
+    Accepts ``proc_workers=N`` plus the pool's transport knobs
+    (``slots_per_worker``, ``slot_mb``, ``inner_backend``, and the
+    ``registry``/``ref`` pair for artifact-based worker startup).
+    """
+    from ..serve.procpool import ProcPoolEngine
+
+    return ProcPoolEngine(model, config=config, **kwargs)
+
+
 register_backend("dense", DenseEngine)
 register_backend("sparse", SparseEngine)
 register_backend("auto", _build_auto)
 register_backend("adaptive", _build_adaptive)
+register_backend("procpool", _build_procpool)
 
 
 def create_engine(

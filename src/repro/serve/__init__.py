@@ -10,6 +10,9 @@ becomes an operable system here:
   inference API: bounded request queue, micro-batching scheduler, and
   per-session telemetry (latency quantiles, occupancy, cache hit rate).
 * :mod:`~repro.serve.loop` — the ``repro serve`` JSONL request loop.
+* :mod:`~repro.serve.procpool` — :class:`ProcPoolEngine`, the
+  process-parallel engine pool with ``multiprocessing.shared_memory``
+  tensor transport (``create_engine(backend="procpool")``).
 * :mod:`~repro.serve.bench` — the ``repro bench-serve`` throughput sweep
   (``BENCH_serve.json``).
 
@@ -35,6 +38,7 @@ from .bench import (
     write_serve_json,
 )
 from .loop import decode_request, serve_lines, synthetic_request_lines
+from .procpool import ProcPoolClosed, ProcPoolEngine, ProcWorkerError
 from .registry import (
     ARTIFACT_SCHEMA,
     ArtifactIntegrityError,
@@ -73,4 +77,7 @@ __all__ = [
     "decode_request",
     "serve_lines",
     "synthetic_request_lines",
+    "ProcPoolEngine",
+    "ProcWorkerError",
+    "ProcPoolClosed",
 ]

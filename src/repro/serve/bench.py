@@ -135,6 +135,7 @@ def _bench_model(
             rows.append(
                 {
                     "model": label,
+                    "backend": "threads",
                     "window": int(window),
                     "workers": int(worker_count),
                     "requests": len(requests),
@@ -155,6 +156,99 @@ def _bench_model(
     return rows
 
 
+def _bench_procpool(
+    model: object,
+    requests: Sequence[np.ndarray],
+    window: int,
+    repeats: int,
+    proc_workers: Sequence[int],
+) -> List[Dict[str, Any]]:
+    """The true multi-core rows: a process pool behind the same scheduler.
+
+    The oracle is a *local* plan-backed engine: every worker process
+    compiles the identical plan with ``batch_invariant=True`` forced, so
+    pool responses must be bit-identical to in-process per-request
+    execution — across batch composition, executing thread, *and*
+    executing process.
+    """
+    local = create_engine(
+        model, backend="sparse", config=PlanConfig(batch_invariant=True)
+    )
+    local(np.concatenate(requests[:window], axis=0))  # warm plan + cache
+    reference = [local(r) for r in requests]
+    t_seq = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for r in requests:
+            local(r)
+        t_seq = min(t_seq, time.perf_counter() - start)
+    seq_rps = len(requests) / t_seq
+
+    rows: List[Dict[str, Any]] = []
+    for count in proc_workers:
+        pool = create_engine(
+            model,
+            backend="procpool",
+            config=PlanConfig(batch_invariant=True),
+            proc_workers=count,
+        )
+        try:
+            session = InferenceSession(
+                pool,
+                SessionConfig(
+                    max_batch=window,
+                    batch_window_ms=50.0,
+                    queue_depth=len(requests) + 8,
+                    # One dispatcher thread per process: threads only
+                    # shuttle windows into shared memory, the GEMMs run
+                    # in the pool.
+                    workers=max(int(count), 1),
+                ),
+            )
+            try:
+                best = float("inf")
+                outputs: List[np.ndarray] = []
+                for _ in range(repeats):
+                    session.reset_stats()
+                    start = time.perf_counter()
+                    outputs = session.infer_many(requests)
+                    best = min(best, time.perf_counter() - start)
+                stats = session.stats()
+            finally:
+                session.close()
+            pool_stats = pool.stats()
+        finally:
+            pool.close()
+        identical = all(
+            np.array_equal(out, ref) for out, ref in zip(outputs, reference)
+        )
+        rps = len(requests) / best
+        rows.append(
+            {
+                "model": "conv_stack",
+                "backend": "procpool",
+                "window": int(window),
+                "workers": int(count),
+                "proc_workers": int(count),
+                "requests": len(requests),
+                "sequential_ms": t_seq * 1e3,
+                "batched_ms": best * 1e3,
+                "sequential_rps": seq_rps,
+                "throughput_rps": rps,
+                "speedup": rps / seq_rps,
+                "bit_identical": bool(identical),
+                "latency_ms": stats["latency_ms"],
+                "occupancy": stats["occupancy"],
+                "mean_batch": stats["mean_batch"],
+                "per_worker": stats["per_worker"],
+                "per_process": pool_stats["per_process"],
+                "respawns": pool_stats["respawns"],
+                "shm_slots": pool_stats["slots"],
+            }
+        )
+    return rows
+
+
 def run_serve_benchmark(
     windows: Sequence[int] = (1, 4, 8, 16),
     requests: int = 64,
@@ -165,6 +259,7 @@ def run_serve_benchmark(
     seed: int = 0,
     smoke: bool = False,
     workers: Sequence[int] = (1, 2),
+    proc_workers: Sequence[int] = (),
 ) -> Dict[str, Any]:
     """Throughput/latency sweep over batch windows → ``BENCH_serve.json``.
 
@@ -174,8 +269,12 @@ def run_serve_benchmark(
     would.  Each window is swept across ``workers`` worker-thread counts;
     on a single-core box extra workers buy little wall-clock but the rows
     prove the contract that matters — ``bit_identical`` must hold no
-    matter which worker executed a window.  ``smoke=True`` shrinks the
-    sweep for CI end-to-end runs.
+    matter which worker executed a window.  A non-empty ``proc_workers``
+    adds the process-pool rows (``backend="procpool"``): the same
+    conv-stack request stream served by ``N`` worker *processes* over
+    shared-memory transport — the sweep that can actually scale past the
+    GIL on multi-core hardware.  ``smoke=True`` shrinks the sweep for CI
+    end-to-end runs (one procpool count, preferring 2).
     """
     if smoke:
         windows = tuple(w for w in windows if w in (1, 8)) or (1, 8)
@@ -183,17 +282,26 @@ def run_serve_benchmark(
         repeats = min(repeats, 2)
         include_vgg = False
         include_resnet = False
+        if proc_workers:
+            preferred = [w for w in proc_workers if w == 2]
+            proc_workers = tuple(preferred or list(proc_workers)[:1])
 
     results: List[Dict[str, Any]] = []
     stack = build_conv_stack(channel_ratio, width=16, depth=4, seed=seed)
+    stream = _request_stream(requests, 8, seed + 1)
     results += _bench_model(
         "conv_stack",
         stack,
-        _request_stream(requests, 8, seed + 1),
+        stream,
         windows,
         repeats,
         workers,
     )
+    if proc_workers:
+        proc_window = max([w for w in windows if w >= 8] or [max(windows)])
+        results += _bench_procpool(
+            stack, stream, proc_window, repeats, proc_workers
+        )
     if include_vgg:
         model = vgg16(num_classes=10, width_multiplier=0.125, seed=seed)
         model.eval()
@@ -223,12 +331,22 @@ def run_serve_benchmark(
 
     wide = [row for row in results if row["window"] >= 8]
     multi = [row for row in results if row["workers"] > 1]
+    proc_rows = [row for row in results if row.get("backend") == "procpool"]
     summary = {
         "best_speedup_at_window_ge_8": max((r["speedup"] for r in wide), default=None),
         "best_window_row": max(wide, key=lambda r: r["speedup"])["model"] if wide else None,
         "bit_identical_all": all(r["bit_identical"] for r in results),
         "bit_identical_multi_worker": (
             all(r["bit_identical"] for r in multi) if multi else None
+        ),
+        "bit_identical_procpool": (
+            all(r["bit_identical"] for r in proc_rows) if proc_rows else None
+        ),
+        "best_procpool_speedup": max(
+            (r["speedup"] for r in proc_rows), default=None
+        ),
+        "procpool_respawns": (
+            sum(r["respawns"] for r in proc_rows) if proc_rows else None
         ),
     }
     return {
@@ -243,6 +361,7 @@ def run_serve_benchmark(
             "seed": seed,
             "smoke": smoke,
             "workers": [int(w) for w in workers],
+            "proc_workers": [int(w) for w in proc_workers],
         },
         "summary": summary,
         "results": results,

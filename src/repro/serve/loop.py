@@ -44,6 +44,47 @@ def synthetic_request_lines(
     ]
 
 
+#: Upper bound on a synthetic request's element count (a (C,H,W) payload
+#: of ~64M floats is 256MB before the model even runs — nothing a serving
+#: loop should allocate on an unvalidated client's say-so).
+MAX_SYNTHETIC_ELEMENTS = 1 << 24
+
+#: Upper bound on any single synthetic dimension.
+MAX_SYNTHETIC_DIM = 1 << 14
+
+
+def _validated_shape(raw: object) -> Tuple[int, int, int]:
+    """Validate a client-supplied synthetic ``shape`` payload.
+
+    Synthetic requests materialize an array of exactly this shape, so it
+    must be a genuine (C, H, W) triple of positive, sane integers — not
+    whatever JSON the client felt like sending.
+    """
+    if not isinstance(raw, (list, tuple)) or len(raw) != 3:
+        raise ValueError(
+            f"synthetic 'shape' must be a (C, H, W) triple, got {raw!r}"
+        )
+    dims: List[int] = []
+    for dim in raw:
+        if isinstance(dim, bool) or not isinstance(dim, int) or dim < 1:
+            raise ValueError(
+                f"synthetic 'shape' entries must be positive integers, got {raw!r}"
+            )
+        if dim > MAX_SYNTHETIC_DIM:
+            raise ValueError(
+                f"synthetic 'shape' dimension {dim} exceeds the limit "
+                f"({MAX_SYNTHETIC_DIM})"
+            )
+        dims.append(dim)
+    c, h, w = dims
+    if c * h * w > MAX_SYNTHETIC_ELEMENTS:
+        raise ValueError(
+            f"synthetic 'shape' {tuple(dims)} is absurdly large "
+            f"({c * h * w} elements > {MAX_SYNTHETIC_ELEMENTS})"
+        )
+    return c, h, w
+
+
 def decode_request(line: str) -> Tuple[Optional[str], np.ndarray]:
     """Parse one request line into ``(id, (C,H,W) float32 array)``."""
     payload = json.loads(line)
@@ -55,7 +96,7 @@ def decode_request(line: str) -> Tuple[Optional[str], np.ndarray]:
     elif "npy" in payload:
         array = np.load(payload["npy"], allow_pickle=False).astype(np.float32)
     elif "synthetic" in payload:
-        shape = tuple(payload.get("shape", (3, 32, 32)))
+        shape = _validated_shape(payload.get("shape", (3, 32, 32)))
         seed = int(payload.get("seed", 0)) + int(payload["synthetic"])
         array = np.random.default_rng(seed).normal(size=shape).astype(np.float32)
     else:
@@ -70,12 +111,15 @@ def serve_lines(
     lines: Iterable[str],
     out: IO[str],
     include_output: bool = True,
+    result_timeout: Optional[float] = 60.0,
 ) -> Dict[str, Any]:
     """Drive the session over a request stream; returns the session stats.
 
     All parsable requests are submitted before any result is awaited, so
     the scheduler sees the same concurrency a burst of remote callers
-    would produce and can fill its batch windows.
+    would produce and can fill its batch windows.  ``result_timeout``
+    bounds each result wait (``None`` waits forever); a request that blows
+    it produces a per-line error response instead of killing the loop.
     """
     pending: List[Tuple[Optional[str], Optional[PendingResult], Optional[str]]] = []
     for line in lines:
@@ -101,7 +145,7 @@ def serve_lines(
             response: Dict[str, Any] = {"id": request_id, "error": error}
         else:
             try:
-                logits = handle.result(timeout=60.0)
+                logits = handle.result(timeout=result_timeout)
             except Exception as exec_error:  # noqa: BLE001 - reported per line
                 response = {"id": request_id, "error": str(exec_error)}
             else:

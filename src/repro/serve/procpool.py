@@ -1,0 +1,636 @@
+"""Process-parallel engine pool with shared-memory tensor transport.
+
+Worker *threads* (:attr:`~repro.serve.SessionConfig.workers`) share the
+GIL and BLAS contention, so numpy serving never scales across cores.
+:class:`ProcPoolEngine` is the process-based answer: ``N`` worker
+*processes*, each of which builds its own engine — compiling the
+:class:`~repro.core.sparse_exec.ExecutionPlan` exactly once at startup,
+from the same model (or registry artifact ref) and the same
+:class:`~repro.core.sparse_exec.PlanConfig` with ``batch_invariant=True``
+forced — so every process is a bit-identical replica and which process
+answered a request is unobservable in the response.
+
+Transport is a preallocated :mod:`multiprocessing.shared_memory` slot
+ring, in the same spirit as the kernel layer's
+:class:`~repro.core.workspace.WorkspaceArena`: one segment, ``S`` fixed
+capacity slots.  A dispatch copies the request tensor into a free slot
+and sends a tiny control message (slot index + shape) over the worker's
+pipe; the worker maps a zero-copy :class:`numpy.ndarray` view onto the
+slot, runs its engine, writes the output back into the same slot, and
+replies with the output shape.  No tensor is ever pickled — the pipes
+carry only slot metadata — and the slot count bounds in-flight requests,
+giving the pool natural backpressure.
+
+Lifecycle is crash-safe by construction: a single collector thread in
+the parent waits on every worker pipe *and* every process sentinel, so a
+worker that dies (OOM killer, segfault, ``kill -9``) is detected
+immediately — its in-flight requests resolve with
+:class:`ProcWorkerError` (never a hang), its shared-memory slots return
+to the ring, and a replacement process is spawned and attached to the
+same segment.
+
+Construction goes through the engine factory::
+
+    engine = create_engine(model, backend="procpool", proc_workers=4)
+
+and the engine drops into :class:`~repro.serve.InferenceSession`
+unchanged (it declares ``thread_safe``, so N session threads dispatch to
+the pool concurrently).  It additionally declares ``shards_by_bucket``:
+the session scheduler routes same-bucket windows (PR 4's kept-count
+buckets) to the same process, keeping each process's
+``WeightSliceCache`` warm for one kept-count population.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from multiprocessing import connection, get_context
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.engine import EngineProtocol, create_engine
+from ..core.sparse_exec import PlanConfig
+
+__all__ = ["ProcPoolEngine", "ProcWorkerError", "ProcPoolClosed"]
+
+
+class ProcWorkerError(RuntimeError):
+    """A request failed inside (or lost) its worker process."""
+
+
+class ProcPoolClosed(RuntimeError):
+    """Dispatch attempted on a closed :class:`ProcPoolEngine`."""
+
+
+# ----------------------------------------------------------------------
+# Worker process side
+# ----------------------------------------------------------------------
+def _build_worker_engine(spec: Dict[str, Any]) -> EngineProtocol:
+    """Compile this process's engine replica from the shared spec.
+
+    Either rebuilds from a registry artifact ref (``registry`` +
+    ``ref``), or unpickles the model shipped through the spawn args.
+    ``batch_invariant=True`` was forced into ``spec["config"]`` by the
+    builder, so every replica compiles the identical plan.
+    """
+    config: PlanConfig = spec["config"]
+    if spec.get("registry") is not None:
+        from .registry import ModelRegistry, parse_ref
+
+        name, version = parse_ref(spec["ref"])
+        artifact = ModelRegistry(spec["registry"]).load(name, version)
+        model = artifact.handle if artifact.handle is not None else artifact.model
+    else:
+        model = spec["model"]
+    return create_engine(model, backend=spec["backend"], config=config)
+
+
+def _worker_main(
+    spec: Dict[str, Any],
+    conn: "connection.Connection",
+    shm_name: str,
+    slot_bytes: int,
+) -> None:
+    """Worker loop: attach shm, compile once, answer slot-metadata messages."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        try:
+            engine = _build_worker_engine(spec)
+        except BaseException as error:  # noqa: BLE001 - reported to parent
+            conn.send(("fail", f"{type(error).__name__}: {error}"))
+            return
+        conn.send(("ready", engine.describe()))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            kind = message[0]
+            if kind == "shutdown":
+                break
+            if kind == "reset":
+                engine.reset_stats()
+                continue
+            if kind == "stats":
+                conn.send(("stats", engine.stats()))
+                continue
+            # ("req", req_id, slot, shape, dtype)
+            _, req_id, slot, shape, dtype = message
+            try:
+                view = np.ndarray(
+                    shape, dtype=dtype, buffer=shm.buf, offset=slot * slot_bytes
+                )
+                out = np.ascontiguousarray(engine(view))
+                if out.nbytes > slot_bytes:
+                    raise ValueError(
+                        f"output ({out.nbytes} bytes) exceeds the shm slot "
+                        f"capacity ({slot_bytes} bytes)"
+                    )
+                out_view = np.ndarray(
+                    out.shape, dtype=out.dtype, buffer=shm.buf, offset=slot * slot_bytes
+                )
+                np.copyto(out_view, out)
+                conn.send(("ok", req_id, slot, out.shape, str(out.dtype)))
+            except BaseException as error:  # noqa: BLE001 - surfaced per request
+                conn.send(("err", req_id, slot, f"{type(error).__name__}: {error}"))
+    finally:
+        shm.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _SlotRing:
+    """Fixed-capacity shared-memory slots with blocking acquire/release."""
+
+    def __init__(self, slots: int, slot_bytes: int):
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.shm = shared_memory.SharedMemory(create=True, size=slots * slot_bytes)
+        self._free: List[int] = list(range(slots))
+        self._cond = threading.Condition()
+
+    def acquire(self) -> int:
+        with self._cond:
+            while not self._free:
+                self._cond.wait()
+            return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        with self._cond:
+            self._free.append(slot)
+            self._cond.notify()
+
+    def view(self, slot: int, shape: Tuple[int, ...], dtype: Any) -> np.ndarray:
+        return np.ndarray(
+            shape, dtype=dtype, buffer=self.shm.buf, offset=slot * self.slot_bytes
+        )
+
+    def destroy(self) -> None:
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already collected
+            pass
+
+
+class _Waiter:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, value: Optional[np.ndarray], error: Optional[BaseException]) -> None:
+        self.value = value
+        self.error = error
+        self.event.set()
+
+
+class _WorkerHandle:
+    __slots__ = ("index", "gen", "process", "conn", "ready", "dead", "describe",
+                 "stats_reply", "stats_event")
+
+    def __init__(self, index: int, gen: int, process: Any, conn: Any):
+        self.index = index
+        self.gen = gen
+        self.process = process
+        self.conn = conn
+        self.ready = False
+        self.dead = False
+        self.describe: Optional[str] = None
+        self.stats_reply: Optional[Dict[str, Any]] = None
+        self.stats_event = threading.Event()
+
+
+class ProcPoolEngine(EngineProtocol):
+    """``N`` bit-identical engine replicas in worker processes.
+
+    Parameters
+    ----------
+    model:
+        Model (or instrumentation handle) every worker compiles.  May be
+        ``None`` when ``registry``/``ref`` name an artifact instead — then
+        each worker rebuilds from disk (the registry manifests carry
+        SHA-256 hashes, so all replicas are provably the same weights).
+    config:
+        :class:`PlanConfig` for the workers' plans.  ``batch_invariant``
+        is forced on — the pool exists to serve, and served responses
+        must not depend on batch composition *or* on which process ran
+        them.
+    proc_workers:
+        Worker process count.
+    inner_backend:
+        Backend each worker builds (``sparse`` by default; ``adaptive``
+        forces kept-count-bucketed execution pool-wide).
+    registry, ref:
+        Artifact-ref startup: registry root and ``name``/``name@vN``.
+    slots_per_worker, slot_mb:
+        Shared-memory ring geometry: ``proc_workers * slots_per_worker``
+        slots of ``slot_mb`` MiB each.  The slot count bounds in-flight
+        dispatches (backpressure); a request or response larger than one
+        slot is rejected with ``ValueError``.
+    respawn_limit:
+        Total worker respawns before the pool stops replacing dead
+        processes (a guard against a crash-looping model, not a tunable).
+    """
+
+    backend = "procpool"
+    thread_safe = True
+    #: The session scheduler may pass ``forward(x, shard=bucket)`` so
+    #: same-bucket windows pin to one process (warm per-kept-count cache).
+    shards_by_bucket = True
+
+    def __init__(
+        self,
+        model: object = None,
+        config: Optional[PlanConfig] = None,
+        proc_workers: int = 2,
+        inner_backend: str = "sparse",
+        registry: Optional[str] = None,
+        ref: Optional[str] = None,
+        slots_per_worker: int = 2,
+        slot_mb: float = 8.0,
+        respawn_limit: int = 8,
+        start_timeout: float = 120.0,
+    ):
+        if proc_workers < 1:
+            raise ValueError("proc_workers must be >= 1")
+        if model is None and (registry is None or ref is None):
+            raise ValueError("procpool needs a model or a registry root + artifact ref")
+        if registry is not None and ref is None:
+            raise ValueError("registry given without an artifact ref")
+        config = dataclasses.replace(config or PlanConfig(), batch_invariant=True)
+        self._spec: Dict[str, Any] = {
+            "backend": inner_backend,
+            "config": config,
+            "registry": registry,
+            "ref": ref,
+        }
+        if registry is None:
+            self._spec["model"] = model
+        self._model = model
+        self.plan_config = config
+        self.proc_workers = proc_workers
+        self.respawn_limit = respawn_limit
+        self._ctx = get_context("spawn")
+        slot_bytes = max(int(slot_mb * (1 << 20)), 1 << 16)
+        self._ring = _SlotRing(max(proc_workers * slots_per_worker, 2), slot_bytes)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._collector_stop = False
+        self._next_id = 0
+        self._rr = 0
+        # req_id -> (waiter, worker index, worker generation, slot)
+        self._inflight: Dict[int, Tuple[_Waiter, int, int, int]] = {}
+        self._dispatches: Dict[str, int] = {}
+        self._respawns = 0
+        self._errors = 0
+        self._probe: Optional[EngineProtocol] = None
+        self._wake_r, self._wake_w = os.pipe()
+        self._workers: List[_WorkerHandle] = [
+            self._spawn(index, gen=0) for index in range(proc_workers)
+        ]
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="procpool-collector", daemon=True
+        )
+        self._collector.start()
+        self._await_ready(start_timeout)
+
+    # -- startup -------------------------------------------------------
+    def _spawn(self, index: int, gen: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._spec, child_conn, self._ring.shm.name, self._ring.slot_bytes),
+            name=f"procpool-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(index, gen, process, parent_conn)
+
+    def _await_ready(self, timeout: float) -> None:
+        """Block until every worker compiled its plan (or fail fast)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if all(h.ready for h in self._workers):
+                    return
+                failed = [h for h in self._workers if h.dead]
+            if failed:
+                self.close()
+                raise ProcWorkerError(
+                    f"worker process {failed[0].index} failed during startup"
+                    + (f": {failed[0].describe}" if failed[0].describe else "")
+                )
+            if time.monotonic() > deadline:
+                self.close()
+                raise ProcWorkerError(
+                    f"worker processes not ready within {timeout:.0f}s"
+                )
+            time.sleep(0.01)
+
+    # -- dispatch ------------------------------------------------------
+    def forward(self, x: np.ndarray, shard: Any = None) -> np.ndarray:
+        array = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        if array.nbytes > self._ring.slot_bytes:
+            raise ValueError(
+                f"request ({array.nbytes} bytes) exceeds the shm slot capacity "
+                f"({self._ring.slot_bytes} bytes); raise slot_mb"
+            )
+        waiter = _Waiter()
+        slot = self._ring.acquire()
+        registered = False
+        try:
+            np.copyto(self._ring.view(slot, array.shape, array.dtype), array)
+            with self._lock:
+                if self._closed:
+                    raise ProcPoolClosed("cannot dispatch on a closed ProcPoolEngine")
+                handle = self._pick_worker(shard)
+                req_id = self._next_id
+                self._next_id += 1
+                self._inflight[req_id] = (waiter, handle.index, handle.gen, slot)
+                registered = True
+                key = f"proc-{handle.index}"
+                self._dispatches[key] = self._dispatches.get(key, 0) + 1
+                try:
+                    handle.conn.send(("req", req_id, slot, array.shape, str(array.dtype)))
+                except (BrokenPipeError, OSError):
+                    # The worker just died; the collector's sentinel sweep
+                    # resolves this waiter (and releases the slot).
+                    pass
+        except BaseException:
+            if not registered:
+                self._ring.release(slot)
+            raise
+        waiter.event.wait()
+        if waiter.error is not None:
+            raise waiter.error
+        assert waiter.value is not None
+        return waiter.value
+
+    def _pick_worker(self, shard: Any) -> _WorkerHandle:
+        """Route a dispatch: stable shard hash, else round-robin; skip dead."""
+        n = len(self._workers)
+        if shard is not None:
+            start = shard % n if isinstance(shard, int) else abs(hash(shard)) % n
+        else:
+            start = self._rr % n
+            self._rr += 1
+        for step in range(n):
+            handle = self._workers[(start + step) % n]
+            if not handle.dead:
+                return handle
+        raise ProcWorkerError(
+            "no live worker processes (respawn limit exhausted)"
+        )
+
+    # -- collector -----------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._collector_stop:
+                    return
+                conns = {h.conn: h for h in self._workers if not h.dead}
+                sentinels = {h.process.sentinel: h for h in self._workers if not h.dead}
+            waitables: List[Any] = list(conns) + list(sentinels) + [self._wake_r]
+            try:
+                ready = connection.wait(waitables)
+            except OSError:  # pragma: no cover - teardown race
+                continue
+            for obj in ready:
+                if obj == self._wake_r:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:  # pragma: no cover - teardown race
+                        pass
+                    continue
+                handle = conns.get(obj)
+                if handle is not None:
+                    self._drain_conn(handle)
+                else:
+                    self._handle_death(sentinels[obj])
+
+    def _drain_conn(self, handle: _WorkerHandle) -> None:
+        try:
+            message = handle.conn.recv()
+        except (EOFError, OSError):
+            self._handle_death(handle)
+            return
+        kind = message[0]
+        if kind == "ready":
+            with self._lock:
+                handle.ready = True
+                handle.describe = message[1]
+            return
+        if kind == "fail":
+            with self._lock:
+                handle.describe = message[1]
+            self._handle_death(handle, respawn=False)
+            return
+        if kind == "stats":
+            handle.stats_reply = message[1]
+            handle.stats_event.set()
+            return
+        if kind == "ok":
+            _, req_id, slot, shape, dtype = message
+            out = np.array(self._ring.view(slot, shape, dtype))
+            self._finish(req_id, slot, out, None)
+            return
+        if kind == "err":
+            _, req_id, slot, detail = message
+            self._finish(
+                req_id, slot, None,
+                ProcWorkerError(f"worker process request failed: {detail}"),
+            )
+
+    def _finish(
+        self,
+        req_id: int,
+        slot: int,
+        value: Optional[np.ndarray],
+        error: Optional[BaseException],
+    ) -> None:
+        with self._lock:
+            entry = self._inflight.pop(req_id, None)
+            if error is not None:
+                self._errors += 1
+        self._ring.release(slot)
+        if entry is not None:
+            entry[0].resolve(value, error)
+
+    def _handle_death(self, handle: _WorkerHandle, respawn: bool = True) -> None:
+        """A worker died: fail its in-flight requests, respawn a replacement."""
+        with self._lock:
+            if handle.dead:
+                return
+            handle.dead = True
+            swept = [
+                (req_id, entry)
+                for req_id, entry in self._inflight.items()
+                if entry[1] == handle.index and entry[2] == handle.gen
+            ]
+            for req_id, _ in swept:
+                del self._inflight[req_id]
+            self._errors += len(swept)
+            do_respawn = (
+                respawn and not self._closed and self._respawns < self.respawn_limit
+            )
+            if do_respawn:
+                self._respawns += 1
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        handle.process.join(timeout=5.0)
+        for _, (waiter, _, _, slot) in swept:
+            self._ring.release(slot)
+            waiter.resolve(
+                None,
+                ProcWorkerError(
+                    f"worker process {handle.index} died with the request in flight"
+                ),
+            )
+        if do_respawn:
+            replacement = self._spawn(handle.index, gen=handle.gen + 1)
+            with self._lock:
+                self._workers[handle.index] = replacement
+
+    # -- EngineProtocol surface ---------------------------------------
+    def request_bucket(self, x: np.ndarray) -> Optional[int]:
+        """Kept-count bucket probe, served by a parent-side replica.
+
+        The probe runs a fraction of a forward pass per request, so it
+        stays in-process (a pipe round trip per submit would dominate);
+        the replica compiles from the same spec, hence the same plan.
+        """
+        probe = self._probe_engine()
+        hint = getattr(probe, "request_bucket", None)
+        return hint(x) if hint is not None else None
+
+    def _probe_engine(self) -> EngineProtocol:
+        with self._lock:
+            if self._probe is None:
+                self._probe = _build_worker_engine(self._spec)
+            return self._probe
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "backend": self.backend,
+                "proc_workers": self.proc_workers,
+                "dispatches": sum(self._dispatches.values()),
+                "per_process": dict(self._dispatches),
+                "respawns": self._respawns,
+                "errors": self._errors,
+                "in_flight": len(self._inflight),
+                "slots": self._ring.slots,
+                "slot_bytes": self._ring.slot_bytes,
+                "workers_alive": sum(
+                    1 for h in self._workers if not h.dead and h.process.is_alive()
+                ),
+            }
+
+    def process_stats(self, timeout: float = 5.0) -> Dict[str, Dict[str, Any]]:
+        """Fetch each live worker's engine counters over its pipe."""
+        with self._lock:
+            if self._closed:
+                raise ProcPoolClosed("cannot query a closed ProcPoolEngine")
+            handles = [h for h in self._workers if not h.dead]
+            for handle in handles:
+                handle.stats_event.clear()
+                try:
+                    handle.conn.send(("stats",))
+                except (BrokenPipeError, OSError):
+                    pass
+        replies: Dict[str, Dict[str, Any]] = {}
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            remaining = max(0.0, deadline - time.monotonic())
+            if handle.stats_event.wait(remaining) and handle.stats_reply is not None:
+                replies[f"proc-{handle.index}"] = handle.stats_reply
+        return replies
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._dispatches = {}
+            self._errors = 0
+            handles = [h for h in self._workers if not h.dead]
+            for handle in handles:
+                try:
+                    handle.conn.send(("reset",))
+                except (BrokenPipeError, OSError):
+                    pass
+        if self._probe is not None:
+            self._probe.reset_stats()
+
+    def describe(self) -> str:
+        ring = self._ring
+        return (
+            f"ProcPoolEngine({self.proc_workers} processes x "
+            f"{self._spec['backend']}, {ring.slots} shm slots x "
+            f"{ring.slot_bytes >> 20}MiB)"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut the pool down: drain, stop workers, free shared memory."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._workers)
+            for handle in handles:
+                if not handle.dead:
+                    try:
+                        handle.conn.send(("shutdown",))
+                    except (BrokenPipeError, OSError):
+                        pass
+        # Let the collector answer whatever is still in flight (the
+        # shutdown message queues *behind* pending requests in each pipe).
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    break
+            time.sleep(0.005)
+        with self._lock:
+            self._collector_stop = True
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+        os.write(self._wake_w, b"x")
+        self._collector.join(timeout=5.0)
+        for waiter, _, _, slot in leftovers:
+            self._ring.release(slot)
+            waiter.resolve(None, ProcPoolClosed("ProcPoolEngine closed mid-request"))
+        for handle in handles:
+            remaining = max(0.0, deadline - time.monotonic())
+            handle.process.join(timeout=remaining if remaining else 0.1)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        os.close(self._wake_r)
+        os.close(self._wake_w)
+        self._ring.destroy()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ProcPoolEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

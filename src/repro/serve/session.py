@@ -104,6 +104,13 @@ class SessionConfig:
         Custom bucket key function ``(array) -> hashable`` overriding the
         engine hint (e.g. to bucket by image size or a caller-side cost
         class).  Implies bucket-aware assembly when set.
+    shard_by_bucket:
+        When the engine declares ``shards_by_bucket`` (the process-pool
+        backend), pass each window's scheduling bucket as a shard hint so
+        same-bucket windows pin to the same worker process — its
+        weight-slice cache stays warm for one kept-count population.
+        Ignored for engines without sharding; purely a locality knob
+        (responses are bit-identical either way).
     """
 
     max_batch: int = 8
@@ -113,6 +120,7 @@ class SessionConfig:
     workers: int = 1
     bucket_requests: bool = False
     bucket_fn: Optional[Callable[[np.ndarray], Any]] = None
+    shard_by_bucket: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -195,6 +203,11 @@ class InferenceSession:
     ):
         self.engine = engine
         self.config = config or SessionConfig()
+        # Sessions built via from_model()/from_registry() own the engine
+        # they constructed and close it (if closeable — e.g. a procpool's
+        # worker processes and shared memory) when the session closes.
+        # A caller-provided engine stays the caller's to manage.
+        self._owns_engine = False
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.config.queue_depth)
         self._closed = False
         self._lock = threading.Lock()
@@ -250,7 +263,9 @@ class InferenceSession:
         if plan is None:
             plan = PlanConfig(batch_invariant=True)
         engine = create_engine(model, backend=backend, config=plan, **engine_kwargs)
-        return cls(engine, session)
+        built = cls(engine, session)
+        built._owns_engine = True
+        return built
 
     @classmethod
     def from_registry(
@@ -274,7 +289,9 @@ class InferenceSession:
         plan = dataclasses.replace(artifact.plan_config, batch_invariant=True)
         model = artifact.handle if artifact.handle is not None else artifact.model
         engine = create_engine(model, backend=backend, config=plan, **engine_kwargs)
-        return cls(engine, session)
+        built = cls(engine, session)
+        built._owns_engine = True
+        return built
 
     # ------------------------------------------------------------------
     # Serving path
@@ -377,12 +394,25 @@ class InferenceSession:
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
-    def _run_engine(self, fused: np.ndarray) -> np.ndarray:
-        """One engine call, serialized only for non-thread-safe engines."""
+    def _run_engine(self, fused: np.ndarray, bucket: Any = None) -> np.ndarray:
+        """One engine call, serialized only for non-thread-safe engines.
+
+        A non-``None`` ``bucket`` is forwarded as a shard hint to engines
+        that declare ``shards_by_bucket`` (the process pool), so windows
+        of one kept-count population land on one worker process.
+        """
+        if (
+            bucket is not None
+            and self.config.shard_by_bucket
+            and getattr(self.engine, "shards_by_bucket", False)
+        ):
+            call = lambda: self.engine.forward(fused, shard=bucket)  # noqa: E731
+        else:
+            call = lambda: self.engine(fused)  # noqa: E731
         if self._engine_lock is None:
-            return self.engine(fused)
+            return call()
         with self._engine_lock:
-            return self.engine(fused)
+            return call()
 
     def _collect(
         self, first: _Request, stash: "Deque[_Request]"
@@ -443,8 +473,14 @@ class InferenceSession:
             ):
                 # Wrong bucket or would overflow: defer to a later window.
                 stash.append(request)
-                if request.bucket != bucket:
+                if (
+                    request.bucket != bucket
+                    and time.perf_counter() < deadline
+                ):
                     continue  # keep filling this bucket until the deadline
+                # Past the deadline (or same-bucket overflow) the hunt
+                # stops: draining further would let one worker pull the
+                # whole queue into its local stash while siblings starve.
                 break
             batch.append(request)
             size += request.array.shape[0]
@@ -460,7 +496,7 @@ class InferenceSession:
             fused = batch[0].array if len(batch) == 1 else np.concatenate(
                 [r.array for r in batch], axis=0
             )
-            out = self._run_engine(fused)
+            out = self._run_engine(fused, batch[0].bucket)
         except BaseException as error:  # noqa: BLE001 - surfaced per request
             with self._lock:
                 self._errors += len(batch)
@@ -482,9 +518,17 @@ class InferenceSession:
                 self._bucket_batches[bucket] = self._bucket_batches.get(bucket, 0) + 1
             for request in batch:
                 self._record_latency(done - request.pending.submitted_at)
+        if len(batch) == 1:
+            # Sole request in the window: the engine output is exactly its
+            # result, no fused buffer to pin — hand it over as-is.
+            batch[0].pending._resolve(out, None)
+            return
+        # Each result must own its memory: a view into the fused output
+        # would pin the whole window's array (every caller's logits plus
+        # the base buffer) for as long as any one caller keeps its result.
         offset = 0
         for request, size in zip(batch, sizes):
-            request.pending._resolve(out[offset : offset + size], None)
+            request.pending._resolve(out[offset : offset + size].copy(), None)
             offset += size
 
     def _run(self, worker: str) -> None:
@@ -583,7 +627,10 @@ class InferenceSession:
         """Stop accepting requests and join every worker.
 
         Requests already queued are answered before the workers exit; one
-        shutdown sentinel is posted per worker.
+        shutdown sentinel is posted per worker.  ``timeout`` bounds the
+        *whole* close, not each join — the workers share one deadline —
+        and workers still running when it expires are surfaced as a
+        ``TimeoutError`` naming them instead of being silently abandoned.
         """
         with self._submit_lock:
             if self._closed:
@@ -591,8 +638,24 @@ class InferenceSession:
             self._closed = True
             for _ in self._workers:
                 self._queue.put(_SHUTDOWN)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        stragglers: List[str] = []
         for worker in self._workers:
-            worker.join(timeout)
+            if deadline is None:
+                worker.join()
+            else:
+                worker.join(max(0.0, deadline - time.monotonic()))
+            if worker.is_alive():
+                stragglers.append(worker.name)
+        if stragglers:
+            raise TimeoutError(
+                f"InferenceSession.close: {len(stragglers)} worker(s) still "
+                f"running after {timeout}s: {', '.join(stragglers)}"
+            )
+        if self._owns_engine:
+            engine_close = getattr(self.engine, "close", None)
+            if callable(engine_close):
+                engine_close()
 
     @property
     def closed(self) -> bool:

@@ -682,3 +682,291 @@ class TestServeLoop:
         # The id survives decode failures so clients can correlate errors.
         assert responses[-1]["id"] == "bad"
         assert stats["requests"] == 6
+
+# ----------------------------------------------------------------------
+# Scheduler / lifecycle bugfixes (PR 6)
+# ----------------------------------------------------------------------
+class _SlowEngine:
+    """Engine whose forward sleeps — for close-timeout and loop-timeout tests."""
+
+    backend = "slow"
+    thread_safe = True
+
+    def __init__(self, delay: float, classes: int = 4):
+        self.delay = delay
+        self.classes = classes
+
+    def forward(self, x):
+        import time as _time
+
+        _time.sleep(self.delay)
+        return np.zeros((x.shape[0], self.classes), dtype=np.float32)
+
+    def __call__(self, x):
+        return self.forward(x)
+
+    def stats(self):
+        return {"backend": self.backend}
+
+    def reset_stats(self):
+        pass
+
+
+class _ShardRecordingEngine:
+    """Engine that records the shard hint each forward call carried."""
+
+    backend = "recorder"
+    thread_safe = True
+    shards_by_bucket = True
+
+    def __init__(self):
+        self.shards = []
+
+    def forward(self, x, shard=None):
+        self.shards.append(shard)
+        return np.zeros((x.shape[0], 4), dtype=np.float32)
+
+    def __call__(self, x):
+        return self.forward(x)
+
+    def stats(self):
+        return {"backend": self.backend}
+
+    def reset_stats(self):
+        pass
+
+
+def _stopped_session(config):
+    """A session whose worker has exited, for driving _collect by hand."""
+    engine = create_engine(
+        build_conv_stack(0.5, width=16, depth=3),
+        "sparse",
+        config=PlanConfig(batch_invariant=True),
+    )
+    session = InferenceSession(engine, config)
+    session.close()
+    session._queue = queue.Queue()  # fresh queue, no shutdown sentinels
+    return session
+
+
+class TestCollectorDeadline:
+    def test_expired_deadline_stops_queue_draining(self):
+        """A wrong-bucket arrival after the deadline must not start a hunt.
+
+        Before the fix, the expired-deadline (get_nowait) path kept
+        draining on every wrong-bucket item: one worker could pull the
+        entire queue into its private stash while siblings starved.
+        """
+        from collections import deque
+
+        from repro.serve.session import PendingResult, _Request
+
+        session = _stopped_session(
+            SessionConfig(max_batch=2, batch_window_ms=0.0, workers=1)
+        )
+        arr = make_requests(1, image_size=8)[0]
+        for _ in range(6):
+            session._queue.put(_Request(arr, PendingResult(), bucket="other"))
+        stash = deque()
+        first = _Request(arr, PendingResult(), bucket="mine")
+        batch, saw_shutdown = session._collect(first, stash)
+        assert batch == [first]
+        assert not saw_shutdown
+        # Exactly one item may be inspected (and deferred) past the
+        # deadline; the rest must stay on the shared queue for siblings.
+        assert len(stash) == 1
+        assert session._queue.qsize() == 5
+
+    def test_before_deadline_hunt_still_fills_the_bucket(self):
+        """Within the window, wrong-bucket items defer and the hunt goes on."""
+        from collections import deque
+
+        from repro.serve.session import PendingResult, _Request
+
+        session = _stopped_session(
+            SessionConfig(max_batch=2, batch_window_ms=500.0, workers=1)
+        )
+        arr = make_requests(1, image_size=8)[0]
+        wrong_a = _Request(arr, PendingResult(), bucket="other")
+        wrong_b = _Request(arr, PendingResult(), bucket="other")
+        right = _Request(arr, PendingResult(), bucket="mine")
+        for request in (wrong_a, wrong_b, right):
+            session._queue.put(request)
+        stash = deque()
+        first = _Request(arr, PendingResult(), bucket="mine")
+        batch, _ = session._collect(first, stash)
+        assert batch == [first, right]
+        assert list(stash) == [wrong_a, wrong_b]
+
+
+class TestResultMemoryIndependence:
+    def test_window_results_do_not_share_memory(self):
+        """Each caller's result owns its buffer — no view pinning the window.
+
+        Before the fix every response was a view into the fused window
+        output, so one caller keeping its logits alive pinned every other
+        caller's logits (and the whole base array) in memory.
+        """
+        engine = create_engine(
+            build_conv_stack(0.5, width=16, depth=3),
+            "sparse",
+            config=PlanConfig(batch_invariant=True),
+        )
+        with InferenceSession(
+            engine,
+            SessionConfig(max_batch=4, batch_window_ms=100.0, workers=1),
+        ) as session:
+            outputs = session.infer_many(make_requests(4, image_size=8, seed=2))
+        stats = session.stats()
+        assert stats["batches"] < stats["requests"]  # windows actually fused
+        for out in outputs:
+            assert out.base is None  # owns its memory outright
+        for i in range(len(outputs)):
+            for j in range(i + 1, len(outputs)):
+                assert not np.shares_memory(outputs[i], outputs[j])
+
+
+class TestCloseDeadline:
+    def test_close_timeout_is_shared_and_surfaces_stragglers(self):
+        """close(timeout) bounds the whole close and names unjoined workers.
+
+        Before the fix each worker got its own ``join(timeout)`` (an
+        effective bound of N x timeout) and close returned silently even
+        when workers never exited.
+        """
+        import time as _time
+
+        session = InferenceSession(
+            _SlowEngine(delay=1.0),
+            SessionConfig(max_batch=1, batch_window_ms=0.0, workers=3),
+        )
+        handles = [session.submit(x) for x in make_requests(3, image_size=8)]
+        _time.sleep(0.1)  # let every worker pick up a request
+        start = _time.monotonic()
+        with pytest.raises(TimeoutError, match="worker"):
+            session.close(timeout=0.2)
+        elapsed = _time.monotonic() - start
+        assert elapsed < 0.75  # one shared deadline, not 3 x 1.0s joins
+        # The workers do finish; nothing is abandoned mid-request.
+        for handle in handles:
+            handle.result(timeout=5.0)
+        for worker in session._workers:
+            worker.join(timeout=5.0)
+            assert not worker.is_alive()
+
+    def test_close_without_timeout_still_joins_everything(self):
+        session = InferenceSession(
+            _SlowEngine(delay=0.05),
+            SessionConfig(max_batch=1, batch_window_ms=0.0, workers=2),
+        )
+        session.submit(make_requests(1, image_size=8)[0])
+        session.close()
+        for worker in session._workers:
+            assert not worker.is_alive()
+
+
+class TestBucketShardDispatch:
+    def test_window_bucket_forwarded_as_shard_hint(self):
+        engine = _ShardRecordingEngine()
+        with InferenceSession(
+            engine,
+            SessionConfig(
+                max_batch=2,
+                batch_window_ms=20.0,
+                workers=1,
+                bucket_fn=lambda a: 7,
+            ),
+        ) as session:
+            session.infer(make_requests(1, image_size=8)[0])
+        assert engine.shards == [7]
+
+    def test_shard_hint_suppressed_when_disabled(self):
+        engine = _ShardRecordingEngine()
+        with InferenceSession(
+            engine,
+            SessionConfig(
+                max_batch=2,
+                batch_window_ms=20.0,
+                workers=1,
+                bucket_fn=lambda a: 7,
+                shard_by_bucket=False,
+            ),
+        ) as session:
+            session.infer(make_requests(1, image_size=8)[0])
+        assert engine.shards == [None]
+
+
+class TestServeLoopHardening:
+    def test_result_timeout_is_a_parameter(self):
+        """A stuck request produces a per-line error, on the caller's budget."""
+        import io
+        import json
+
+        from repro.serve import serve_lines
+
+        session = InferenceSession(
+            _SlowEngine(delay=0.5),
+            SessionConfig(max_batch=1, batch_window_ms=0.0, workers=1),
+        )
+        out = io.StringIO()
+        try:
+            serve_lines(
+                session,
+                ['{"id": "slow", "synthetic": 0, "shape": [3, 8, 8]}'],
+                out,
+                include_output=False,
+                result_timeout=0.02,
+            )
+        finally:
+            session.close()
+        (response,) = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert response["id"] == "slow"
+        assert "error" in response and "complete in time" in response["error"]
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            [3, 32],  # not a triple
+            [3, 32, 32, 32],  # not a triple
+            [3, 0, 32],  # non-positive dim
+            [3, -4, 32],  # negative dim
+            [3, 2.5, 32],  # non-integer dim
+            ["3", 32, 32],  # stringly-typed dim
+            [True, 32, 32],  # bool is not a sane channel count
+            [3, 100000, 100000],  # absurd element count
+            [3, 32768, 2],  # single dim beyond the cap
+            "3x32x32",  # not even a list
+        ],
+    )
+    def test_decode_request_rejects_bad_shapes(self, shape):
+        import json
+
+        from repro.serve import decode_request
+
+        line = json.dumps({"id": "r", "synthetic": 1, "shape": shape})
+        with pytest.raises(ValueError, match="shape"):
+            decode_request(line)
+
+    def test_bad_shape_line_errors_without_killing_the_loop(self):
+        import io
+        import json
+
+        from repro.serve import serve_lines
+
+        lines = [
+            '{"id": "good", "synthetic": 0, "shape": [3, 8, 8]}',
+            '{"id": "evil", "synthetic": 0, "shape": [3, 99999, 99999]}',
+            '{"id": "also-good", "synthetic": 1, "shape": [3, 8, 8]}',
+        ]
+        out = io.StringIO()
+        with InferenceSession.from_model(
+            build_conv_stack(0.5, width=16, depth=3),
+            backend="sparse",
+            session=SessionConfig(max_batch=4, batch_window_ms=20.0),
+        ) as session:
+            stats = serve_lines(session, lines, out, include_output=False)
+        responses = {r["id"]: r for r in map(json.loads, out.getvalue().splitlines())}
+        assert "argmax" in responses["good"]
+        assert "argmax" in responses["also-good"]
+        assert "shape" in responses["evil"]["error"]
+        assert stats["requests"] == 2
