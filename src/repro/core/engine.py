@@ -218,7 +218,19 @@ class DenseEngine(EngineProtocol):
     backend = "dense"
     thread_safe = False
 
-    def __init__(self, model: object, config: Optional[PlanConfig] = None):
+    def __init__(
+        self,
+        model: object,
+        config: Optional[PlanConfig] = None,
+        *,
+        dispatch_table: Optional[object] = None,
+        tuned: bool = False,
+        calibration: Optional[np.ndarray] = None,
+        tune_repeats: int = 3,
+    ):
+        # The tuned-dispatch options are accepted (so ``tuned=True`` works
+        # uniformly across backends) but meaningless here: the dense
+        # forward has no strategy choices to calibrate.
         self.model = _unwrap(model)
         self.calls = 0
 
@@ -259,7 +271,16 @@ class SparseEngine(EngineProtocol):
     backend = "sparse"
     thread_safe = True
 
-    def __init__(self, model: object, config: Optional[PlanConfig] = None):
+    def __init__(
+        self,
+        model: object,
+        config: Optional[PlanConfig] = None,
+        *,
+        dispatch_table: Optional[object] = None,
+        tuned: bool = False,
+        calibration: Optional[np.ndarray] = None,
+        tune_repeats: int = 3,
+    ):
         inner = _unwrap(model)
         if isinstance(inner, ResNet):
             self._executor = SparseResNetExecutor(inner, config)
@@ -267,6 +288,24 @@ class SparseEngine(EngineProtocol):
             self._executor = SparseSequentialExecutor(as_layer_stack(inner), config)
         self.model = inner
         self.plan = self._executor.plan
+        self.tune_report = None
+        if dispatch_table is not None:
+            # A pre-measured table (registry artifact, procpool spawn arg):
+            # attach as-is — no re-measurement, identical dispatch in every
+            # replica.
+            self.plan.dispatch = dispatch_table
+        elif tuned:
+            # Measure here and now: run the calibration batch (synthesized
+            # from the plan's input geometry unless provided) through every
+            # structurally bit-identical candidate and bake the winners in.
+            from .dispatch import synthesize_calibration, tune_plan
+
+            calib = (
+                np.asarray(calibration, dtype=np.float32)
+                if calibration is not None
+                else synthesize_calibration(self.plan)
+            )
+            self.tune_report = tune_plan(self.plan, calib, repeats=tune_repeats)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return self._executor(np.asarray(x, dtype=np.float32))
@@ -277,6 +316,9 @@ class SparseEngine(EngineProtocol):
             "dense_dispatches": self.plan.dense_dispatches,
             "sparse_dispatches": self.plan.sparse_dispatches,
             "ragged_dispatches": self.plan.ragged_dispatches,
+            "dispatch": dict(self.plan.dispatch_counts),
+            "dispatch_fallbacks": self.plan.dispatch_fallbacks,
+            "tuned_sites": 0 if self.plan.dispatch is None else len(self.plan.dispatch),
             "cache": dict(self.plan.cache_stats),
             "workspace": self.plan.arena_stats(),
         }
@@ -324,6 +366,7 @@ def _build_auto(
     model: object,
     config: Optional[PlanConfig] = None,
     auto_threshold: float = 0.05,
+    **kwargs: object,
 ) -> EngineProtocol:
     inner = _unwrap(model)
     if config is not None and config.batch_invariant:
@@ -332,23 +375,24 @@ def _build_auto(
         # (its dense fast path is invariant too).  Only graphs the
         # compiler rejects fall back to the non-invariant dense forward.
         try:
-            return SparseEngine(inner, config)
+            return SparseEngine(inner, config, **kwargs)
         except TypeError:
-            return DenseEngine(inner, config)
+            return DenseEngine(inner, config, **kwargs)
     if model_sparsity(inner) < auto_threshold:
         # Nothing (or next to nothing) to skip: the gather machinery cannot
         # pay for itself, run the plain dense forward.
-        return DenseEngine(inner, config)
+        return DenseEngine(inner, config, **kwargs)
     try:
-        return SparseEngine(inner, config)
+        return SparseEngine(inner, config, **kwargs)
     except TypeError:
         # Layer graph the plan compiler does not know — dense fallback.
-        return DenseEngine(inner, config)
+        return DenseEngine(inner, config, **kwargs)
 
 
 def _build_adaptive(
     model: object,
     config: Optional[PlanConfig] = None,
+    **kwargs: object,
 ) -> EngineProtocol:
     """Plan-backed engine with kept-count-bucketed execution forced on.
 
@@ -363,7 +407,7 @@ def _build_adaptive(
     the ragged batch-invariance contract this backend is chosen for.
     """
     config = dataclasses.replace(config or PlanConfig(), ragged_mode="always")
-    engine = SparseEngine(_unwrap(model), config)
+    engine = SparseEngine(_unwrap(model), config, **kwargs)
     engine.backend = "adaptive"
     return engine
 
@@ -413,7 +457,13 @@ def create_engine(
         :class:`~repro.core.sparse_exec.PlanConfig` compilation knobs,
         honored by plan-backed engines.
     kwargs:
-        Extra backend-specific options (e.g. ``auto_threshold``).
+        Extra backend-specific options (e.g. ``auto_threshold``), plus
+        the measured-dispatch options every plan-backed backend honors:
+        ``tuned=True`` runs the per-geometry calibration pass at build
+        time (:func:`repro.core.dispatch.tune_plan`), ``calibration=``
+        supplies the calibration batch, and ``dispatch_table=`` attaches
+        a pre-measured :class:`repro.core.dispatch.DispatchTable` (from a
+        registry artifact or a pool spawn arg) without re-measuring.
     """
     try:
         builder = _BACKENDS[backend]

@@ -61,7 +61,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -279,6 +279,7 @@ def _ragged_channel_conv(
     arena: Optional[WorkspaceArena],
     oh: int,
     ow: int,
+    tile_rows: Optional[int] = None,
 ) -> np.ndarray:
     """Channel skipping for *ragged* masks: one padded GEMM per bucket.
 
@@ -330,7 +331,9 @@ def _ragged_channel_conv(
             col = F.im2col_t(
                 xg, k, stride, padding,
                 out=_take(arena, "im2col", (bsz, c * kk, positions), x.dtype),
-                tile_rows=F.default_tile_rows(c, k, ow, x.dtype.itemsize),
+                tile_rows=tile_rows
+                if tile_rows is not None
+                else F.default_tile_rows(c, k, ow, x.dtype.itemsize),
             )
             dst = out_flat if whole else _take(
                 arena, "gemm", (bsz, out_c, positions), x.dtype
@@ -359,7 +362,9 @@ def _ragged_channel_conv(
                 col = F.im2col_t(
                     xg, k, stride, padding,
                     out=_take(arena, "im2col", (csz, cols, positions), x.dtype),
-                    tile_rows=F.default_tile_rows(
+                    tile_rows=tile_rows
+                    if tile_rows is not None
+                    else F.default_tile_rows(
                         bucket_count, k, ow, x.dtype.itemsize
                     ),
                 )
@@ -430,6 +435,9 @@ def sparse_conv2d(
     arena: Optional[WorkspaceArena] = None,
     ragged: bool = False,
     kept_quantum: int = 4,
+    strategy: Optional[str] = None,
+    tile_rows: Optional[int] = None,
+    on_dispatch: Optional[Callable[[str], None]] = None,
 ) -> np.ndarray:
     """Batched convolution that skips pruned input channels and columns.
 
@@ -480,25 +488,57 @@ def sparse_conv2d(
         singletons — so results stay bit-identical to per-request
         execution.  Ignored when a spatial mask is present (the spatial
         path is already per-sample).
+    strategy:
+        Explicit execution-strategy override for channel masks, set by
+        measured dispatch entries (:mod:`repro.core.dispatch`).  ``None``
+        / ``"auto"`` keeps the heuristic dispatch; ``"grouped"`` skips
+        the stacked fast path; ``"stacked"`` forces the stacked path past
+        its position cutoff (falling back to grouped when the batch is
+        ineligible — a bit-identical fallback); ``"ragged"`` routes onto
+        kept-count bucketing regardless of the ``ragged`` flag.  Every
+        named strategy executes the same per-sample GEMM operands, so
+        overrides never change results for fixed-kept-count masks.
+    tile_rows:
+        Explicit im2col tile size for the grouped/ragged paths (pure copy
+        blocking — results are bit-identical at any value).  ``None``
+        uses the memoized L2 heuristic
+        (:func:`repro.nn.functional.default_tile_rows`).
+    on_dispatch:
+        Optional callback receiving the fine-grained path label this call
+        actually executed — ``"per_input"`` (signature groups all
+        singletons), ``"grouped"``, ``"stacked"`` or ``"ragged"`` — once
+        per invocation.  Plans pass their dispatch-counter hook here.
 
     Returns
     -------
     Output batch ``(N, Cout, OH, OW)``.
     """
+    if strategy not in (None, "auto", "grouped", "stacked", "ragged"):
+        raise ValueError(
+            "strategy must be None, 'auto', 'grouped', 'stacked' or 'ragged', "
+            f"got {strategy!r}"
+        )
     n, c, h, w = x.shape
     out_c, in_c, k, _ = weight.shape
     if in_c != c:
         raise ValueError(f"weight expects {in_c} input channels, got {c}")
     oh, ow = F.conv_output_shape(h, w, k, stride, padding)
+    use_ragged = (
+        strategy == "ragged" or (strategy in (None, "auto") and ragged)
+    ) and channel_mask is not None and spatial_mask is None
     if n == 0:
+        if on_dispatch is not None:
+            on_dispatch("ragged" if use_ragged else "grouped")
         return np.zeros((n, out_c, oh, ow), dtype=x.dtype)
 
     if cache is not None and cache_key is None:
         raise ValueError("cache_key is required when a WeightSliceCache is passed")
-    if ragged and channel_mask is not None and spatial_mask is None:
+    if use_ragged:
         # Ragged masks bypass signature grouping entirely: bucket shapes
         # depend only on each sample's own kept-count, never on batch
         # composition, so this branch must fire for singletons too.
+        if on_dispatch is not None:
+            on_dispatch("ragged")
         return _ragged_channel_conv(
             x,
             weight,
@@ -512,6 +552,7 @@ def sparse_conv2d(
             arena=arena,
             oh=oh,
             ow=ow,
+            tile_rows=tile_rows,
         )
     if channel_mask is None:
         groups: List[Tuple[Optional[bytes], np.ndarray, Optional[np.ndarray]]] = [
@@ -532,7 +573,8 @@ def sparse_conv2d(
         spatial_mask is None
         and channel_mask is not None
         and len(groups) > 1
-        and oh * ow <= STACKED_PATH_MAX_POSITIONS
+        and strategy != "grouped"
+        and (oh * ow <= STACKED_PATH_MAX_POSITIONS or strategy == "stacked")
     ):
         mask = np.asarray(channel_mask, dtype=bool)
         counts = mask.sum(axis=1)
@@ -565,11 +607,23 @@ def sparse_conv2d(
             _matmul_into(w_stack, col, out.reshape(n, out_c, oh * ow))
             if bias is not None:
                 out += bias.reshape(1, out_c, 1, 1)
+            if on_dispatch is not None:
+                on_dispatch("stacked")
             return out
 
     # Grouped path.  Pure channel masking fully writes every non-skipped
     # group, so zero-fill is only needed when some group drops all its
     # channels (or a spatial mask leaves holes).
+    if on_dispatch is not None:
+        # "per_input" = the degenerate regime the stacked path exists to
+        # fix: every sample is its own signature group.
+        per_input = (
+            spatial_mask is None
+            and channel_mask is not None
+            and n > 1
+            and len(groups) == n
+        )
+        on_dispatch("per_input" if per_input else "grouped")
     skips_possible = spatial_mask is not None or any(
         kept is not None and kept.size == 0 for _, _, kept in groups
     )
@@ -599,7 +653,9 @@ def sparse_conv2d(
             col = F.im2col_t(
                 xg, k, stride, padding,
                 out=_take(arena, "im2col", (idx.size, ck * k * k, oh * ow), x.dtype),
-                tile_rows=F.default_tile_rows(ck, k, ow, x.dtype.itemsize),
+                tile_rows=tile_rows
+                if tile_rows is not None
+                else F.default_tile_rows(ck, k, ow, x.dtype.itemsize),
             )
             # (Cout, K) @ (K, OH*OW) per sample: NCHW output order falls
             # out of the GEMM, and a whole-batch group lands in the output
@@ -739,7 +795,7 @@ class _MaskState:
 class _ConvOp:
     """A convolution with optionally folded BN/ReLU and sparse dispatch."""
 
-    __slots__ = ("weight", "bias", "stride", "padding", "relu", "key", "_oshape")
+    __slots__ = ("weight", "bias", "stride", "padding", "relu", "key", "_oshape", "_geo")
 
     def __init__(
         self,
@@ -757,6 +813,7 @@ class _ConvOp:
         self.relu = relu
         self.key = key
         self._oshape: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._geo: Dict[Tuple, Tuple] = {}
 
     @classmethod
     def compile(
@@ -784,29 +841,94 @@ class _ConvOp:
             self._oshape[(h, w)] = shape
         return shape
 
+    def geometry(
+        self,
+        x: np.ndarray,
+        channel_mask: Optional[np.ndarray],
+        ragged: bool,
+    ) -> Tuple:
+        """The canonical dispatch-table key for this call's geometry.
+
+        The static half (channel dims, kernel, stride, padding) is fixed
+        per op, so the tuple is memoized by the dynamic half ``(H, W,
+        kind, kept, dtype)`` — a hot-path lookup is one dict probe plus,
+        for top-k masks, one kept-count reduction.  ``kind`` mirrors
+        :mod:`repro.core.dispatch`: ``"none"`` (no mask), ``"ragged"``
+        (adaptive flag set), ``"topk"`` with the per-sample kept-count
+        when all samples agree, and ``"mixed"`` otherwise — which no
+        tuner ever emits, so unequal-count masks without the ragged flag
+        safely miss the table and keep their heuristic path.
+        """
+        if channel_mask is None:
+            kind, kept = "none", -1
+        elif ragged:
+            kind, kept = "ragged", -1
+        else:
+            counts = channel_mask.sum(axis=1)
+            mn, mx = int(counts.min()), int(counts.max())
+            kind, kept = ("topk", mn) if mn == mx else ("mixed", -1)
+        memo_key = (x.shape[2], x.shape[3], kind, kept, x.dtype.name)
+        geo = self._geo.get(memo_key)
+        if geo is None:
+            geo = (
+                int(self.weight.shape[1]),
+                int(self.weight.shape[0]),
+                int(self.weight.shape[2]),
+                int(self.stride),
+                int(self.padding),
+                int(x.shape[2]),
+                int(x.shape[3]),
+                kind,
+                kept,
+                x.dtype.name,
+            )
+            self._geo[memo_key] = geo
+        return geo
+
     def run(self, x: np.ndarray, state: _MaskState, plan: "ExecutionPlan") -> np.ndarray:
         channel_mask, spatial_mask, ragged = state.take()
         config = plan.config
         zero_out: Optional[np.ndarray] = None
+        if plan.capture is not None:
+            # Tuner calibration pass: record the site as the untuned plan
+            # sees it (masks included), then execute normally.
+            plan.capture.append((self, x, channel_mask, spatial_mask, ragged))
 
-        # The batch-mean dispatch shortcuts below are skipped for ragged
-        # masks: their decisions depend on who shares the batch, which
-        # would break the batch-invariance contract for adaptive traffic.
-        # The ragged path handles the dense-ish regime itself — samples
-        # whose quantized kept-count reaches the channel dimension land in
-        # a full-width bucket, a per-sample decision.
-        if channel_mask is not None and not ragged:
-            if 1.0 - float(channel_mask.mean()) < config.dense_threshold:
-                # Input channels are already zeroed upstream: dense is exact.
+        # Measured dispatch: a tuned plan consults its table before any
+        # batch-mean heuristics.  A hit pins this geometry's strategy and
+        # tile size (per-geometry constants — batch-invariant by
+        # construction); a miss counts a fallback and keeps the heuristic
+        # path, so unseen traffic is never worse than untuned.
+        entry = None
+        if plan.dispatch is not None and spatial_mask is None:
+            entry = plan.dispatch.lookup(self.geometry(x, channel_mask, ragged))
+            if entry is None:
+                plan.count_fallback()
+
+        if entry is not None:
+            if entry.strategy == "dense":
+                # Upstream masking already zeroed the input channels (the
+                # pruning site multiplies before arming), so dense is exact.
                 channel_mask = None
-        if spatial_mask is not None and not ragged:
-            oh, ow = self.output_shape(x.shape[2], x.shape[3])
-            keep2d = spatial_mask[:, :: self.stride, :: self.stride][:, :oh, :ow]
-            if 1.0 - float(keep2d.mean()) < config.dense_threshold:
-                # Compute dense, then zero dropped positions to preserve the
-                # skip semantics (identical values at kept positions).
-                zero_out = keep2d
-                spatial_mask = None
+        else:
+            # The batch-mean dispatch shortcuts below are skipped for ragged
+            # masks: their decisions depend on who shares the batch, which
+            # would break the batch-invariance contract for adaptive traffic.
+            # The ragged path handles the dense-ish regime itself — samples
+            # whose quantized kept-count reaches the channel dimension land in
+            # a full-width bucket, a per-sample decision.
+            if channel_mask is not None and not ragged:
+                if 1.0 - float(channel_mask.mean()) < config.dense_threshold:
+                    # Input channels are already zeroed upstream: dense is exact.
+                    channel_mask = None
+            if spatial_mask is not None and not ragged:
+                oh, ow = self.output_shape(x.shape[2], x.shape[3])
+                keep2d = spatial_mask[:, :: self.stride, :: self.stride][:, :oh, :ow]
+                if 1.0 - float(keep2d.mean()) < config.dense_threshold:
+                    # Compute dense, then zero dropped positions to preserve the
+                    # skip semantics (identical values at kept positions).
+                    zero_out = keep2d
+                    spatial_mask = None
 
         if channel_mask is None and spatial_mask is None:
             plan.count_dispatch("dense")
@@ -825,15 +947,38 @@ class _ConvOp:
             col = F.im2col_t(
                 x, k, self.stride, self.padding,
                 out=arena.take("im2col", (n, c * k * k, oh * ow), x.dtype),
-                tile_rows=F.default_tile_rows(c, k, ow, x.dtype.itemsize),
+                tile_rows=entry.tile_rows
+                if entry is not None and entry.tile_rows is not None
+                else F.default_tile_rows(c, k, ow, x.dtype.itemsize),
             )
             out = np.empty((n, out_c, oh, ow), dtype=x.dtype)
             _matmul_into(self.weight.reshape(out_c, -1), col, out.reshape(n, out_c, oh * ow))
             if self.bias is not None:
                 out += self.bias.reshape(1, out_c, 1, 1)
+        elif entry is not None:
+            # Tuned dispatch: the measured winner's strategy/quantum/tile,
+            # pinned per geometry.  Fine-grained counting happens inside
+            # sparse_conv2d via the on_dispatch hook.
+            out = sparse_conv2d(
+                x,
+                self.weight,
+                self.bias,
+                self.stride,
+                self.padding,
+                channel_mask=channel_mask,
+                spatial_mask=spatial_mask,
+                cache=plan.cache,
+                cache_key=self.key,
+                batch_invariant=config.batch_invariant,
+                arena=plan.arena,
+                ragged=entry.strategy == "ragged",
+                kept_quantum=entry.kept_quantum,
+                strategy=entry.strategy,
+                tile_rows=entry.tile_rows,
+                on_dispatch=plan.count_dispatch,
+            )
         else:
             use_ragged = ragged and channel_mask is not None and spatial_mask is None
-            plan.count_dispatch("ragged" if use_ragged else "sparse")
             out = sparse_conv2d(
                 x,
                 self.weight,
@@ -848,6 +993,7 @@ class _ConvOp:
                 arena=plan.arena,
                 ragged=use_ragged,
                 kept_quantum=config.kept_quantum,
+                on_dispatch=plan.count_dispatch,
             )
         if zero_out is not None:
             out *= zero_out[:, None, :, :]
@@ -1037,6 +1183,11 @@ class ExecutionPlan:
     the convolution that consumes its masks.
     """
 
+    #: Fine-grained dispatch-counter labels (satellite telemetry); the
+    #: legacy dense/sparse/ragged totals are kept in sync for callers
+    #: that predate per-strategy counting.
+    DISPATCH_KINDS = ("per_input", "grouped", "stacked", "ragged", "dense")
+
     def __init__(self, ops: List[object], config: PlanConfig):
         self.ops = ops
         self.config = config
@@ -1046,6 +1197,13 @@ class ExecutionPlan:
         self.dense_dispatches = 0
         self.sparse_dispatches = 0
         self.ragged_dispatches = 0
+        #: Measured dispatch table (:class:`repro.core.dispatch.DispatchTable`)
+        #: or ``None`` for pure heuristic dispatch.
+        self.dispatch: Optional[object] = None
+        #: Tuner hook: a list makes every _ConvOp.run record its site.
+        self.capture: Optional[List[Tuple]] = None
+        self.dispatch_fallbacks = 0
+        self.dispatch_counts: Dict[str, int] = dict.fromkeys(self.DISPATCH_KINDS, 0)
 
     @property
     def arena(self) -> WorkspaceArena:
@@ -1059,16 +1217,28 @@ class ExecutionPlan:
     def count_dispatch(self, kind: str) -> None:
         """Thread-safe dispatch telemetry (workers share one plan).
 
-        ``kind`` is ``"dense"``, ``"sparse"`` (signature-grouped / stacked
-        masked paths) or ``"ragged"`` (kept-count-bucketed adaptive path).
+        ``kind`` is a fine-grained path label — ``"per_input"``,
+        ``"grouped"``, ``"stacked"``, ``"ragged"`` or ``"dense"`` (the
+        legacy ``"sparse"`` is accepted and counted as grouped).  The
+        aggregate dense/sparse/ragged counters are updated alongside the
+        per-strategy breakdown so existing consumers keep working.
         """
         with self._dispatch_lock:
             if kind == "dense":
                 self.dense_dispatches += 1
+                self.dispatch_counts["dense"] += 1
             elif kind == "ragged":
                 self.ragged_dispatches += 1
+                self.dispatch_counts["ragged"] += 1
             else:
                 self.sparse_dispatches += 1
+                fine = kind if kind in self.dispatch_counts else "grouped"
+                self.dispatch_counts[fine] += 1
+
+    def count_fallback(self) -> None:
+        """A tuned plan met a geometry its table has never seen."""
+        with self._dispatch_lock:
+            self.dispatch_fallbacks += 1
 
     def arena_stats(self) -> Dict[str, int]:
         """Merged workspace counters across every worker thread."""
@@ -1171,6 +1341,8 @@ class ExecutionPlan:
             self.dense_dispatches = 0
             self.sparse_dispatches = 0
             self.ragged_dispatches = 0
+            self.dispatch_fallbacks = 0
+            self.dispatch_counts = dict.fromkeys(self.DISPATCH_KINDS, 0)
         self.cache.reset_counters()
 
     def describe(self) -> str:

@@ -12,6 +12,7 @@ feature maps ``F ∈ R^{C*H*W}`` (batch axis prepended).
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Tuple
 
 import numpy as np
@@ -64,6 +65,7 @@ def conv_output_shape(h: int, w: int, kernel: int, stride: int, padding: int) ->
 L2_TILE_BYTES = 256 * 1024
 
 
+@functools.lru_cache(maxsize=4096)
 def default_tile_rows(channels: int, kernel: int, out_w: int, itemsize: int) -> int:
     """Output-row tile height whose patch slab fits the L2 budget.
 
@@ -73,6 +75,12 @@ def default_tile_rows(channels: int, kernel: int, out_w: int, itemsize: int) -> 
     sequentially (C-order destination), so the cache-resident working set
     at any instant is one sample's source slab — sizing per batch would
     shrink tiles N-fold and buy only loop overhead.
+
+    Memoized per ``(geometry, dtype)``: every convolution dispatch calls
+    this on the hot path, and the arguments form a tiny key space
+    (``itemsize`` stands in for the dtype), so an LRU cache turns the
+    repeated arithmetic into one dict probe.  Tuned dispatch entries with
+    an explicit ``tile_rows`` bypass it entirely.
     """
     row_bytes = channels * kernel * kernel * out_w * itemsize
     return max(1, L2_TILE_BYTES // max(row_bytes, 1))

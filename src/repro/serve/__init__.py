@@ -30,10 +30,19 @@ from ..core.engine import (
     model_sparsity,
     register_backend,
 )
+from ..core.dispatch import (
+    DISPATCH_SCHEMA,
+    DispatchEntry,
+    DispatchTable,
+    TuneReport,
+    tune_plan,
+)
 from .bench import (
     ADAPTIVE_SCHEMA,
+    DISPATCH_BENCH_SCHEMA,
     SERVE_SCHEMA,
     run_adaptive_benchmark,
+    run_dispatch_benchmark,
     run_serve_benchmark,
     write_serve_json,
 )
@@ -71,8 +80,15 @@ __all__ = [
     "PendingResult",
     "SERVE_SCHEMA",
     "ADAPTIVE_SCHEMA",
+    "DISPATCH_BENCH_SCHEMA",
+    "DISPATCH_SCHEMA",
+    "DispatchEntry",
+    "DispatchTable",
+    "TuneReport",
+    "tune_plan",
     "run_serve_benchmark",
     "run_adaptive_benchmark",
+    "run_dispatch_benchmark",
     "write_serve_json",
     "decode_request",
     "serve_lines",

@@ -41,6 +41,7 @@ import shutil
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..core.dispatch import DispatchTable
 from ..core.pruning import InstrumentedModel, PruningConfig, instrument_model
 from ..core.sparse_exec import PlanConfig
 from ..models.base import PrunableModel
@@ -248,6 +249,9 @@ class LoadedArtifact:
     arch: Dict[str, Any]
     metadata: Dict[str, Any]
     path: str
+    #: Measured per-geometry dispatch table (``None`` when the artifact
+    #: was saved untuned — engines then use heuristic dispatch).
+    dispatch_table: Optional[DispatchTable] = None
 
 
 class ModelRegistry:
@@ -305,6 +309,9 @@ class ModelRegistry:
                         "created_at": manifest.get("created_at"),
                         "family": (manifest.get("arch") or {}).get("family"),
                         "pruning_sites": len(pruning),
+                        "tuned_geometries": len(
+                            (manifest.get("dispatch") or {}).get("entries", [])
+                        ),
                         "plan": manifest.get("plan") or {},
                         "metadata": manifest.get("metadata") or {},
                         "size_bytes": size,
@@ -412,6 +419,7 @@ class ModelRegistry:
         arch: Optional[Dict[str, Any]] = None,
         plan: Optional[PlanConfig] = None,
         metadata: Optional[Dict[str, Any]] = None,
+        dispatch: Optional[DispatchTable] = None,
     ) -> Tuple[str, int]:
         """Register a new version of ``name``; returns ``(name, version)``.
 
@@ -419,6 +427,10 @@ class ModelRegistry:
         :class:`~repro.core.pruning.InstrumentedModel` handle — pruning
         sites are recorded in the manifest either way (wrapping changes no
         parameter names, so the state dict stays architecture-shaped).
+        ``dispatch`` persists a measured per-geometry dispatch table
+        (:func:`repro.core.dispatch.tune_plan`) in the manifest's
+        versioned ``dispatch`` block, covered by its own SHA-256 in
+        ``content`` so tampering is caught at load time.
         """
         if not re.match(r"^[A-Za-z0-9][A-Za-z0-9._-]*$", name):
             raise ValueError(f"bad artifact name {name!r}")
@@ -439,6 +451,7 @@ class ModelRegistry:
             "pruning": _pruning_spec(handle) if handle is not None else None,
             "plan": dataclasses.asdict(plan or PlanConfig()),
             "metadata": metadata or {},
+            "dispatch": None if dispatch is None else dispatch.to_manifest(),
         }
 
         version = (self.versions(name) or [0])[-1] + 1
@@ -456,6 +469,13 @@ class ModelRegistry:
                 "weights_sha256": _sha256_file(weights_path),
                 "weights_bytes": os.path.getsize(weights_path),
             }
+            if manifest["dispatch"] is not None:
+                # Canonical-JSON digest of the dispatch block: a table that
+                # steers execution strategy is integrity-critical the same
+                # way weights are.
+                manifest["content"]["dispatch_sha256"] = hashlib.sha256(
+                    json.dumps(manifest["dispatch"], sort_keys=True).encode("utf-8")
+                ).hexdigest()
             with open(os.path.join(tmp_dir, _MANIFEST), "w", encoding="utf-8") as fh:
                 json.dump({**manifest, "version": version}, fh, indent=2)
                 fh.write("\n")
@@ -532,6 +552,25 @@ class ModelRegistry:
         plan_config = PlanConfig(
             **{k: v for k, v in (manifest.get("plan") or {}).items() if k in plan_fields}
         )
+
+        dispatch_table: Optional[DispatchTable] = None
+        dispatch_block = manifest.get("dispatch")
+        if dispatch_block is not None:
+            recorded_dispatch = content.get("dispatch_sha256")
+            if recorded_dispatch:
+                actual_dispatch = hashlib.sha256(
+                    json.dumps(dispatch_block, sort_keys=True).encode("utf-8")
+                ).hexdigest()
+                if actual_dispatch != recorded_dispatch:
+                    raise ArtifactIntegrityError(
+                        f"artifact {name}@v{version} dispatch-table hash mismatch: "
+                        f"manifest records sha256 {recorded_dispatch}, "
+                        f"block is {actual_dispatch}"
+                    )
+            # Unknown dispatch schemas raise ValueError here: a table tuned
+            # under different dispatch semantics must not steer this runtime.
+            dispatch_table = DispatchTable.from_manifest(dispatch_block)
+
         return LoadedArtifact(
             name=name,
             version=version,
@@ -541,4 +580,5 @@ class ModelRegistry:
             arch=manifest["arch"],
             metadata=manifest.get("metadata") or {},
             path=path,
+            dispatch_table=dispatch_table,
         )

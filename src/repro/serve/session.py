@@ -280,7 +280,10 @@ class InferenceSession:
 
         The artifact's recorded :class:`PlanConfig` is used, with
         ``batch_invariant`` forced on — registry artifacts are served, and
-        served responses must not depend on batch composition.
+        served responses must not depend on batch composition.  An
+        artifact carrying a measured dispatch table attaches it to the
+        engine (callers may still override via ``dispatch_table=`` or
+        re-measure via ``tuned=True``).
         """
         from .registry import parse_ref
 
@@ -288,6 +291,8 @@ class InferenceSession:
         artifact = registry.load(name, version)
         plan = dataclasses.replace(artifact.plan_config, batch_invariant=True)
         model = artifact.handle if artifact.handle is not None else artifact.model
+        if artifact.dispatch_table is not None and not engine_kwargs.get("tuned"):
+            engine_kwargs.setdefault("dispatch_table", artifact.dispatch_table)
         engine = create_engine(model, backend=backend, config=plan, **engine_kwargs)
         built = cls(engine, session)
         built._owns_engine = True
