@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.masks import channel_mask as make_channel_mask
+from ..core.pruning import pooled_keep_fraction
 from ..models.base import PrunableModel, PruningPoint
 from ..nn import Linear, Module, Sequential
 from ..nn import functional as F
@@ -75,7 +76,13 @@ class FBSGate(Module):
     comparisons are apples-to-apples.
     """
 
-    def __init__(self, channels: int, prune_ratio: float = 0.0, seed: Optional[int] = None):
+    def __init__(
+        self,
+        channels: int,
+        prune_ratio: float = 0.0,
+        seed: Optional[int] = None,
+        pool_between: int = 1,
+    ):
         super().__init__()
         if not 0.0 <= prune_ratio <= 1.0:
             raise ValueError(f"prune ratio must be in [0, 1], got {prune_ratio}")
@@ -83,13 +90,16 @@ class FBSGate(Module):
         self.channels = channels
         self.prune_ratio = float(prune_ratio)
         self.predictor = Linear(channels, channels, rng=rng)
+        self.pool_between = pool_between
         self.enabled = True
         self.last_mask: Optional[np.ndarray] = None
+        self.last_spatial_mask: Optional[np.ndarray] = None
         self.reset_stats()
 
     def reset_stats(self) -> None:
         self._samples = 0
         self._keep_sum = 0.0
+        self._spatial_keep_pooled_sum = 0.0
 
     @property
     def active(self) -> bool:
@@ -99,11 +109,17 @@ class FBSGate(Module):
     def mean_channel_keep(self) -> float:
         return self._keep_sum / self._samples if self._samples else 1.0
 
-    # FBS has no spatial dimension; expose the same stats interface as
-    # DynamicPruning so the FLOPs accounting code can treat gates uniformly.
+    # FBS prunes only channels, so its spatial mask is all-True — but the
+    # pooled keep is still *computed* through the same
+    # :func:`repro.core.pruning.pooled_keep_fraction` helper DynamicPruning
+    # and the serving bucket telemetry use, rather than hardcoded, so the
+    # FLOPs accounting and the scheduler can never diverge on pooling
+    # semantics.
     @property
     def mean_spatial_keep_pooled(self) -> float:
-        return 1.0
+        return (
+            self._spatial_keep_pooled_sum / self._samples if self._samples else 1.0
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.active:
@@ -116,8 +132,14 @@ class FBSGate(Module):
         tie_break = np.arange(c, dtype=saliency.data.dtype) * 1e-9
         mask = make_channel_mask(saliency.data + tie_break, self.prune_ratio)
         self.last_mask = mask
+        self.last_spatial_mask = np.ones(
+            (n, int(x.shape[2]), int(x.shape[3])), dtype=bool
+        )
         self._samples += n
         self._keep_sum += float(mask.mean()) * n
+        self._spatial_keep_pooled_sum += (
+            pooled_keep_fraction(self.last_spatial_mask, self.pool_between) * n
+        )
         gated = F.apply_mask(saliency, mask.astype(x.dtype))
         # Normalize kept saliencies to mean 1 so activation scale is stable.
         denom = gated.mean(axis=1, keepdims=True) + 1e-6

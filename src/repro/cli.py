@@ -511,7 +511,27 @@ def cmd_bench_adaptive(args: argparse.Namespace) -> int:
     if summary["ragged_beats_dense_at_keep_le_half"] is not None:
         print(f"ragged beats dense at keep fraction <= 0.5: "
               f"{summary['ragged_beats_dense_at_keep_le_half']}")
-    print(f"recorded {len(document['results'])} measurements to {args.output}")
+
+    spatial = document["spatial"]
+    sp_summary = spatial["summary"]
+    print(f"\nspatial threshold masks (bucketed ragged-spatial vs per-position):")
+    print(f"{'keep':>5} {'size':>5} {'dense(ms)':>10} {'perpos(ms)':>11} "
+          f"{'ragged(ms)':>11} {'vs dense':>9} {'vs perpos':>10} {'exact':>6}")
+    for row in spatial["results"]:
+        print(f"{row['keep_fraction']:>5.2f} {row['image_size']:>5} "
+              f"{row['dense_ms']:>10.1f} {row['per_position_ms']:>11.1f} "
+              f"{row['ragged_spatial_ms']:>11.1f} "
+              f"{row['speedup_vs_dense']:>8.2f}x "
+              f"{row['speedup_vs_per_position']:>9.2f}x "
+              f"{str(bool(row['bit_identical'])):>6}")
+    print(f"spatial: best {sp_summary['best_speedup_vs_per_position']:.2f}x vs "
+          f"per-position, {sp_summary['best_speedup_vs_dense']:.2f}x vs dense; "
+          f"bit-identical per-sample everywhere: {sp_summary['bit_identical_all']}")
+    if sp_summary["ragged_spatial_beats_dense_at_keep_le_half"] is not None:
+        print(f"spatial ragged beats dense at keep <= 0.5 (sizes 32/64): "
+              f"{sp_summary['ragged_spatial_beats_dense_at_keep_le_half']}")
+    print(f"recorded {len(document['results'])} + {len(spatial['results'])} "
+          f"measurements to {args.output}")
     if args.smoke:
         if not summary["bit_identical_all"]:
             print("CONTRACT VIOLATION: ragged serving outputs depended on batch "
@@ -521,6 +541,19 @@ def cmd_bench_adaptive(args: argparse.Namespace) -> int:
             print("PERF REGRESSION: ragged path fell below "
                   f"{summary['ragged_regression_slack']:.0%} of the per-input "
                   "fallback's throughput")
+            return 1
+        if not sp_summary["bit_identical_all"]:
+            print("CONTRACT VIOLATION: ragged-spatial outputs depended on "
+                  "batch composition")
+            return 1
+        if not sp_summary["matches_per_position_all"]:
+            print("CONTRACT VIOLATION: ragged-spatial outputs diverged from "
+                  "the per-position oracle beyond round-off")
+            return 1
+        if not sp_summary["ragged_spatial_not_below_per_position"]:
+            print("PERF REGRESSION: ragged-spatial path fell below "
+                  f"{sp_summary['ragged_regression_slack']:.0%} of the "
+                  "per-position path's throughput")
             return 1
     return 0
 
@@ -617,11 +650,21 @@ def cmd_tune_dispatch(args: argparse.Namespace) -> int:
             print(f"saved tuned artifact {saved_name}@v{saved_version} "
                   f"to {args.registry}")
     else:
-        print(f"tuning demo conv stack (width {args.width}, depth {args.depth}, "
-              f"keep ratio {args.ratio}, best of {args.repeats})...")
-        stack = build_conv_stack(
-            args.ratio, width=args.width, depth=args.depth, seed=args.seed
-        )
+        if args.adaptive:
+            from .serve.bench import _mixed_threshold_stack
+
+            print(f"tuning adaptive demo stack (width {args.width}, depth "
+                  f"{args.depth}, alternating channel/spatial threshold "
+                  f"sites, best of {args.repeats})...")
+            stack = _mixed_threshold_stack(
+                args.image_size, args.width, args.depth, args.seed
+            )
+        else:
+            print(f"tuning demo conv stack (width {args.width}, depth {args.depth}, "
+                  f"keep ratio {args.ratio}, best of {args.repeats})...")
+            stack = build_conv_stack(
+                args.ratio, width=args.width, depth=args.depth, seed=args.seed
+            )
         engine = create_engine(
             stack,
             backend="sparse",
@@ -873,9 +916,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated session worker counts for the "
                                "bit-identity rows")
     p_badapt.add_argument("--smoke", action="store_true",
-                          help="CI smoke: single grid point; exit 1 on a "
-                               "bit-identity violation or if the ragged path "
-                               "regresses below the per-input fallback")
+                          help="CI smoke: single grid point per sweep (incl. "
+                               "the spatial block); exit 1 on a bit-identity "
+                               "violation or if the ragged / ragged-spatial "
+                               "path regresses below its per-input or "
+                               "per-position fallback")
     p_badapt.set_defaults(func=cmd_bench_adaptive)
 
     p_tune = sub.add_parser(
@@ -892,6 +937,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--ratio", type=float, default=0.5,
                         help="keep ratio for the demo conv stack (no-registry "
                              "mode)")
+    p_tune.add_argument("--adaptive", action="store_true",
+                        help="no-registry mode: tune a threshold-mode demo "
+                             "stack with alternating channel-adaptive and "
+                             "spatial-adaptive sites, exercising the ragged "
+                             "kept-quantum sweep and the spatial "
+                             "ragged/per-position candidate family")
     p_tune.add_argument("--width", type=int, default=64)
     p_tune.add_argument("--depth", type=int, default=4)
     p_tune.add_argument("--image-size", type=int, default=32,

@@ -35,14 +35,27 @@ same operand values, shapes, and strides as the baseline:
 * sites whose baseline ran *dense* (no mask pending, or the batch-mean
   shortcut fired on an input that upstream masking already zeroed) tune
   only the dense path's tile size;
-* *ragged* (adaptive) sites tune only tile size at the configured
-  quantum — changing the quantum changes padding widths and is therefore
-  structurally unsafe.
+* *ragged* (adaptive) channel sites sweep ``kept_quantum`` — K-dim
+  zero-padding feeds extra exact ``+0.0`` terms into the same
+  summation, so every quantum is verified ``array_equal`` against the
+  **exact-ragged oracle** (``kept_quantum=1``, the unpadded per-sample
+  GEMM) rather than excluded structurally.
+
+*Spatial-mask* sites get their own candidate family — the per-position
+gather baseline, kept-position-bucketed ``ragged_spatial`` at several
+quanta, and dense-plus-zeroing.  Cross-strategy bitwise equality is
+impossible here (a padded-width bucket GEMM blocks differently from an
+exact-width one), so spatial candidates are verified on three axes
+instead: ``allclose`` against the per-position baseline at kept
+positions, *exactly zero* at dropped positions, and per-request
+**bit-identity** (the batched output ``array_equal`` the concatenation
+of single-sample runs of the same candidate — the invariant serving
+relies on).
 
 Tile-size variants are pure copy blocking (``im2col`` gathers the same
 values in a different order) and never change results.  On top of the
-structural argument, every candidate's calibration output is compared
-``array_equal`` against the baseline and mismatches are rejected.
+structural argument, every candidate's calibration output is verified
+against its family's oracle and mismatches are rejected.
 
 The table serializes to a versioned, JSON-safe manifest block
 (:data:`DISPATCH_SCHEMA`) that :class:`repro.serve.ModelRegistry`
@@ -64,6 +77,7 @@ from .masks import group_by_kept_count
 from .sparse_exec import (
     STACKED_PATH_MAX_POSITIONS,
     group_by_mask_signature,
+    output_keep_grid,
     sparse_conv2d,
 )
 
@@ -87,9 +101,12 @@ DISPATCH_SCHEMA = "repro.dispatch.v1"
 #: Field names of the canonical conv-geometry key, in key order.  ``kind``
 #: is ``"none"`` (no pending channel mask), ``"topk"`` (fixed per-sample
 #: kept-count, recorded in ``kept``), or ``"ragged"`` (adaptive masks,
-#: ``kept`` is ``-1``).  Geometries the tuner cannot classify safely
-#: (mixed kept-counts without the ragged flag) use ``"mixed"`` and are
-#: never tuned — lookups miss and fall back to the heuristics.
+#: ``kept`` is ``-1``).  A pending spatial mask appends a suffix:
+#: ``"+spr"`` (adaptive kept-position counts), ``"+sp<count>"`` (top-k,
+#: every sample keeps the same position count).  Geometries the tuner
+#: cannot classify safely (mixed kept-counts without the ragged flag —
+#: ``"mixed"`` channel kinds or a ``"+spx"`` spatial suffix) are never
+#: tuned — lookups miss and fall back to the heuristics.
 GEOMETRY_FIELDS = (
     "in_c",
     "out_c",
@@ -103,8 +120,11 @@ GEOMETRY_FIELDS = (
     "dtype",
 )
 
-#: Strategies a dispatch entry may name.
-STRATEGIES = ("grouped", "stacked", "ragged", "dense")
+#: Strategies a dispatch entry may name.  The last two are spatial-mask
+#: strategies (kept-position bucketing and the per-sample gather
+#: baseline); entries carrying them are only ever looked up for
+#: geometries whose ``kind`` has a spatial suffix.
+STRATEGIES = ("grouped", "stacked", "ragged", "dense", "ragged_spatial", "per_position")
 
 
 def conv_geometry(
@@ -346,11 +366,12 @@ def _run_dense(op, x: np.ndarray, plan, tile_rows: Optional[int]) -> np.ndarray:
 def _run_sparse(
     op,
     x: np.ndarray,
-    mask: np.ndarray,
+    mask: Optional[np.ndarray],
     plan,
     strategy: str,
     kept_quantum: int,
     tile_rows: Optional[int],
+    spatial: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     out = sparse_conv2d(
         x,
@@ -359,6 +380,7 @@ def _run_sparse(
         op.stride,
         op.padding,
         channel_mask=mask,
+        spatial_mask=spatial,
         cache=plan.cache,
         cache_key=op.key,
         batch_invariant=plan.config.batch_invariant,
@@ -381,22 +403,49 @@ def _stacked_eligible(mask: np.ndarray) -> bool:
     return kept > 0 and int(counts.min()) == int(counts.max())
 
 
-def _classify(op, x: np.ndarray, mask: Optional[np.ndarray], ragged: bool, config):
-    """Geometry kind + the label the *untuned* heuristics would dispatch."""
+def _classify(
+    op,
+    x: np.ndarray,
+    mask: Optional[np.ndarray],
+    spatial: Optional[np.ndarray],
+    ragged: bool,
+    config,
+):
+    """Geometry kind + the label the *untuned* heuristics would dispatch.
+
+    Mirrors ``_ConvOp.geometry`` (kind string, spatial suffixes included)
+    and ``_ConvOp.run``'s untuned shortcuts, so tuned entries land on
+    exactly the keys the runtime will probe.
+    """
     oh, ow = op.output_shape(x.shape[2], x.shape[3])
     if mask is None:
-        return "none", -1, "dense"
+        kind, kept, label = "none", -1, "dense"
+    elif ragged:
+        kind, kept, label = "ragged", -1, "ragged"
+    else:
+        counts = mask.sum(axis=1)
+        if int(counts.min()) != int(counts.max()):
+            kind, kept, label = "mixed", -1, "grouped"
+        else:
+            kept = int(counts[0])
+            if 1.0 - float(mask.mean()) < config.dense_threshold:
+                kind, label = "topk", "dense"
+            elif oh * ow <= STACKED_PATH_MAX_POSITIONS and _stacked_eligible(mask):
+                kind, label = "topk", "stacked"
+            else:
+                kind, label = "topk", "grouped"
+    if spatial is None:
+        return kind, kept, label
     if ragged:
-        return "ragged", -1, "ragged"
-    counts = mask.sum(axis=1)
-    if int(counts.min()) != int(counts.max()):
-        return "mixed", -1, "grouped"
-    kept = int(counts[0])
-    if 1.0 - float(mask.mean()) < config.dense_threshold:
-        return "topk", kept, "dense"
-    if oh * ow <= STACKED_PATH_MAX_POSITIONS and _stacked_eligible(mask):
-        return "topk", kept, "stacked"
-    return "topk", kept, "grouped"
+        return kind + "+spr", kept, "ragged_spatial"
+    sp_counts = spatial.reshape(spatial.shape[0], -1).sum(axis=1)
+    smn, smx = int(sp_counts.min()), int(sp_counts.max())
+    if smn != smx:
+        return kind + "+spx", kept, "per_position"
+    keep2d = output_keep_grid(np.asarray(spatial, dtype=bool), op.stride, oh, ow)
+    if 1.0 - float(keep2d.mean()) < config.dense_threshold:
+        return kind + f"+sp{smn}", kept, "dense"
+    return kind + f"+sp{smn}", kept, "per_position"
 
 
 def _tile_variants(base: int) -> List[int]:
@@ -428,10 +477,12 @@ def tune_plan(
 
     Runs ``calibration`` through the untuned plan once with site capture
     enabled, dedupes the captured conv sites by canonical geometry, then
-    per unique geometry times every structurally bit-identical candidate
-    (best-of-``repeats``), verifies each candidate's output
-    ``array_equal`` against the baseline, and installs the winning
-    entries as ``plan.dispatch``.  Returns a :class:`TuneReport`; the
+    per unique geometry times every candidate (best-of-``repeats``),
+    verifies each candidate's output against its family's oracle
+    (``array_equal`` for channel families — the exact-ragged quantum-1
+    run for adaptive sites — and the allclose/exact-zero/bit-identity
+    triple for spatial families), and installs the winning entries as
+    ``plan.dispatch``.  Returns a :class:`TuneReport`; the
     plan's dispatch/stat counters are reset afterwards so calibration
     traffic never pollutes serving telemetry.
     """
@@ -454,11 +505,8 @@ def tune_plan(
     duplicates = 0
     skipped = 0
     for op, x, mask, spatial, ragged in records:
-        if spatial is not None:
-            skipped += 1  # spatial-mask sites keep their per-position path
-            continue
-        kind, kept, baseline_label = _classify(op, x, mask, ragged, config)
-        if kind == "mixed":
+        kind, kept, baseline_label = _classify(op, x, mask, spatial, ragged, config)
+        if kind.startswith("mixed") or kind.endswith("+spx"):
             skipped += 1  # unclassifiable: heuristics stay in charge
             continue
         geo = conv_geometry(
@@ -472,6 +520,8 @@ def tune_plan(
                 "op": op,
                 "x": x,
                 "mask": mask,
+                "spatial": spatial,
+                "ragged": ragged,
                 "kind": kind,
                 "baseline": baseline_label,
                 "sites": 1,
@@ -486,81 +536,168 @@ def tune_plan(
     reports: List[SiteReport] = []
     for geo, site in unique.items():
         op, x, mask = site["op"], site["x"], site["mask"]
+        spatial, ragged_site = site["spatial"], site["ragged"]
         kind, baseline_label = site["kind"], site["baseline"]
         oh, ow = op.output_shape(x.shape[2], x.shape[3])
         itemsize = x.dtype.itemsize
         quantum = config.kept_quantum
+        n = int(x.shape[0])
 
-        # Candidate runners: label -> (strategy, kept_quantum, thunk(tile)).
-        candidates: List[Tuple[str, str, int, Callable[[Optional[int]], np.ndarray]]] = []
-        if baseline_label == "dense":
-            # No mask pending, or upstream masking already zeroed the
-            # input and the shortcut fired: only the dense path is exact.
+        # Candidate runners: label -> (strategy, kept_quantum, thunk).
+        # Thunks take (tile, sl) — ``sl`` sub-batch slicing exists for the
+        # spatial family's per-request bit-identity verification.
+        candidates: List[Tuple[str, str, int, Callable]] = []
+        oracle: Optional[np.ndarray] = None
+
+        if spatial is not None:
+            # Spatial family: the per-sample gather baseline, kept-position
+            # bucketing at several quanta, and dense-plus-zeroing.  No two
+            # of these are bitwise interchangeable (GEMM width changes the
+            # blocking), so verification is allclose-at-kept + exact-zero-
+            # at-dropped + per-request bit-identity instead of array_equal.
+            spatial_b = np.asarray(spatial, dtype=bool)
+            keep_full = output_keep_grid(spatial_b, op.stride, oh, ow)
+            positions = oh * ow
+            mask_eff = mask
+            if (
+                mask is not None
+                and not ragged_site
+                and 1.0 - float(mask.mean()) < config.dense_threshold
+            ):
+                mask_eff = None  # the untuned run nulls the channel mask too
+
+            def spatial_runner(strategy, kq, op=op, x=x, mask_eff=mask_eff,
+                               spatial_b=spatial_b, keep_full=keep_full):
+                def run(tile, sl=slice(None)):
+                    xs = x[sl]
+                    ms = None if mask_eff is None else mask_eff[sl]
+                    if strategy == "dense":
+                        out = _run_dense(op, xs, plan, tile)
+                        return out * keep_full[sl][:, None, :, :]
+                    return _run_sparse(
+                        op, xs, ms, plan, strategy, kq, tile, spatial=spatial_b[sl]
+                    )
+                return run
+
             candidates.append(
-                ("dense", "dense", 1, lambda tile, op=op, x=x: _run_dense(op, x, plan, tile))
+                ("per_position", "per_position", 1, spatial_runner("per_position", 1))
             )
+            # The executor's effective quantum is max(kept_quantum,
+            # ceil(positions/32)); sweep coarser granularities around that
+            # floor, deduped by effective value.
+            floor = -(-positions // 32)
+            seen_eff = {max(quantum, floor)}
+            candidates.append(
+                ("ragged_spatial", "ragged_spatial", quantum,
+                 spatial_runner("ragged_spatial", quantum))
+            )
+            for q in (1, -(-positions // 16), -(-positions // 8)):
+                eff = max(int(q), floor)
+                if eff in seen_eff:
+                    continue
+                seen_eff.add(eff)
+                candidates.append(
+                    (f"ragged_spatial@q{q}", "ragged_spatial", int(q),
+                     spatial_runner("ragged_spatial", int(q)))
+                )
+            candidates.append(("dense", "dense", 1, spatial_runner("dense", 1)))
             tile_base = F.default_tile_rows(x.shape[1], op.weight.shape[2], ow, itemsize)
-        elif kind == "ragged":
-            # Adaptive masks: quantum changes padding widths (structurally
-            # unsafe), so only the configured quantum's tile size is swept.
-            candidates.append(
-                (
-                    "ragged",
-                    "ragged",
-                    quantum,
-                    lambda tile, op=op, x=x, m=mask, q=quantum: _run_sparse(
-                        op, x, m, plan, "ragged", q, tile
-                    ),
-                )
+
+            dropped = np.broadcast_to(
+                ~keep_full[:, None], (n, int(op.weight.shape[0]), oh, ow)
             )
-            tile_base = _ragged_tile_base(mask, op, ow, quantum, itemsize)
-        else:  # top-k: the structurally interchangeable family
-            kept = int(geo[GEOMETRY_FIELDS.index("kept")])
-            candidates.append(
-                (
-                    "grouped",
-                    "grouped",
-                    quantum,
-                    lambda tile, op=op, x=x, m=mask: _run_sparse(
-                        op, x, m, plan, "grouped", quantum, tile
-                    ),
+
+            def check(out, run, strategy, dropped=dropped):
+                if not np.allclose(out, oracle, rtol=1e-4, atol=1e-5):
+                    return False
+                if out[dropped].any():
+                    return False
+                if strategy == "per_position" and not config.batch_invariant:
+                    # The flat-GEMM baseline never promised invariance.
+                    return True
+                solo = np.concatenate([run(None, slice(i, i + 1)) for i in range(n)])
+                return np.array_equal(out, solo)
+
+            # The per-sample gather path IS the kept-position oracle.
+            oracle = candidates[0][3](None)
+        else:
+            if baseline_label == "dense":
+                # No mask pending, or upstream masking already zeroed the
+                # input and the shortcut fired: only the dense path is exact.
+                candidates.append(
+                    ("dense", "dense", 1,
+                     lambda tile, sl=None, op=op, x=x: _run_dense(op, x, plan, tile))
                 )
-            )
-            if _stacked_eligible(mask):
+                tile_base = F.default_tile_rows(x.shape[1], op.weight.shape[2], ow, itemsize)
+            elif kind == "ragged":
+                # Adaptive masks: sweep the bucket quantum.  K-dim zero
+                # padding feeds exact +0.0 terms into the same summation, so
+                # every quantum must be array_equal to the exact-ragged
+                # (quantum=1) oracle — verified, not assumed.
+                def ragged_runner(q, op=op, x=x, m=mask):
+                    def run(tile, sl=None):
+                        return _run_sparse(op, x, m, plan, "ragged", q, tile)
+                    return run
+
+                candidates.append(("ragged", "ragged", quantum, ragged_runner(quantum)))
+                for q in (1, 2, 4, 8):
+                    if q == quantum:
+                        continue
+                    candidates.append((f"ragged@q{q}", "ragged", q, ragged_runner(q)))
+                tile_base = _ragged_tile_base(mask, op, ow, quantum, itemsize)
+                oracle = ragged_runner(1)(None)
+            else:  # top-k: the structurally interchangeable family
+                kept = int(geo[GEOMETRY_FIELDS.index("kept")])
                 candidates.append(
                     (
-                        "stacked",
-                        "stacked",
+                        "grouped",
+                        "grouped",
                         quantum,
-                        lambda tile, op=op, x=x, m=mask: _run_sparse(
-                            op, x, m, plan, "stacked", quantum, tile
+                        lambda tile, sl=None, op=op, x=x, m=mask: _run_sparse(
+                            op, x, m, plan, "grouped", quantum, tile
                         ),
                     )
                 )
-            candidates.append(
-                (
-                    "ragged_exact",
-                    "ragged",
-                    1,
-                    lambda tile, op=op, x=x, m=mask: _run_sparse(
-                        op, x, m, plan, "ragged", 1, tile
-                    ),
+                if _stacked_eligible(mask):
+                    candidates.append(
+                        (
+                            "stacked",
+                            "stacked",
+                            quantum,
+                            lambda tile, sl=None, op=op, x=x, m=mask: _run_sparse(
+                                op, x, m, plan, "stacked", quantum, tile
+                            ),
+                        )
+                    )
+                candidates.append(
+                    (
+                        "ragged_exact",
+                        "ragged",
+                        1,
+                        lambda tile, sl=None, op=op, x=x, m=mask: _run_sparse(
+                            op, x, m, plan, "ragged", 1, tile
+                        ),
+                    )
                 )
-            )
-            tile_base = F.default_tile_rows(max(1, kept), op.weight.shape[2], ow, itemsize)
+                tile_base = F.default_tile_rows(max(1, kept), op.weight.shape[2], ow, itemsize)
 
-        # Baseline reference output (what the untuned plan computes).
-        baseline_runner = next(
-            run for label, _, _, run in candidates if label == baseline_label
-        )
-        reference = baseline_runner(None)
+            def check(out, run, strategy):
+                return np.array_equal(out, oracle)
+
+        # Verification reference: family oracle if one was computed, else
+        # the baseline output (what the untuned plan computes).
+        if oracle is None:
+            baseline_runner = next(
+                run for label, _, _, run in candidates if label == baseline_label
+            )
+            oracle = baseline_runner(None)
 
         measured: Dict[str, float] = {}
         rejected: List[str] = []
-        runners: Dict[str, Tuple[str, int, Callable[[Optional[int]], np.ndarray]]] = {}
+        runners: Dict[str, Tuple[str, int, Callable]] = {}
         for label, strategy, kq, run in candidates:
             out = run(None)  # warm-up doubles as the verification output
-            if not np.array_equal(out, reference):
+            if not check(out, run, strategy):
                 rejected.append(label)
                 continue
             measured[label] = _best_of(lambda run=run: run(None), repeats)
@@ -572,12 +709,15 @@ def tune_plan(
         baseline_ms = measured.get(baseline_label, winner_ms)
 
         # Phase 2: tile-rows sweep on the winner (pure copy blocking; the
-        # stacked path does not tile its single gather, so it is skipped).
+        # stacked path does not tile its single gather, and the two spatial
+        # sparse paths never consult tile_rows, so they are skipped).
         winner_tile: Optional[int] = None
-        if tune_tiles and winner_strategy != "stacked":
+        if tune_tiles and winner_strategy not in (
+            "stacked", "ragged_spatial", "per_position"
+        ):
             for tile in _tile_variants(tile_base):
                 out = winner_run(tile)
-                if not np.array_equal(out, reference):
+                if not check(out, winner_run, winner_strategy):
                     rejected.append(f"{winner_label}@tile{tile}")
                     continue
                 ms = _best_of(lambda run=winner_run, t=tile: run(t), repeats)

@@ -28,6 +28,8 @@ __all__ = [
     "kept_counts",
     "quantize_kept_count",
     "group_by_kept_count",
+    "output_grid_mask",
+    "spatial_mask_signature",
 ]
 
 
@@ -201,9 +203,43 @@ class MaskSpec:
 
 
 def kept_counts(mask: np.ndarray) -> np.ndarray:
-    """Per-sample kept component counts of a ``(N, ...)`` boolean mask."""
+    """Per-sample kept component counts of a ``(N, ...)`` boolean mask.
+
+    Trailing dimensions are flattened, so the same helper counts kept
+    *channels* of an ``(N, C)`` mask and kept *positions* of an
+    ``(N, H, W)`` spatial mask — which is what lets
+    :func:`group_by_kept_count` bucket both axes identically.
+    """
     mask = np.asarray(mask, dtype=bool)
     return mask.reshape(mask.shape[0], -1).sum(axis=1).astype(np.int64)
+
+
+def output_grid_mask(
+    mask: np.ndarray, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Subsample an ``(N, H, W)`` spatial mask onto a conv's output grid.
+
+    A spatial mask is defined at input resolution (Eq. 4); a strided
+    convolution only ever *writes* output positions whose top-left input
+    coordinate survives, so the execution engine works on the
+    ``(N, out_h, out_w)`` restriction.  Returned as a strided view (no
+    copy) — flatten or pass it straight to :func:`kept_counts` /
+    :func:`group_by_kept_count` for kept-position bucketing.
+    """
+    if mask.ndim != 3:
+        raise ValueError(f"spatial mask must be (N, H, W), got shape {mask.shape}")
+    return mask[:, ::stride, ::stride][:, :out_h, :out_w]
+
+
+def spatial_mask_signature(mask: np.ndarray) -> bytes:
+    """Hashable packed-bit identity of one sample's spatial mask.
+
+    The 2-D twin of the channel-mask signatures the grouped executor keys
+    on: equal signatures ⇔ equal kept-position sets, so combined
+    channel×spatial grouping can reuse the same dictionary machinery.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    return np.packbits(mask.reshape(-1)).tobytes()
 
 
 def quantize_kept_count(count: int, total: int, quantum: int = 4) -> int:

@@ -19,6 +19,17 @@ engine that realizes those savings on CPU, at batch scale:
   dynamic-inference workload (``mask_mode="threshold"``, FBS-style gates)
   executes batched instead of one sample at a time, while staying
   bit-identical to per-request execution.
+* **Ragged spatial bucketing** (:func:`_ragged_spatial_conv`): the same
+  treatment for kept *positions*.  Samples are bucketed by their quantized
+  kept-position count on the conv's output grid, each bucket gathers its
+  kept columns out of one strided ``im2col_t`` view
+  (:func:`repro.nn.functional.gather_columns_t`) — padding slots re-gather
+  position 0 — and runs one padded batched GEMM; padded slots are simply
+  discarded on scatter-back, so kept positions are bit-identical to
+  per-request execution by construction and dropped positions stay exactly
+  zero (the paper's Sec. III-B skip semantics).  This replaces the last
+  per-sample GEMM loop (the ``per_position`` path, kept as the measured
+  baseline strategy).
 * **Weight-slice caching** (:class:`WeightSliceCache`): gathering the kept
   columns of a filter bank is pure memory traffic; slices are cached across
   layers *and* calls keyed by ``(layer, mask signature)``, so steady-state
@@ -79,8 +90,8 @@ from ..nn import (
     Sequential,
 )
 from ..nn import functional as F
-from .masks import group_by_kept_count, quantize_kept_count
-from .pruning import DynamicPruning
+from .masks import group_by_kept_count, output_grid_mask, quantize_kept_count
+from .pruning import DynamicPruning, pooled_keep_fraction
 from .workspace import ArenaPool, WorkspaceArena
 
 __all__ = [
@@ -94,6 +105,7 @@ __all__ = [
     "SparseSequentialExecutor",
     "SparseResNetExecutor",
     "dense_reference_forward",
+    "output_keep_grid",
     "STACKED_PATH_MAX_POSITIONS",
 ]
 
@@ -210,6 +222,7 @@ class WeightSliceCache:
         weight: np.ndarray,
         kept: np.ndarray,
         pad_to: Optional[int] = None,
+        layout: str = "nchw",
     ) -> np.ndarray:
         """Return the cached ``(out_c, kept*k*k)`` slice, gathering on miss.
 
@@ -217,8 +230,15 @@ class WeightSliceCache:
         zero columns up to ``pad_to`` channels, so the slice drops into a
         fixed-shape bucket GEMM; padded and unpadded slices for the same
         signature are distinct cache entries.
+
+        ``layout`` selects the flattened ``K`` ordering: ``"nchw"``
+        (default, ``(c, ky, kx)`` — matches :func:`im2col_t` columns) or
+        ``"nhwc"`` (``(ky, kx, c)`` — matches
+        :func:`repro.nn.functional.gather_patches_nhwc` patch rows, the
+        ragged spatial path's operand).  Distinct layouts are distinct
+        cache entries.
         """
-        full_key = (key, signature, pad_to)
+        full_key = (key, signature, pad_to, layout)
         with self._lock:
             cached = self._store.get(full_key)
             if cached is not None:
@@ -229,8 +249,13 @@ class WeightSliceCache:
         # duplicate gather from a racing worker is wasted work, not a
         # correctness problem (both produce the same slice).
         out_c = weight.shape[0]
-        w_sub = _ensure_contiguous(weight[:, kept].reshape(out_c, -1))
+        gathered = weight[:, kept]
+        if layout == "nhwc":
+            gathered = gathered.transpose(0, 2, 3, 1)
+        w_sub = _ensure_contiguous(gathered.reshape(out_c, -1))
         if pad_to is not None and pad_to > kept.size:
+            if layout == "nhwc":
+                raise ValueError("pad_to is a channel-axis pad; nhwc layout does not support it")
             taps = weight.shape[2] * weight.shape[3]
             padded = np.zeros((out_c, pad_to * taps), dtype=weight.dtype)
             padded[:, : w_sub.shape[1]] = w_sub
@@ -418,6 +443,183 @@ def _ragged_channel_conv(
 
 
 # ----------------------------------------------------------------------
+# Ragged (kept-position-bucketed) spatial convolution
+# ----------------------------------------------------------------------
+def output_keep_grid(
+    spatial_mask: np.ndarray, stride: int, oh: int, ow: int
+) -> np.ndarray:
+    """A spatial mask restricted to the ``(oh, ow)`` output grid, exactly.
+
+    :func:`~repro.core.masks.output_grid_mask` is a clipped strided view,
+    which can come up *short* of ``(oh, ow)`` when heavy padding makes
+    the output grid outrun the subsampled mask.  Positions past the
+    mask's extent have no surviving input column, so they count as
+    dropped (matching the per-position path, where ``nonzero()`` simply
+    never yields them) — this helper pads them with ``False`` so callers
+    can rely on the full output-grid shape for bucketing, zeroing, and
+    telemetry alike.
+    """
+    grid = output_grid_mask(np.asarray(spatial_mask, dtype=bool), stride, oh, ow)
+    if grid.shape[1] != oh or grid.shape[2] != ow:
+        full = np.zeros((grid.shape[0], oh, ow), dtype=bool)
+        full[:, : grid.shape[1], : grid.shape[2]] = grid
+        return full
+    return grid
+
+
+def _ragged_spatial_conv(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    spatial_mask: np.ndarray,
+    channel_mask: Optional[np.ndarray],
+    *,
+    kept_quantum: int,
+    cache: Optional[WeightSliceCache],
+    cache_key: Optional[object],
+    arena: Optional[WorkspaceArena],
+    oh: int,
+    ow: int,
+    tile_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Column skipping for *ragged* spatial masks: one padded GEMM per bucket.
+
+    The per-position path (`sparse_conv2d`'s historical spatial branch)
+    gathers each sample's kept patches and runs one GEMM per sample — a
+    Python loop whose GEMMs are too small to amortize.  Here, per
+    channel-signature group, the (zero-padded) input is transposed to
+    channels-last ONCE, samples are bucketed by their kept-position count
+    on the *output grid* quantized up to an effective quantum
+    (:func:`~repro.core.masks.group_by_kept_count` — the same helper that
+    buckets channels, fed the flattened 2-D mask), and each bucket
+    gathers only its kept columns with
+    :func:`repro.nn.functional.gather_patches_nhwc` into a
+    ``(G, Pq, K)`` slab — contiguous channel runs, traffic proportional
+    to the kept fraction, no full unfold — for one padded batched GEMM
+    against the NHWC-flattened weight matrix.
+
+    Padding slots (slot index >= the sample's true kept count) simply
+    re-gather position 0: they produce well-defined garbage that is
+    **discarded on scatter-back** — only valid slots are written to the
+    output, which is pre-zeroed, so dropped positions are exactly zero
+    (the paper's Sec. III-B skip semantics) and kept positions never see a
+    padded operand.
+
+    Batch-invariance is by construction, same argument as
+    :func:`_ragged_channel_conv`: a sample's bucket width is
+    ``quantize_kept_count`` of its *own* kept-position count, its gather
+    order and padded column set depend only on its own mask, and batched
+    3-D GEMM slices compute bitwise the same as the single-sample GEMM
+    over identical operands.  Executing the same sample per-request
+    therefore reproduces its batched output bit for bit.  (Note the K
+    ordering is ``(ky, kx, c)`` here versus ``im2col_t``'s
+    ``(c, ky, kx)`` — a different but fixed summation order, so the path
+    agrees with the per-position baseline to floating-point round-off
+    while remaining exactly reproducible against itself.)
+    """
+    n, c, h, w = x.shape
+    out_c = weight.shape[0]
+    k = weight.shape[2]
+    kk = k * k
+    positions = oh * ow
+    # Channel quanta (~4 over tens of channels) are far too fine for a
+    # grid of thousands of positions: threshold masks rarely agree on a
+    # quantized count, so every sample would land in its own bucket.
+    # ``kept_quantum`` therefore acts as a *floor*, and the effective
+    # quantum scales with the grid — 1/32 of it bounds both the bucket
+    # population (<= 32 GEMM shapes) and the padding tax (< ~3% of
+    # positions per sample).  The clamp depends only on the static
+    # geometry, so it never breaks batch-invariance; tuned entries sweep
+    # coarser quanta by passing values above the floor.
+    quantum = max(int(kept_quantum), -(-positions // 32))
+    grid = output_keep_grid(spatial_mask, stride, oh, ow)
+    keep_flat = np.asarray(grid).reshape(n, positions)
+    # Dropped positions must stay exactly zero -> pre-zero the output and
+    # only ever write valid slots.
+    out = np.zeros((n, out_c, oh, ow), dtype=x.dtype)
+    out_flat = out.reshape(n, out_c, positions)
+
+    if channel_mask is None:
+        groups: List[Tuple[Optional[bytes], np.ndarray, Optional[np.ndarray]]] = [
+            (None, np.arange(n), None)
+        ]
+    else:
+        groups = list(group_by_mask_signature(channel_mask))
+
+    hp, wp = h + 2 * padding, w + 2 * padding
+    all_kept = np.arange(c)
+    for signature, idx, kept in groups:
+        if kept is not None and kept.size == 0:
+            continue  # every channel dropped -> output stays zero
+        full_channels = kept is None or kept.size == c
+        ck = c if full_channels else int(kept.size)
+        # NHWC-flattened weight matrix: K ordering (ky, kx, c), matching
+        # the patch rows gather_patches_nhwc produces.
+        if cache is not None:
+            # A non-bytes sentinel cannot collide with any packed-bit mask
+            # signature (those are always bytes).
+            sig = signature if signature is not None else "__full__"
+            w_sub = cache.get(
+                cache_key, sig, weight,
+                all_kept if full_channels else kept, layout="nhwc",
+            )
+        else:
+            wk = weight if full_channels else weight[:, kept]
+            w_sub = _ensure_contiguous(wk.transpose(0, 2, 3, 1).reshape(out_c, -1))
+        w_t = w_sub.T  # (K, Cout), zero-copy transB GEMM operand
+
+        # Zero-padded channels-last input for this group, materialized
+        # once: the tap gather then reads contiguous channel runs.  The
+        # halo must be re-zeroed every call (arena buffers are reused).
+        xg_t = _take(arena, "spatial_x", (idx.size, hp, wp, ck), x.dtype)
+        if padding > 0:
+            xg_t[:, :padding, :, :] = 0.0
+            xg_t[:, hp - padding:, :, :] = 0.0
+            xg_t[:, :, :padding, :] = 0.0
+            xg_t[:, :, wp - padding:, :] = 0.0
+        interior = xg_t[:, padding:padding + h, padding:padding + w, :]
+        whole = idx.size == n
+        if whole and full_channels:
+            src = x
+        else:
+            src = x[idx] if full_channels else x[np.ix_(idx, kept)]
+        interior[...] = np.moveaxis(src, 1, 3)
+
+        rows_keep = keep_flat[idx]
+        counts = rows_keep.sum(axis=1).astype(np.int64)
+        for bucket_count, bidx in group_by_kept_count(rows_keep, quantum):
+            if bucket_count == 0:
+                continue  # all positions dropped -> rows stay zero
+            g = int(bidx.size)
+            # Per-sample padded column order: kept positions ascending, the
+            # quantization tail re-gathering position 0 (discarded below).
+            order = np.ascontiguousarray(
+                np.argsort(~rows_keep[bidx], axis=1, kind="stable")[:, :bucket_count]
+            )
+            pad = np.arange(bucket_count)[None, :] >= counts[bidx][:, None]
+            if pad.any():
+                order[pad] = 0
+            sub = F.gather_patches_nhwc(
+                xg_t, k, stride, ow, order,
+                out=_take(
+                    arena, "spatial_col", (g, bucket_count, ck * kk), x.dtype
+                ),
+                rows=bidx,
+            )
+            dst = _take(arena, "spatial_gemm", (g, bucket_count, out_c), x.dtype)
+            # One batched GEMM: (G, Pq, K) against the shared (K, Cout).
+            _matmul_into(sub, w_t, dst)
+            if bias is not None:
+                dst += bias
+            # Scatter valid slots only; padded slots are dropped here.
+            rs, ss = np.nonzero(~pad)
+            out_flat[idx[bidx[rs]], :, order[rs, ss]] = dst[rs, ss, :]
+    return out
+
+
+# ----------------------------------------------------------------------
 # Batched sparse convolution
 # ----------------------------------------------------------------------
 def sparse_conv2d(
@@ -465,13 +667,14 @@ def sparse_conv2d(
         unique per weight tensor (the executors pass their op identity);
         ``id(weight)`` is unsafe — ids are reused after garbage collection.
     batch_invariant:
-        Per-sample GEMM slicing for the *spatial* path, so each sample's
-        output does not depend on which other samples share the batch (see
-        :attr:`PlanConfig.batch_invariant`).  The channel paths are
-        batch-invariant unconditionally since the kernel-layer rewrite:
-        every GEMM already runs as fixed-shape ``(Cout, K) @ (K, OH*OW)``
-        per-sample slices over identical operand layouts, so the flag
-        costs nothing there.
+        Per-sample GEMM slicing for the *per-position* spatial path, so
+        each sample's output does not depend on which other samples share
+        the batch (see :attr:`PlanConfig.batch_invariant`).  The channel
+        paths are batch-invariant unconditionally since the kernel-layer
+        rewrite, and the ragged-spatial path is batch-invariant by
+        construction (a sample's bucket width, gather order and GEMM
+        slice depend only on its own mask) — the flag only steers the
+        per-position baseline's flat-vs-sliced GEMM.
     arena:
         Optional :class:`~repro.core.workspace.WorkspaceArena` supplying
         the im2col and GEMM scratch buffers.  Without one, scratch is
@@ -479,25 +682,32 @@ def sparse_conv2d(
         Arenas are single-thread-only; concurrent callers pass their own
         (plans hand out one per thread).
     ragged / kept_quantum:
-        ``ragged=True`` routes channel masks through kept-count-bucketed
-        execution (see :func:`_ragged_channel_conv`): samples are grouped
-        by their kept-count quantized up to ``kept_quantum`` and each
-        bucket runs one padded batched GEMM.  This is the path for
-        *adaptive* (threshold-mode) masks, whose per-sample kept-counts
-        differ; it applies to every batch composition — including
-        singletons — so results stay bit-identical to per-request
-        execution.  Ignored when a spatial mask is present (the spatial
-        path is already per-sample).
+        ``ragged=True`` routes masks through kept-count-bucketed
+        execution: channel masks via :func:`_ragged_channel_conv` (samples
+        grouped by kept-*channel* count quantized up to ``kept_quantum``),
+        spatial masks via :func:`_ragged_spatial_conv` (kept-*position*
+        count on the output grid, same quantum).  Each bucket runs one
+        padded batched GEMM.  This is the path for *adaptive*
+        (threshold-mode) masks, whose per-sample kept-counts differ; it
+        applies to every batch composition — including singletons — so
+        results stay bit-identical to per-request execution.
     strategy:
-        Explicit execution-strategy override for channel masks, set by
-        measured dispatch entries (:mod:`repro.core.dispatch`).  ``None``
-        / ``"auto"`` keeps the heuristic dispatch; ``"grouped"`` skips
-        the stacked fast path; ``"stacked"`` forces the stacked path past
-        its position cutoff (falling back to grouped when the batch is
-        ineligible — a bit-identical fallback); ``"ragged"`` routes onto
-        kept-count bucketing regardless of the ``ragged`` flag.  Every
-        named strategy executes the same per-sample GEMM operands, so
-        overrides never change results for fixed-kept-count masks.
+        Explicit execution-strategy override, set by measured dispatch
+        entries (:mod:`repro.core.dispatch`).  ``None`` / ``"auto"``
+        keeps the heuristic dispatch.  Channel strategies: ``"grouped"``
+        skips the stacked fast path; ``"stacked"`` forces the stacked
+        path past its position cutoff (falling back to grouped when the
+        batch is ineligible — a bit-identical fallback); ``"ragged"``
+        routes onto kept-count bucketing regardless of the ``ragged``
+        flag.  Spatial strategies (require a ``spatial_mask``):
+        ``"ragged_spatial"`` forces kept-position bucketing,
+        ``"per_position"`` forces the per-sample gather + GEMM baseline.
+        Every named channel strategy executes the same per-sample GEMM
+        operands, so overrides never change results for fixed-kept-count
+        masks; the two spatial strategies agree to floating-point
+        round-off at kept positions (BLAS blocks a width-``Pq`` padded
+        GEMM differently from a width-``npos`` exact one) and each is
+        individually bit-identical to its own per-request execution.
     tile_rows:
         Explicit im2col tile size for the grouped/ragged paths (pure copy
         blocking — results are bit-identical at any value).  ``None``
@@ -506,18 +716,24 @@ def sparse_conv2d(
     on_dispatch:
         Optional callback receiving the fine-grained path label this call
         actually executed — ``"per_input"`` (signature groups all
-        singletons), ``"grouped"``, ``"stacked"`` or ``"ragged"`` — once
-        per invocation.  Plans pass their dispatch-counter hook here.
+        singletons), ``"grouped"``, ``"stacked"``, ``"ragged"``,
+        ``"ragged_spatial"`` or ``"per_position"`` — once per invocation.
+        Plans pass their dispatch-counter hook here.
 
     Returns
     -------
     Output batch ``(N, Cout, OH, OW)``.
     """
-    if strategy not in (None, "auto", "grouped", "stacked", "ragged"):
+    if strategy not in (
+        None, "auto", "grouped", "stacked", "ragged",
+        "ragged_spatial", "per_position",
+    ):
         raise ValueError(
-            "strategy must be None, 'auto', 'grouped', 'stacked' or 'ragged', "
-            f"got {strategy!r}"
+            "strategy must be None, 'auto', 'grouped', 'stacked', 'ragged', "
+            f"'ragged_spatial' or 'per_position', got {strategy!r}"
         )
+    if strategy in ("ragged_spatial", "per_position") and spatial_mask is None:
+        raise ValueError(f"strategy {strategy!r} requires a spatial_mask")
     n, c, h, w = x.shape
     out_c, in_c, k, _ = weight.shape
     if in_c != c:
@@ -526,13 +742,44 @@ def sparse_conv2d(
     use_ragged = (
         strategy == "ragged" or (strategy in (None, "auto") and ragged)
     ) and channel_mask is not None and spatial_mask is None
+    # Spatial masks pick between kept-position bucketing and the
+    # per-sample gather baseline; ragged callers (adaptive sites) bucket
+    # by default, fixed top-k spatial masks keep the historical path
+    # unless a tuned entry says otherwise.
+    use_ragged_spatial = spatial_mask is not None and (
+        strategy == "ragged_spatial" or (strategy in (None, "auto") and ragged)
+    )
     if n == 0:
         if on_dispatch is not None:
-            on_dispatch("ragged" if use_ragged else "grouped")
+            if spatial_mask is not None:
+                on_dispatch("ragged_spatial" if use_ragged_spatial else "per_position")
+            else:
+                on_dispatch("ragged" if use_ragged else "grouped")
         return np.zeros((n, out_c, oh, ow), dtype=x.dtype)
 
     if cache is not None and cache_key is None:
         raise ValueError("cache_key is required when a WeightSliceCache is passed")
+    if use_ragged_spatial:
+        # Kept-position bucketing handles the channel mask internally
+        # (signature grouping per channel group, buckets within).
+        if on_dispatch is not None:
+            on_dispatch("ragged_spatial")
+        return _ragged_spatial_conv(
+            x,
+            weight,
+            bias,
+            stride,
+            padding,
+            np.asarray(spatial_mask, dtype=bool),
+            None if channel_mask is None else np.asarray(channel_mask, dtype=bool),
+            kept_quantum=kept_quantum,
+            cache=cache,
+            cache_key=cache_key,
+            arena=arena,
+            oh=oh,
+            ow=ow,
+            tile_rows=tile_rows,
+        )
     if use_ragged:
         # Ragged masks bypass signature grouping entirely: bucket shapes
         # depend only on each sample's own kept-count, never on batch
@@ -615,15 +862,15 @@ def sparse_conv2d(
     # group, so zero-fill is only needed when some group drops all its
     # channels (or a spatial mask leaves holes).
     if on_dispatch is not None:
-        # "per_input" = the degenerate regime the stacked path exists to
-        # fix: every sample is its own signature group.
-        per_input = (
-            spatial_mask is None
-            and channel_mask is not None
-            and n > 1
-            and len(groups) == n
-        )
-        on_dispatch("per_input" if per_input else "grouped")
+        if spatial_mask is not None:
+            # The per-sample gather + GEMM baseline the spatial ragged
+            # path is measured against.
+            on_dispatch("per_position")
+        else:
+            # "per_input" = the degenerate regime the stacked path exists
+            # to fix: every sample is its own signature group.
+            per_input = channel_mask is not None and n > 1 and len(groups) == n
+            on_dispatch("per_input" if per_input else "grouped")
     skips_possible = spatial_mask is not None or any(
         kept is not None and kept.size == 0 for _, _, kept in groups
     )
@@ -677,7 +924,7 @@ def sparse_conv2d(
             # (G, C_kept, OH, OW, k, k) sliding windows — a strided view.
             windows = sliding_window_view(xg, (k, k), axis=(2, 3))[:, :, ::stride, ::stride]
             windows = windows[:, :, :oh, :ow]
-            keep2d = spatial_mask[idx][:, ::stride, ::stride][:, :oh, :ow]
+            keep2d = output_grid_mask(spatial_mask, stride, oh, ow)[idx]
             ns, ys, xs = np.nonzero(keep2d)
             if ns.size == 0:
                 continue
@@ -846,6 +1093,7 @@ class _ConvOp:
         x: np.ndarray,
         channel_mask: Optional[np.ndarray],
         ragged: bool,
+        spatial_mask: Optional[np.ndarray] = None,
     ) -> Tuple:
         """The canonical dispatch-table key for this call's geometry.
 
@@ -858,6 +1106,12 @@ class _ConvOp:
         when all samples agree, and ``"mixed"`` otherwise — which no
         tuner ever emits, so unequal-count masks without the ragged flag
         safely miss the table and keep their heuristic path.
+
+        A spatial mask appends its own suffix to ``kind``: ``"+spr"``
+        (ragged — adaptive kept-position counts), ``"+sp<count>"``
+        (top-k, every sample keeps the same position count) or
+        ``"+spx"`` (mixed counts without the ragged flag — never emitted
+        by a tuner, so such calls miss the table).
         """
         if channel_mask is None:
             kind, kept = "none", -1
@@ -867,6 +1121,13 @@ class _ConvOp:
             counts = channel_mask.sum(axis=1)
             mn, mx = int(counts.min()), int(counts.max())
             kind, kept = ("topk", mn) if mn == mx else ("mixed", -1)
+        if spatial_mask is not None:
+            if ragged:
+                kind = kind + "+spr"
+            else:
+                sp_counts = spatial_mask.reshape(spatial_mask.shape[0], -1).sum(axis=1)
+                smn, smx = int(sp_counts.min()), int(sp_counts.max())
+                kind = kind + (f"+sp{smn}" if smn == smx else "+spx")
         memo_key = (x.shape[2], x.shape[3], kind, kept, x.dtype.name)
         geo = self._geo.get(memo_key)
         if geo is None:
@@ -900,8 +1161,10 @@ class _ConvOp:
         # construction); a miss counts a fallback and keeps the heuristic
         # path, so unseen traffic is never worse than untuned.
         entry = None
-        if plan.dispatch is not None and spatial_mask is None:
-            entry = plan.dispatch.lookup(self.geometry(x, channel_mask, ragged))
+        if plan.dispatch is not None:
+            entry = plan.dispatch.lookup(
+                self.geometry(x, channel_mask, ragged, spatial_mask)
+            )
             if entry is None:
                 plan.count_fallback()
 
@@ -910,6 +1173,12 @@ class _ConvOp:
                 # Upstream masking already zeroed the input channels (the
                 # pruning site multiplies before arming), so dense is exact.
                 channel_mask = None
+                if spatial_mask is not None:
+                    # Compute dense, zero dropped positions afterwards —
+                    # same values at kept positions, exact zeros elsewhere.
+                    oh, ow = self.output_shape(x.shape[2], x.shape[3])
+                    zero_out = output_keep_grid(spatial_mask, self.stride, oh, ow)
+                    spatial_mask = None
         else:
             # The batch-mean dispatch shortcuts below are skipped for ragged
             # masks: their decisions depend on who shares the batch, which
@@ -923,7 +1192,7 @@ class _ConvOp:
                     channel_mask = None
             if spatial_mask is not None and not ragged:
                 oh, ow = self.output_shape(x.shape[2], x.shape[3])
-                keep2d = spatial_mask[:, :: self.stride, :: self.stride][:, :oh, :ow]
+                keep2d = output_keep_grid(spatial_mask, self.stride, oh, ow)
                 if 1.0 - float(keep2d.mean()) < config.dense_threshold:
                     # Compute dense, then zero dropped positions to preserve the
                     # skip semantics (identical values at kept positions).
@@ -978,7 +1247,9 @@ class _ConvOp:
                 on_dispatch=plan.count_dispatch,
             )
         else:
-            use_ragged = ragged and channel_mask is not None and spatial_mask is None
+            use_ragged = ragged and (
+                channel_mask is not None or spatial_mask is not None
+            )
             out = sparse_conv2d(
                 x,
                 self.weight,
@@ -1102,25 +1373,44 @@ class _PruneOp:
         state.ragged = self._ragged(plan)
         return x
 
-    def bucket_hint(self, fm: np.ndarray, plan: "ExecutionPlan") -> Optional[int]:
-        """Quantized kept-count of this site for a probe feature map.
+    def bucket_hint(self, fm: np.ndarray, plan: "ExecutionPlan") -> Optional[object]:
+        """Quantized kept-count bucket of this site for a probe feature map.
 
         Used by the serving scheduler's kept-count-aware window assembly
         (:meth:`ExecutionPlan.kept_count_bucket`); returns ``None`` when
-        the site cannot produce a ragged channel mask.
+        the site prunes neither axis.  Channel-only sites return the
+        quantized mean kept-channel count (an ``int``, the historical
+        contract); sites with spatial pruning return a
+        ``(channel_bucket, spatial_bucket)`` tuple so the collector
+        shards spatial buckets too.  The spatial bucket is the
+        *pooled* kept-position count — pooled with
+        :func:`repro.core.pruning.pooled_keep_fraction` and the site's
+        ``pool_between``, the same basis the FLOPs accounting uses —
+        quantized into eighths of the grid (finer sharding would give
+        almost every request its own window).
         """
         layer = self.layer
-        if not layer.active or layer.channel_ratio <= 0.0:
+        if not layer.active:
             return None
-        channel_mask, _ = layer.compute_masks(fm, update_stats=False)
-        if channel_mask is None:
+        if layer.channel_ratio <= 0.0 and layer.spatial_ratio <= 0.0:
             return None
-        counts = channel_mask.sum(axis=1)
-        return quantize_kept_count(
-            int(round(float(counts.mean()))),
-            channel_mask.shape[1],
-            plan.config.kept_quantum,
+        channel_mask, spatial_mask = layer.compute_masks(fm, update_stats=False)
+        channel_bucket: Optional[int] = None
+        if layer.channel_ratio > 0.0 and channel_mask is not None:
+            counts = channel_mask.sum(axis=1)
+            channel_bucket = quantize_kept_count(
+                int(round(float(counts.mean()))),
+                channel_mask.shape[1],
+                plan.config.kept_quantum,
+            )
+        if layer.spatial_ratio <= 0.0 or spatial_mask is None:
+            return channel_bucket
+        frac = pooled_keep_fraction(spatial_mask, layer.pool_between)
+        total = int(spatial_mask[0].size)
+        spatial_bucket = quantize_kept_count(
+            int(round(frac * total)), total, max(1, -(-total // 8))
         )
+        return (channel_bucket, spatial_bucket)
 
 
 class _GateOp:
@@ -1186,7 +1476,15 @@ class ExecutionPlan:
     #: Fine-grained dispatch-counter labels (satellite telemetry); the
     #: legacy dense/sparse/ragged totals are kept in sync for callers
     #: that predate per-strategy counting.
-    DISPATCH_KINDS = ("per_input", "grouped", "stacked", "ragged", "dense")
+    DISPATCH_KINDS = (
+        "per_input",
+        "grouped",
+        "stacked",
+        "ragged",
+        "ragged_spatial",
+        "per_position",
+        "dense",
+    )
 
     def __init__(self, ops: List[object], config: PlanConfig):
         self.ops = ops
@@ -1218,18 +1516,21 @@ class ExecutionPlan:
         """Thread-safe dispatch telemetry (workers share one plan).
 
         ``kind`` is a fine-grained path label — ``"per_input"``,
-        ``"grouped"``, ``"stacked"``, ``"ragged"`` or ``"dense"`` (the
-        legacy ``"sparse"`` is accepted and counted as grouped).  The
-        aggregate dense/sparse/ragged counters are updated alongside the
-        per-strategy breakdown so existing consumers keep working.
+        ``"grouped"``, ``"stacked"``, ``"ragged"``, ``"ragged_spatial"``,
+        ``"per_position"`` or ``"dense"`` (the legacy ``"sparse"`` is
+        accepted and counted as grouped).  The aggregate
+        dense/sparse/ragged counters are updated alongside the
+        per-strategy breakdown so existing consumers keep working:
+        kept-position bucketing counts as a ragged dispatch, the
+        per-position baseline as a sparse one.
         """
         with self._dispatch_lock:
             if kind == "dense":
                 self.dense_dispatches += 1
                 self.dispatch_counts["dense"] += 1
-            elif kind == "ragged":
+            elif kind in ("ragged", "ragged_spatial"):
                 self.ragged_dispatches += 1
-                self.dispatch_counts["ragged"] += 1
+                self.dispatch_counts[kind] += 1
             else:
                 self.sparse_dispatches += 1
                 fine = kind if kind in self.dispatch_counts else "grouped"
@@ -1308,16 +1609,20 @@ class ExecutionPlan:
             x = op.run(x, state, self)
         return x
 
-    def kept_count_bucket(self, x: np.ndarray) -> Optional[int]:
-        """Quantized kept-count of the *first* pruning site for ``x``.
+    def kept_count_bucket(self, x: np.ndarray) -> Optional[object]:
+        """Quantized kept-count bucket of the *first* pruning site for ``x``.
 
         The serving scheduler's kept-count-aware window assembly calls
         this at admission time to group requests that will bucket together
         inside the engine.  It runs the op prefix up to the first
         :class:`_PruneOp` (a fraction of a forward pass) and returns
-        ``None`` when the plan has no adaptive channel site — callers then
-        fall back to unbucketed scheduling.  The probe's convolutions use
-        the calling thread's arena and count toward dispatch telemetry.
+        ``None`` when the plan has no pruning site — callers then fall
+        back to unbucketed scheduling.  Channel-only sites yield an
+        ``int``; sites with spatial pruning yield a
+        ``(channel_bucket, spatial_bucket)`` tuple (see
+        :meth:`_PruneOp.bucket_hint`) — both hashable, which is all the
+        scheduler needs.  The probe's convolutions use the calling
+        thread's arena and count toward dispatch telemetry.
         """
         state = _MaskState()
         for op in self.ops:

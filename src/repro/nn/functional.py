@@ -24,6 +24,8 @@ __all__ = [
     "im2col",
     "im2col_t",
     "im2col_loop",
+    "gather_columns_t",
+    "gather_patches_nhwc",
     "default_tile_rows",
     "col2im",
     "conv2d",
@@ -280,6 +282,128 @@ def im2col_t(
         for row in range(0, out_h, tile_rows):
             stop = min(row + tile_rows, out_h)
             dst[:, :, :, :, row:stop] = src[:, :, :, :, row:stop]
+    return out
+
+
+def gather_columns_t(
+    col: np.ndarray,
+    indices: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    rows: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-sample column-subset gather out of a channels-first patch matrix.
+
+    ``col`` is an :func:`im2col_t` result ``(N, K, P)``; ``indices`` holds
+    one row of column positions per gathered sample, shape ``(G, Pq)``.
+    Duplicate positions are allowed — ragged spatial buckets pad short rows
+    by re-gathering position 0 and discard the padded slots on scatter-back.
+    ``rows`` optionally selects *which* ``G`` samples of ``col`` to gather
+    from (default: the first ``G`` in order), so bucket subsets never
+    materialize a fancy-indexed ``(G, K, P)`` copy of the source.
+
+    The gather runs sample-by-sample with ``np.take(..., out=...)`` straight
+    into ``out`` (caller-provided, e.g. a workspace-arena view), keeping the
+    column extraction allocation-free on the sparse engine's hot path.
+    Returns the ``(G, K, Pq)`` destination.
+    """
+    if col.ndim != 3:
+        raise ValueError(f"col must be (N, K, P), got shape {col.shape}")
+    if indices.ndim != 2:
+        raise ValueError(f"indices must be (G, Pq), got shape {indices.shape}")
+    n, k, p = col.shape
+    g, pq = indices.shape
+    if rows is None:
+        if g > n:
+            raise ValueError(f"indices has {g} rows but col has only {n} samples")
+    elif rows.shape != (g,):
+        raise ValueError(f"rows must have shape ({g},), got {rows.shape}")
+    if indices.size and (int(indices.min()) < 0 or int(indices.max()) >= p):
+        raise IndexError(f"column indices out of range for {p} positions")
+    shape = (g, k, pq)
+    if out is None:
+        out = np.empty(shape, dtype=col.dtype)
+    else:
+        _check_out(out, shape, col.dtype)
+    for j in range(g):
+        src = col[j] if rows is None else col[int(rows[j])]
+        # Bounds were validated once above; mode="clip" keeps np.take
+        # unbuffered so it writes the destination view directly.
+        np.take(src, indices[j], axis=1, out=out[j], mode="clip")
+    return out
+
+
+def gather_patches_nhwc(
+    xpt: np.ndarray,
+    kernel: int,
+    stride: int,
+    out_w: int,
+    positions: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    rows: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Kept-position conv patches out of a padded channels-last input.
+
+    The position-subset twin of :func:`gather_columns_t` that skips the
+    full unfold entirely: instead of materializing every output column
+    with :func:`im2col_t` and then selecting a subset, it gathers only
+    the requested columns straight from the (already zero-padded)
+    ``(N, Hp, Wp, C)`` channels-last input — tap by tap, so every copy
+    runs over contiguous length-``C`` channel runs.  Gather traffic is
+    proportional to the *kept* fraction, which is what makes ragged
+    spatial execution profitable at low keep.
+
+    ``positions`` holds one row of flattened output-grid ids
+    (``pos = y * out_w + x``) per gathered sample, shape ``(G, Pq)``;
+    duplicates are allowed (ragged buckets pad short rows by re-gathering
+    position 0 and discard the padded slots on scatter-back).  ``rows``
+    optionally selects which ``G`` samples of ``xpt`` to gather from
+    (default: the first ``G`` in order).
+
+    Returns the ``(G, Pq, kernel*kernel*C)`` destination (``out`` when
+    provided, e.g. a workspace-arena view) — patch-major rows whose
+    ``K`` ordering is ``(ky, kx, c)``, matching a
+    ``weight.transpose(0, 2, 3, 1)`` flattening.
+    """
+    if xpt.ndim != 4:
+        raise ValueError(f"xpt must be (N, Hp, Wp, C) channels-last, got shape {xpt.shape}")
+    if positions.ndim != 2:
+        raise ValueError(f"positions must be (G, Pq), got shape {positions.shape}")
+    n, hp, wp, c = xpt.shape
+    g, pq = positions.shape
+    if rows is None:
+        if g > n:
+            raise ValueError(f"positions has {g} rows but xpt has only {n} samples")
+        rows = np.arange(g)
+    elif rows.shape != (g,):
+        raise ValueError(f"rows must have shape ({g},), got {rows.shape}")
+    out_h = (hp - kernel) // stride + 1
+    if positions.size:
+        pmax = int(positions.max())
+        if int(positions.min()) < 0 or pmax >= out_h * out_w or pmax // out_w >= out_h:
+            raise IndexError(
+                f"positions out of range for a {out_h}x{out_w} output grid"
+            )
+    shape = (g, pq, kernel * kernel * c)
+    if out is None:
+        out = np.empty(shape, dtype=xpt.dtype)
+    else:
+        _check_out(out, shape, xpt.dtype)
+    if not xpt.flags.c_contiguous:
+        xpt = np.ascontiguousarray(xpt)
+    # One gather per kernel ROW, not per tap: a patch row is
+    # ``kernel * C`` contiguous elements in channels-last layout, so a
+    # sliding window over the flattened ``(Wp * C)`` row axis turns each
+    # gathered run into one long memcpy (k× fewer, k× longer runs than a
+    # per-tap walk).
+    slab = out.reshape(g, pq, kernel, kernel * c)
+    row_view = sliding_window_view(
+        xpt.reshape(n, hp, wp * c), kernel * c, axis=2
+    )
+    ys = (positions // out_w) * stride
+    xcol = (positions % out_w) * (stride * c)
+    r = rows[:, None]
+    for ky in range(kernel):
+        slab[:, :, ky, :] = row_view[r, ys + ky, xcol]
     return out
 
 

@@ -408,6 +408,252 @@ def _threshold_stack(
     return stack, handle
 
 
+def _capture_site_scores(
+    stack, pruners: List[DynamicPruning], calib: np.ndarray
+) -> Dict[int, tuple]:
+    """One calibration forward, returning each site's raw score arrays.
+
+    Temporarily wraps every pruner's criterion to record the
+    ``(channel_scores, spatial_scores)`` pair it computes, without
+    changing what the forward pass does.  Used to place data-calibrated
+    thresholds on either dimension.
+    """
+    captured: Dict[int, tuple] = {}
+    saved = []
+    for index, pruner in enumerate(pruners):
+        original = pruner._score
+        saved.append((pruner, original))
+
+        def wrapped(fm, _index=index, _orig=original):
+            scores = _orig(fm)
+            captured[_index] = scores
+            return scores
+
+        pruner._score = wrapped
+    try:
+        dense_reference_forward(stack, calib)
+    finally:
+        for pruner, original in saved:
+            pruner._score = original
+    return captured
+
+
+def _spatial_threshold_stack(
+    keep: float,
+    image_size: int,
+    width: int,
+    depth: int,
+    seed: int,
+    calibration_batch: int = 8,
+):
+    """A conv stack whose sites prune *spatially* in threshold mode.
+
+    Each site's threshold is placed at the ``(1 - keep)`` quantile of its
+    spatial attention over one calibration batch, so the mean kept
+    fraction lands near ``keep`` while per-sample kept-position counts
+    still vary — the ragged-spatial workload.  Channel pruning is off, so
+    every conv sees a pure spatial threshold mask.
+    """
+    stack = build_conv_stack(
+        0.0, spatial_ratio=0.5, width=width, depth=depth, seed=seed
+    )
+    pruners = [m for m in stack.modules() if isinstance(m, DynamicPruning)]
+    for pruner in pruners:
+        pruner.mask_mode = "threshold"
+        pruner.threshold = 0.0  # keep everything until calibrated
+    calib = np.random.default_rng(seed + 11).normal(
+        size=(calibration_batch, 3, image_size, image_size)
+    ).astype(np.float32)
+    # Calibrate sites *sequentially*: each site's pruning shifts the score
+    # distribution every deeper site sees, so a one-shot calibration
+    # compounds into far lower keeps than asked for.  Setting one
+    # threshold per forward keeps the measured keep near ``keep`` at
+    # every depth.
+    for index, pruner in enumerate(pruners):
+        spatial_scores = _capture_site_scores(stack, pruners, calib)[index][1]
+        pruner.threshold = float(np.quantile(spatial_scores, 1.0 - keep))
+    for pruner in pruners:
+        pruner.reset_stats()
+    return stack, pruners
+
+
+def _mixed_threshold_stack(
+    image_size: int,
+    width: int,
+    depth: int,
+    seed: int,
+    channel_fraction: float = 0.75,
+    spatial_keep: float = 0.5,
+    calibration_batch: int = 8,
+):
+    """A threshold stack alternating channel-adaptive and spatial-adaptive sites.
+
+    Even sites prune channels (threshold at ``channel_fraction`` of the
+    batch-median channel attention, as :func:`calibrate_thresholds`
+    would); odd sites prune spatial columns (threshold at the
+    ``(1 - spatial_keep)`` quantile of spatial attention).  One tuning
+    pass over this stack therefore exercises *both* measured candidate
+    families — the channel ragged ``kept_quantum`` sweep and the spatial
+    ragged/per-position family — which is what the CI smoke asserts.
+    """
+    stack = build_conv_stack(
+        0.5, spatial_ratio=0.5, width=width, depth=depth, seed=seed
+    )
+    pruners = [m for m in stack.modules() if isinstance(m, DynamicPruning)]
+    for pruner in pruners:
+        pruner.mask_mode = "threshold"
+        pruner.threshold = 0.0
+    calib = np.random.default_rng(seed + 11).normal(
+        size=(calibration_batch, 3, image_size, image_size)
+    ).astype(np.float32)
+    # Sequential calibration, as in _spatial_threshold_stack: each site's
+    # threshold is placed on the score distribution it will actually see
+    # once every earlier site prunes.
+    for index, pruner in enumerate(pruners):
+        channel_scores, spatial_scores = _capture_site_scores(
+            stack, pruners, calib
+        )[index]
+        if index % 2 == 0:
+            pruner.set_ratios(0.5, 0.0)  # channel-only, ragged kept-counts
+            pruner.threshold = channel_fraction * float(np.median(channel_scores))
+        else:
+            pruner.set_ratios(0.0, 0.5)  # spatial-only, ragged kept-positions
+            pruner.threshold = float(np.quantile(spatial_scores, 1.0 - spatial_keep))
+    for pruner in pruners:
+        pruner.reset_stats()
+    return stack
+
+
+def _spatial_sweep(
+    keeps: Sequence[float],
+    image_sizes: Sequence[int],
+    batch_size: int,
+    width: int,
+    depth: int,
+    repeats: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """The ``spatial`` block of ``BENCH_adaptive.json``.
+
+    For each (keep, image size) grid point, the same weights and inputs
+    are timed three ways: the masked-but-unskipped dense reference, the
+    per-position fallback (``ragged_mode="never"`` — one gather + GEMM
+    per sample), and the bucketed ragged-spatial path (``adaptive``
+    backend).  Per row the ragged engine's batched output is compared
+    ``array_equal`` against its own per-request execution (the
+    per-sample oracle: batch composition must be invisible, bit for
+    bit) and ``allclose`` against the per-position engine (the two
+    strategies sum the K dimension in different orders, so cross-strategy
+    agreement is to round-off, not bits).
+    """
+    results: List[Dict[str, Any]] = []
+    for image_size in image_sizes:
+        batch = np.random.default_rng(seed + 2).normal(
+            size=(batch_size, 3, image_size, image_size)
+        ).astype(np.float32)
+        requests = [batch[i : i + 1] for i in range(batch_size)]
+        for keep in keeps:
+            stack, pruners = _spatial_threshold_stack(
+                keep, image_size, width, depth, seed
+            )
+            dense_reference_forward(stack, batch)  # record keep stats
+            measured_keep = float(
+                np.mean([p.mean_spatial_keep for p in pruners])
+            )
+            for p in pruners:
+                p.reset_stats()
+
+            ragged_engine = create_engine(
+                stack,
+                backend="adaptive",
+                config=PlanConfig(batch_invariant=True, dense_threshold=0.0),
+            )
+            fallback_engine = create_engine(
+                stack,
+                backend="sparse",
+                config=PlanConfig(
+                    batch_invariant=True, dense_threshold=0.0, ragged_mode="never"
+                ),
+            )
+            ragged_engine(batch)  # warm plans + caches
+            fallback_engine(batch)
+            t_dense = timed(lambda: dense_reference_forward(stack, batch), repeats)
+            t_ragged = timed(lambda: ragged_engine(batch), repeats)
+            t_fallback = timed(lambda: fallback_engine(batch), repeats)
+
+            reference = [ragged_engine(r) for r in requests]
+            batched = ragged_engine(batch)
+            identical = all(
+                np.array_equal(batched[i : i + 1], reference[i])
+                for i in range(batch_size)
+            )
+            close_to_per_position = bool(
+                np.allclose(
+                    batched, fallback_engine(batch), rtol=1e-4, atol=1e-5
+                )
+            )
+            results.append(
+                {
+                    "model": "conv_stack",
+                    "mode": "threshold_spatial",
+                    "keep_target": float(keep),
+                    "keep_fraction": measured_keep,
+                    "image_size": int(image_size),
+                    "batch_size": int(batch_size),
+                    "dense_ms": t_dense * 1e3,
+                    "per_position_ms": t_fallback * 1e3,
+                    "ragged_spatial_ms": t_ragged * 1e3,
+                    "speedup_vs_dense": t_dense / t_ragged,
+                    "speedup_vs_per_position": t_fallback / t_ragged,
+                    "ragged_spatial_dispatches": ragged_engine.stats()[
+                        "dispatch"
+                    ].get("ragged_spatial", 0),
+                    "per_position_dispatches": fallback_engine.stats()[
+                        "dispatch"
+                    ].get("per_position", 0),
+                    "bit_identical": bool(identical),
+                    "matches_per_position": close_to_per_position,
+                }
+            )
+
+    half_keep = [
+        r
+        for r in results
+        if r["keep_fraction"] <= 0.5 and r["image_size"] in (32, 64)
+    ]
+    summary = {
+        "bit_identical_all": all(r["bit_identical"] for r in results),
+        "matches_per_position_all": all(r["matches_per_position"] for r in results),
+        "ragged_spatial_not_below_per_position": all(
+            r["speedup_vs_per_position"] >= RAGGED_REGRESSION_SLACK
+            for r in results
+        ),
+        "ragged_spatial_beats_dense_at_keep_le_half": (
+            all(r["speedup_vs_dense"] > 1.0 for r in half_keep)
+            if half_keep
+            else None
+        ),
+        "best_speedup_vs_per_position": max(
+            r["speedup_vs_per_position"] for r in results
+        ),
+        "best_speedup_vs_dense": max(r["speedup_vs_dense"] for r in results),
+        "ragged_regression_slack": RAGGED_REGRESSION_SLACK,
+    }
+    return {
+        "config": {
+            "keeps": [float(k) for k in keeps],
+            "image_sizes": [int(s) for s in image_sizes],
+            "batch_size": batch_size,
+            "width": width,
+            "depth": depth,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "summary": summary,
+        "results": results,
+    }
+
+
 def run_adaptive_benchmark(
     fractions: Sequence[float] = (0.5, 0.75, 1.0, 1.1),
     image_sizes: Sequence[int] = (16, 32, 64),
@@ -418,6 +664,8 @@ def run_adaptive_benchmark(
     seed: int = 0,
     smoke: bool = False,
     workers: Sequence[int] = (1, 2),
+    spatial_keeps: Sequence[float] = (0.25, 0.5),
+    spatial_image_sizes: Sequence[int] = (32, 64),
 ) -> Dict[str, Any]:
     """Threshold-grid × image-size sweep → ``BENCH_adaptive.json``.
 
@@ -437,12 +685,21 @@ def run_adaptive_benchmark(
     :class:`InferenceSession` at each worker count (including
     ``workers=2``) against the same per-request oracle — ragged bucketing
     must not leak batch composition or worker identity into responses.
+
+    The document additionally carries a ``spatial`` block
+    (:func:`_spatial_sweep`): the same comparison for *spatial* threshold
+    masks — dense vs the per-position fallback vs the bucketed
+    ragged-spatial executor — over ``spatial_keeps`` ×
+    ``spatial_image_sizes``, with per-row bit-identity against per-sample
+    execution.
     """
     if smoke:
         fractions = (max(fractions),)
         image_sizes = tuple(image_sizes[:1]) or (32,)
         repeats = min(repeats, 2)
         workers = tuple(w for w in workers if w in (1, 2)) or (1, 2)
+        spatial_keeps = (0.5,)
+        spatial_image_sizes = tuple(spatial_image_sizes[:1]) or (32,)
 
     results: List[Dict[str, Any]] = []
     for image_size in image_sizes:
@@ -559,6 +816,9 @@ def run_adaptive_benchmark(
             r["speedup_vs_fallback"] >= RAGGED_REGRESSION_SLACK for r in results
         ),
     }
+    spatial = _spatial_sweep(
+        spatial_keeps, spatial_image_sizes, batch_size, width, depth, repeats, seed
+    )
     return {
         "schema": ADAPTIVE_SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -576,6 +836,7 @@ def run_adaptive_benchmark(
         },
         "summary": summary,
         "results": results,
+        "spatial": spatial,
     }
 
 

@@ -302,6 +302,15 @@ class ModelRegistry:
                     if os.path.isfile(full):
                         size += os.path.getsize(full)
                 pruning = manifest.get("pruning") or []
+                dispatch_entries = (manifest.get("dispatch") or {}).get("entries", [])
+                # Winner-strategy histogram of the persisted dispatch table:
+                # ``registry ls`` shows at a glance whether an artifact was
+                # tuned into the ragged/ragged-spatial fast paths or fell
+                # back to dense/per-position everywhere.
+                tuned_strategies: Dict[str, int] = {}
+                for entry in dispatch_entries:
+                    strategy = entry.get("strategy", "?")
+                    tuned_strategies[strategy] = tuned_strategies.get(strategy, 0) + 1
                 rows.append(
                     {
                         "name": name,
@@ -309,9 +318,8 @@ class ModelRegistry:
                         "created_at": manifest.get("created_at"),
                         "family": (manifest.get("arch") or {}).get("family"),
                         "pruning_sites": len(pruning),
-                        "tuned_geometries": len(
-                            (manifest.get("dispatch") or {}).get("entries", [])
-                        ),
+                        "tuned_geometries": len(dispatch_entries),
+                        "tuned_strategies": dict(sorted(tuned_strategies.items())),
                         "plan": manifest.get("plan") or {},
                         "metadata": manifest.get("metadata") or {},
                         "size_bytes": size,

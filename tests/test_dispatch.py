@@ -261,12 +261,21 @@ def test_dispatch_counters_fine_grained_and_legacy_agree():
     engine(_batch(4, 16))
     stats = engine.stats()
     counts = stats["dispatch"]
-    assert set(counts) == {"per_input", "grouped", "stacked", "ragged", "dense"}
+    assert set(counts) == {
+        "per_input",
+        "grouped",
+        "stacked",
+        "ragged",
+        "ragged_spatial",
+        "per_position",
+        "dense",
+    }
     assert (
         counts["per_input"] + counts["grouped"] + counts["stacked"]
+        + counts["per_position"]
         == stats["sparse_dispatches"]
     )
-    assert counts["ragged"] == stats["ragged_dispatches"]
+    assert counts["ragged"] + counts["ragged_spatial"] == stats["ragged_dispatches"]
     assert counts["dense"] == stats["dense_dispatches"]
     assert sum(counts.values()) > 0
 

@@ -1,0 +1,484 @@
+"""Spatial ragged execution: kept-position bucketing (ISSUE 8).
+
+Contract under test (see ``_ragged_spatial_conv`` in
+``repro/core/sparse_exec.py``):
+
+* combined channel x spatial ``sparse_conv2d`` under ``"ragged_spatial"``
+  agrees with the per-sample gather baseline (``"per_position"``) to
+  floating-point round-off at kept positions, is **exactly zero** at
+  dropped positions, and is **bit-identical** to its own per-request
+  execution for every batch composition, bucket-boundary kept-count,
+  quantum, stride, and padded geometry;
+* :func:`repro.core.sparse_exec.output_keep_grid` maps input-column masks
+  onto full output grids even when heavy padding makes the strided view
+  come up short;
+* the serving stack (threaded sessions, the process pool, bucketed
+  windows) carries spatial threshold masks end-to-end without changing a
+  single response, and surfaces the ``ragged_spatial`` dispatch counter
+  through session telemetry;
+* the dispatch tuner measures the spatial candidate family (per-position
+  oracle, quantum sweep) with zero rejected candidates, persists the
+  spatial strategies through the manifest, and the adaptive engine's
+  request bucket pairs the channel bucket with a pooled kept-position
+  bucket;
+* ``FBSGate.mean_spatial_keep_pooled`` and
+  ``DynamicPruning.mean_spatial_keep_pooled`` both go through
+  :func:`repro.core.pruning.pooled_keep_fraction` — the FLOPs accounting
+  and the scheduler can never diverge on pooling semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dynamic import FBSGate
+from repro.core.dispatch import DispatchEntry, DispatchTable
+from repro.core.engine import create_engine
+from repro.core.masks import quantize_kept_count
+from repro.core.pruning import DynamicPruning, pooled_keep_fraction
+from repro.core.runtime_bench import build_conv_stack
+from repro.core.sparse_exec import (
+    PlanConfig,
+    dense_reference_forward,
+    output_keep_grid,
+    sparse_conv2d,
+)
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.serve import InferenceSession, ModelRegistry, SessionConfig
+from repro.serve.bench import _mixed_threshold_stack, _spatial_threshold_stack
+
+TIGHT = dict(rtol=1e-4, atol=1e-5)
+
+#: (cin, cout, kernel, stride, padding, h, w) — includes stride-2 and a
+#: heavily padded geometry whose strided output view comes up short.
+GEOMETRIES = [
+    (8, 12, 3, 1, 1, 10, 10),
+    (8, 12, 3, 2, 1, 11, 11),
+    (4, 6, 3, 2, 3, 9, 9),
+    (6, 8, 1, 1, 0, 8, 8),
+]
+
+
+def _conv_params(rng, cin, cout, kernel):
+    weight = rng.normal(size=(cout, cin, kernel, kernel)).astype(np.float32)
+    bias = rng.normal(size=cout).astype(np.float32)
+    return weight, bias
+
+
+def _channel_mask(rng, n, cin, keep=0.5):
+    mask = rng.random((n, cin)) < keep
+    # every sample keeps at least one channel
+    mask[np.arange(n), rng.integers(0, cin, size=n)] = True
+    return mask
+
+
+def _spatial_mask(rng, h, w, counts):
+    """One (len(counts), h, w) mask with exactly counts[i] kept columns."""
+    mask = np.zeros((len(counts), h, w), dtype=bool)
+    for i, count in enumerate(counts):
+        idx = rng.choice(h * w, size=count, replace=False)
+        mask[i].reshape(-1)[idx] = True
+    return mask
+
+
+def _run(x, weight, bias, stride, padding, cm, sm, strategy, quantum=4):
+    return sparse_conv2d(
+        x,
+        weight,
+        bias,
+        stride,
+        padding,
+        cm,
+        sm,
+        strategy=strategy,
+        kept_quantum=quantum,
+        batch_invariant=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Combined channel x spatial kernel contract
+# ----------------------------------------------------------------------
+class TestCombinedChannelSpatial:
+    @pytest.mark.parametrize("geo", GEOMETRIES)
+    def test_matches_per_position_zeros_exact(self, rng, geo):
+        cin, cout, kernel, stride, padding, h, w = geo
+        n = 6
+        x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+        weight, bias = _conv_params(rng, cin, cout, kernel)
+        cm = _channel_mask(rng, n, cin)
+        counts = rng.integers(1, h * w, size=n)
+        sm = _spatial_mask(rng, h, w, counts)
+        ragged = _run(x, weight, bias, stride, padding, cm, sm, "ragged_spatial")
+        perpos = _run(x, weight, bias, stride, padding, cm, sm, "per_position")
+        np.testing.assert_allclose(ragged, perpos, **TIGHT)
+        oh, ow = ragged.shape[2], ragged.shape[3]
+        keep = output_keep_grid(sm, stride, oh, ow)
+        for i in range(n):
+            assert not ragged[i, :, ~keep[i]].any()
+            assert not perpos[i, :, ~keep[i]].any()
+
+    @pytest.mark.parametrize("geo", GEOMETRIES)
+    def test_per_sample_bit_identity(self, rng, geo):
+        cin, cout, kernel, stride, padding, h, w = geo
+        n = 5
+        x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+        weight, bias = _conv_params(rng, cin, cout, kernel)
+        cm = _channel_mask(rng, n, cin)
+        sm = _spatial_mask(rng, h, w, rng.integers(0, h * w + 1, size=n))
+        batched = _run(x, weight, bias, stride, padding, cm, sm, "ragged_spatial")
+        for i in range(n):
+            solo = _run(
+                x[i : i + 1], weight, bias, stride, padding,
+                cm[i : i + 1], sm[i : i + 1], "ragged_spatial",
+            )
+            np.testing.assert_array_equal(batched[i : i + 1], solo)
+
+    def test_batch_permutation_invariance(self, rng):
+        cin, cout, kernel, stride, padding, h, w = GEOMETRIES[0]
+        n = 8
+        x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+        weight, bias = _conv_params(rng, cin, cout, kernel)
+        cm = _channel_mask(rng, n, cin)
+        sm = _spatial_mask(rng, h, w, rng.integers(1, h * w, size=n))
+        out = _run(x, weight, bias, stride, padding, cm, sm, "ragged_spatial")
+        perm = rng.permutation(n)
+        permuted = _run(
+            x[perm], weight, bias, stride, padding, cm[perm], sm[perm],
+            "ragged_spatial",
+        )
+        np.testing.assert_array_equal(permuted, out[perm])
+
+    def test_bucket_boundary_counts(self, rng):
+        """Zero kept, all kept, and quantum multiples +-1 in one batch."""
+        cin, cout, kernel, stride, padding, h, w = (6, 8, 3, 1, 1, 6, 6)
+        positions = h * w  # output grid == input grid at stride 1, pad same
+        counts = [0, positions, 4, 5, 3, 8, 1]
+        n = len(counts)
+        x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+        weight, bias = _conv_params(rng, cin, cout, kernel)
+        cm = _channel_mask(rng, n, cin)
+        sm = _spatial_mask(rng, h, w, counts)
+        ragged = _run(x, weight, bias, stride, padding, cm, sm, "ragged_spatial")
+        perpos = _run(x, weight, bias, stride, padding, cm, sm, "per_position")
+        np.testing.assert_allclose(ragged, perpos, **TIGHT)
+        assert not ragged[0].any()  # nothing kept -> output exactly zero
+        for i in range(n):
+            solo = _run(
+                x[i : i + 1], weight, bias, stride, padding,
+                cm[i : i + 1], sm[i : i + 1], "ragged_spatial",
+            )
+            np.testing.assert_array_equal(ragged[i : i + 1], solo)
+
+    def test_quantum_is_padding_only(self, rng):
+        """Any quantum agrees with per-position and stays per-request exact."""
+        cin, cout, kernel, stride, padding, h, w = GEOMETRIES[0]
+        n = 6
+        x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+        weight, bias = _conv_params(rng, cin, cout, kernel)
+        sm = _spatial_mask(rng, h, w, rng.integers(1, h * w, size=n))
+        perpos = _run(x, weight, bias, stride, padding, None, sm, "per_position")
+        for quantum in (1, 4, 16):
+            out = _run(
+                x, weight, bias, stride, padding, None, sm, "ragged_spatial",
+                quantum=quantum,
+            )
+            np.testing.assert_allclose(out, perpos, **TIGHT)
+            solo = np.concatenate([
+                _run(
+                    x[i : i + 1], weight, bias, stride, padding, None,
+                    sm[i : i + 1], "ragged_spatial", quantum=quantum,
+                )
+                for i in range(n)
+            ])
+            np.testing.assert_array_equal(out, solo)
+
+    def test_spatial_only_matches_masked_dense(self, rng):
+        """With dropped input columns pre-zeroed, kept positions equal the
+        dense conv to round-off (the executors' calling convention)."""
+        cin, cout, kernel, stride, padding, h, w = GEOMETRIES[0]
+        n = 4
+        x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+        weight, bias = _conv_params(rng, cin, cout, kernel)
+        sm = _spatial_mask(rng, h, w, rng.integers(1, h * w, size=n))
+        x = x * sm[:, None, :, :]
+        with no_grad():
+            dense = F.conv2d(
+                Tensor(x), Tensor(weight), Tensor(bias), stride, padding
+            ).data
+        out = _run(x, weight, bias, stride, padding, None, sm, "ragged_spatial")
+        keep = output_keep_grid(sm, stride, out.shape[2], out.shape[3])
+        for i in range(n):
+            np.testing.assert_allclose(
+                out[i, :, keep[i]], dense[i, :, keep[i]], rtol=1e-4, atol=1e-5
+            )
+
+
+# ----------------------------------------------------------------------
+# output_keep_grid
+# ----------------------------------------------------------------------
+class TestOutputKeepGrid:
+    def test_heavy_padding_pads_false(self, rng):
+        # stride 2 + padding 3 on a 5x5 input, k=3: oh = ow = 5 but the
+        # strided view of the input mask only covers a 3x3 corner.
+        mask = rng.random((2, 5, 5)) < 0.5
+        grid = output_keep_grid(mask, 2, 5, 5)
+        assert grid.shape == (2, 5, 5)
+        np.testing.assert_array_equal(grid[:, :3, :3], mask[:, ::2, ::2])
+        assert not grid[:, 3:, :].any()
+        assert not grid[:, :, 3:].any()
+
+    def test_matches_strided_view_when_it_covers(self, rng):
+        mask = rng.random((3, 10, 10)) < 0.5
+        np.testing.assert_array_equal(output_keep_grid(mask, 1, 10, 10), mask)
+        np.testing.assert_array_equal(
+            output_keep_grid(mask, 2, 5, 5), mask[:, ::2, ::2]
+        )
+
+
+# ----------------------------------------------------------------------
+# Serving: spatial threshold masks end-to-end
+# ----------------------------------------------------------------------
+class TestSpatialServing:
+    def test_threaded_session_bit_identical_with_counters(self, rng):
+        stack, _ = _spatial_threshold_stack(0.5, 16, width=16, depth=3, seed=0)
+        engine = create_engine(
+            stack,
+            backend="adaptive",
+            config=PlanConfig(batch_invariant=True, dense_threshold=0.0),
+        )
+        requests = [
+            rng.normal(size=(1, 3, 16, 16)).astype(np.float32) for _ in range(10)
+        ]
+        reference = [engine(r) for r in requests]
+        session = InferenceSession(
+            engine,
+            SessionConfig(max_batch=4, batch_window_ms=20.0, workers=2,
+                          bucket_requests=True),
+        )
+        try:
+            outputs = session.infer_many(requests)
+            stats = session.stats()
+        finally:
+            session.close()
+        for out, ref in zip(outputs, reference):
+            np.testing.assert_array_equal(out, ref)
+        # satellite: per-strategy dispatch counters surface through the
+        # session, and bucketed windows key on the stringified tuple.
+        assert stats["engine"]["dispatch"].get("ragged_spatial", 0) > 0
+        assert sum(stats["bucket_windows"].values()) == stats["batches"]
+        assert all(key.startswith("(") for key in stats["bucket_windows"])
+
+    def test_procpool_session_spatial_masks(self, rng):
+        stack, _ = _spatial_threshold_stack(0.5, 12, width=12, depth=2, seed=1)
+        pool = create_engine(
+            stack, backend="procpool", proc_workers=2, slot_mb=2.0
+        )
+        try:
+            requests = [
+                rng.normal(size=(1, 3, 12, 12)).astype(np.float32)
+                for _ in range(8)
+            ]
+            reference = [pool(r) for r in requests]
+            with InferenceSession(
+                pool,
+                SessionConfig(max_batch=4, batch_window_ms=20.0, workers=2,
+                              bucket_requests=True),
+            ) as session:
+                outputs = session.infer_many(requests)
+            for out, ref in zip(outputs, reference):
+                np.testing.assert_array_equal(out, ref)
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Dispatch tuner: spatial candidate family + persistence
+# ----------------------------------------------------------------------
+class TestSpatialTuner:
+    def test_spatial_family_measured_no_rejects(self, rng):
+        stack, _ = _spatial_threshold_stack(0.5, 16, width=16, depth=3, seed=0)
+        config = PlanConfig(batch_invariant=True, dense_threshold=0.0)
+        calibration = rng.normal(size=(6, 3, 16, 16)).astype(np.float32)
+        default = create_engine(stack, backend="adaptive", config=config)
+        tuned = create_engine(
+            stack,
+            backend="adaptive",
+            config=config,
+            tuned=True,
+            calibration=calibration,
+            tune_repeats=1,
+        )
+        report = tuned.tune_report
+        assert report.rejected_total == 0
+        spatial_sites = [
+            r for r in report.reports
+            if str(r.geometry[7]).endswith("+spr")
+        ]
+        assert spatial_sites
+        for site in spatial_sites:
+            assert "per_position" in site.measured_ms
+            assert any(
+                label.startswith("ragged_spatial") for label in site.measured_ms
+            )
+            assert site.entry.strategy in ("ragged_spatial", "per_position", "dense")
+        # Tuning may legitimately flip the winning spatial strategy, which
+        # changes GEMM blocking; the outputs stay within round-off.
+        x = rng.normal(size=(4, 3, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(tuned(x), default(x), **TIGHT)
+
+    def test_mixed_stack_tunes_both_families(self, rng):
+        stack = _mixed_threshold_stack(16, 16, 3, 0)
+        calibration = rng.normal(size=(6, 3, 16, 16)).astype(np.float32)
+        tuned = create_engine(
+            stack,
+            backend="adaptive",
+            config=PlanConfig(batch_invariant=True, dense_threshold=0.0),
+            tuned=True,
+            calibration=calibration,
+            tune_repeats=1,
+        )
+        report = tuned.tune_report
+        assert report.rejected_total == 0
+        kinds = {str(r.geometry[7]) for r in report.reports}
+        assert any(kind.endswith("+spr") for kind in kinds)
+        assert "ragged" in kinds
+        channel_labels = set()
+        for site in report.reports:
+            if str(site.geometry[7]) == "ragged":
+                channel_labels.update(site.measured_ms)
+        # the channel quantum sweep ran alongside the spatial family
+        assert any(label.startswith("ragged@q") for label in channel_labels)
+
+    def test_manifest_roundtrip_spatial_strategies(self):
+        table = DispatchTable()
+        geo_a = (16, 16, 3, 1, 1, 16, 16, "none+spr", -1, "float32")
+        geo_b = (16, 16, 3, 1, 1, 8, 8, "none+sp40", -1, "float32")
+        table.add(
+            geo_a, DispatchEntry(strategy="ragged_spatial", kept_quantum=8)
+        )
+        table.add(geo_b, DispatchEntry(strategy="per_position"))
+        rebuilt = DispatchTable.from_manifest(table.to_manifest())
+        assert rebuilt == table
+        assert rebuilt.lookup(geo_a).strategy == "ragged_spatial"
+        assert rebuilt.lookup(geo_a).kept_quantum == 8
+        assert rebuilt.lookup(geo_b).strategy == "per_position"
+
+
+# ----------------------------------------------------------------------
+# Request buckets: pooled kept-position pairing
+# ----------------------------------------------------------------------
+class TestRequestBucket:
+    def test_spatial_stack_returns_tuple_bucket(self, rng):
+        stack, pruners = _spatial_threshold_stack(0.5, 12, width=12, depth=2, seed=0)
+        engine = create_engine(stack, backend="adaptive")
+        x = rng.normal(size=(1, 3, 12, 12)).astype(np.float32)
+        bucket = engine.request_bucket(x)
+        assert isinstance(bucket, tuple) and len(bucket) == 2
+        assert bucket[0] is None  # channel pruning is off on this stack
+        # the probe left its mask on the first site: the spatial bucket is
+        # the pooled kept-position count quantized to eighths of the grid.
+        probe_mask = pruners[0].last_spatial_mask
+        assert probe_mask is not None
+        total = int(probe_mask[0].size)
+        kept = int(round(
+            pooled_keep_fraction(probe_mask, pruners[0].pool_between) * total
+        ))
+        expected = quantize_kept_count(kept, total, max(1, -(-total // 8)))
+        assert bucket[1] == expected
+        assert engine.request_bucket(x) == bucket  # deterministic
+
+    def test_channel_only_stack_keeps_int_bucket(self, rng):
+        stack = build_conv_stack(0.5, width=12, depth=2, seed=0)
+        for module in stack.modules():
+            if isinstance(module, DynamicPruning):
+                module.mask_mode = "threshold"
+                module.threshold = 0.05
+        engine = create_engine(stack, backend="adaptive")
+        bucket = engine.request_bucket(
+            rng.normal(size=(1, 3, 12, 12)).astype(np.float32)
+        )
+        assert isinstance(bucket, int)
+
+
+# ----------------------------------------------------------------------
+# Pooled-keep unification (FBSGate vs DynamicPruning)
+# ----------------------------------------------------------------------
+class TestPooledKeepUnification:
+    def test_fbs_gate_pooled_keep_through_shared_helper(self, rng):
+        gate = FBSGate(8, prune_ratio=0.5, seed=0, pool_between=2)
+        x = Tensor(rng.normal(size=(3, 8, 6, 6)).astype(np.float32))
+        with no_grad():
+            gate(x)
+        # FBS never prunes spatially: its pooled keep is exactly 1.0, and
+        # it is computed from an explicit all-True mask via the same
+        # helper DynamicPruning uses — not hardcoded.
+        assert gate.mean_spatial_keep_pooled == 1.0
+        assert gate.last_spatial_mask.shape == (3, 6, 6)
+        assert gate.last_spatial_mask.all()
+        assert gate.mean_spatial_keep_pooled == pooled_keep_fraction(
+            gate.last_spatial_mask, gate.pool_between
+        )
+
+    def test_fbs_gate_defaults_before_forward(self):
+        gate = FBSGate(4, prune_ratio=0.5, seed=0)
+        assert gate.mean_spatial_keep_pooled == 1.0
+        gate.reset_stats()
+        assert gate.mean_spatial_keep_pooled == 1.0
+
+    def test_dynamic_pruning_pooled_keep_matches_helper(self, rng):
+        pruner = DynamicPruning(0.0, 0.5, pool_between=2, seed=0)
+        fm = rng.normal(size=(2, 8, 6, 6)).astype(np.float32)
+        pruner.compute_masks(fm)
+        assert pruner.mean_spatial_keep_pooled == pytest.approx(
+            pooled_keep_fraction(pruner.last_spatial_mask, pruner.pool_between)
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry: per-strategy tuned summary (satellite 2)
+# ----------------------------------------------------------------------
+def test_list_artifacts_tuned_strategy_histogram(tmp_path):
+    table = DispatchTable()
+    table.add(
+        (16, 16, 3, 1, 1, 16, 16, "none+spr", -1, "float32"),
+        DispatchEntry(strategy="ragged_spatial", kept_quantum=8),
+    )
+    table.add(
+        (16, 16, 3, 1, 1, 8, 8, "ragged", -1, "float32"),
+        DispatchEntry(strategy="ragged", kept_quantum=2),
+    )
+    table.add(
+        (16, 16, 3, 1, 1, 4, 4, "ragged", -1, "float32"),
+        DispatchEntry(strategy="ragged", kept_quantum=4),
+    )
+    stack = build_conv_stack(0.5, width=16, depth=3, seed=0)
+    registry = ModelRegistry(str(tmp_path))
+    registry.save(
+        "demo",
+        stack,
+        arch={
+            "family": "conv_stack",
+            "channel_ratio": 0.5,
+            "width": 16,
+            "depth": 3,
+        },
+        dispatch=table,
+    )
+    registry.save(
+        "plain",
+        stack,
+        arch={
+            "family": "conv_stack",
+            "channel_ratio": 0.5,
+            "width": 16,
+            "depth": 3,
+        },
+    )
+    rows = {r["name"]: r for r in registry.list_artifacts()}
+    assert rows["demo"]["tuned_geometries"] == 3
+    assert rows["demo"]["tuned_strategies"] == {
+        "ragged": 2,
+        "ragged_spatial": 1,
+    }
+    assert rows["plain"]["tuned_strategies"] == {}
