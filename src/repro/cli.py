@@ -14,7 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli save-artifact --registry artifacts --name vgg-demo
     python -m repro.cli registry ls --registry artifacts
     python -m repro.cli serve --registry artifacts --model vgg-demo --synthetic 16 --workers 2
+    python -m repro.cli serve --cascade --registry artifacts --family demo --calibrate 64 --synthetic 32
     python -m repro.cli bench-serve --output BENCH_serve.json --workers 1,2
+    python -m repro.cli bench-cascade --smoke
     python -m repro.cli tune-dispatch --registry artifacts --model vgg-demo
     python -m repro.cli bench-dispatch --smoke
 
@@ -148,9 +150,14 @@ def cmd_autotune(args: argparse.Namespace) -> int:
         # the artifact's pruning sites record exactly what was measured.
         handle.model.eval()
         registry = ModelRegistry(args.registry)
+        # Mean fraction pruned across blocks: the machine-readable ladder
+        # position `registry ls --family` / cascade assembly sort on.
+        sparsity = float(sum(result.ratios) / len(result.ratios)) if result.ratios else 0.0
         name, version = registry.save(
             args.save,
             handle,
+            family=args.family,
+            sparsity_level=sparsity,
             metadata=autotune_metadata(
                 result,
                 arch=args.arch,
@@ -162,7 +169,8 @@ def cmd_autotune(args: argparse.Namespace) -> int:
                 },
             ),
         )
-        print(f"  saved tuned artifact {name}@v{version} to {args.registry}")
+        tag = f" (family {args.family}, sparsity {sparsity:.2f})" if args.family else ""
+        print(f"  saved tuned artifact {name}@v{version} to {args.registry}{tag}")
     return 0
 
 
@@ -294,21 +302,75 @@ def cmd_save_artifact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cascade_from_args(args: argparse.Namespace):
+    """Build the calibrated CascadeSession ``repro serve --cascade`` drives."""
+    import numpy as np
+
+    from .serve import CascadeSession, ModelRegistry, SessionConfig
+
+    session_config = SessionConfig(
+        max_batch=args.max_batch, batch_window_ms=args.window_ms, workers=args.workers
+    )
+    refs = None
+    if args.model:
+        refs = [r.strip() for r in args.model.split(",") if r.strip()]
+    thresholds = None
+    if args.thresholds:
+        thresholds = [float(t) for t in args.thresholds.split(",") if t.strip()]
+    cascade = CascadeSession.from_registry(
+        ModelRegistry(args.registry),
+        refs=refs,
+        family=args.family,
+        backend=args.backend,
+        session=session_config,
+        gate=args.gate,
+        thresholds=thresholds,
+    )
+    try:
+        if args.calibrate > 0:
+            inputs = np.random.default_rng(args.seed + 99).normal(
+                size=(args.calibrate, 3, args.image_size, args.image_size)
+            ).astype(np.float32)
+            report = cascade.calibrate(inputs, retention=args.retention)
+            print(
+                f"calibrated {args.gate} gate on {report.samples} synthetic "
+                f"samples (retention {args.retention}): thresholds "
+                f"{[round(t, 4) for t in report.thresholds]}, accept fractions "
+                f"{[round(f, 3) for f in report.accept_fraction]}",
+                file=sys.stderr,
+            )
+    except BaseException:
+        cascade.close()
+        raise
+    return cascade
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
     from .serve import ArtifactNotFoundError, serve_lines, synthetic_request_lines
 
-    if bool(args.registry) != bool(args.model):
+    if args.cascade:
+        if not args.registry:
+            print("--cascade needs --registry (a ladder of saved artifacts)")
+            return 2
+        if bool(args.family) == bool(args.model):
+            print("--cascade needs exactly one of --family or --model "
+                  "(comma-separated refs, sparsest first)")
+            return 2
+    elif args.family:
+        print("--family only applies with --cascade")
+        return 2
+    elif bool(args.registry) != bool(args.model):
         print("--registry and --model must be given together")
         return 2
     try:
-        session = _session_from_args(args)
+        session = _cascade_from_args(args) if args.cascade else _session_from_args(args)
     except ArtifactNotFoundError as error:
         print(f"artifact not found: {error.args[0]}")
         return 2
     except ValueError as error:
-        print(f"cannot serve {args.model!r}: {error}")
+        print(f"cannot serve {args.model or args.family!r}: {error}")
         return 2
     try:
         if args.synthetic:
@@ -332,32 +394,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 lines.close()
     finally:
         session.close()
-    print(
-        f"served {stats['requests']} requests in {stats['batches']} batches "
-        f"(occupancy {stats['occupancy']:.2f}, "
-        f"p50 {stats['latency_ms']['p50']:.1f}ms, p95 {stats['latency_ms']['p95']:.1f}ms)",
-        file=sys.stderr,
-    )
-    print(f"engine: {_json.dumps(stats['engine'])}", file=sys.stderr)
+    if args.cascade:
+        per_stage = ", ".join(
+            f"s{i}: {row['entered']}->{row['accepted']}"
+            for i, row in enumerate(stats["stages"])
+        )
+        print(
+            f"served {stats['requests']} requests through a "
+            f"{len(stats['stages'])}-stage cascade ({stats['gate']} gate, "
+            f"{stats['escalated']} escalated, "
+            f"p50 {stats['latency_ms']['p50']:.1f}ms, "
+            f"p95 {stats['latency_ms']['p95']:.1f}ms)",
+            file=sys.stderr,
+        )
+        print(f"stages (entered->accepted): {per_stage}", file=sys.stderr)
+    else:
+        print(
+            f"served {stats['requests']} requests in {stats['batches']} batches "
+            f"(occupancy {stats['occupancy']:.2f}, "
+            f"p50 {stats['latency_ms']['p50']:.1f}ms, p95 {stats['latency_ms']['p95']:.1f}ms)",
+            file=sys.stderr,
+        )
+        print(f"engine: {_json.dumps(stats['engine'])}", file=sys.stderr)
     return 0
 
 
 def cmd_registry(args: argparse.Namespace) -> int:
-    from .serve import ArtifactNotFoundError, ModelRegistry, parse_ref
+    from .serve import (
+        ArtifactNotFoundError,
+        ArtifactPinnedError,
+        ModelRegistry,
+        parse_ref,
+    )
 
     registry = ModelRegistry(args.registry)
     if args.action == "ls":
-        rows = registry.list_artifacts()
+        rows = registry.list_artifacts(family=args.family)
         if not rows:
-            print(f"no artifacts in {args.registry}")
+            suffix = f" tagged family={args.family!r}" if args.family else ""
+            print(f"no artifacts in {args.registry}{suffix}")
             return 0
-        print(f"{'name':<20} {'ver':>4} {'family':>8} {'sites':>5} {'size':>9} "
-              f"{'sha256':>10}  created")
+        print(f"{'name':<20} {'ver':>4} {'arch':>8} {'family':>10} {'spars':>5} "
+              f"{'sites':>5} {'size':>9} {'sha256':>10}  created")
         for row in rows:
             size_kb = row["size_bytes"] / 1024.0
             sha = (row["weights_sha256"] or "-")[:10]
+            sparsity = row["sparsity_level"]
             print(f"{row['name']:<20} {'v' + str(row['version']):>4} "
-                  f"{str(row['family']):>8} {row['pruning_sites']:>5} "
+                  f"{str(row['family']):>8} {str(row['model_family'] or '-'):>10} "
+                  f"{('%.2f' % sparsity) if sparsity is not None else '-':>5} "
+                  f"{row['pruning_sites']:>5} "
                   f"{size_kb:>8.1f}K {sha:>10}  {row['created_at']}")
         print(f"\n{len(rows)} artifact version(s) in {args.registry}")
         return 0
@@ -371,17 +457,24 @@ def cmd_registry(args: argparse.Namespace) -> int:
             print(error)
             return 2
         try:
-            removed = registry.delete(name, version)
+            removed = registry.delete(name, version, force=args.force)
         except ArtifactNotFoundError as error:
             print(f"artifact not found: {error.args[0]}")
             return 2
+        except ArtifactPinnedError as error:
+            print(f"{error.args[0]}\n(use --force to remove a version a live "
+                  "session is serving)")
+            return 1
         print(f"removed {name} version(s) {', '.join('v' + str(v) for v in removed)} "
               f"from {args.registry}")
         return 0
     # gc
-    report = registry.gc(keep_last=args.keep)
+    report = registry.gc(keep_last=args.keep, respect_pins=args.respect_pins)
     for name, versions in sorted(report["removed"].items()):
         print(f"pruned {name}: {', '.join('v' + str(v) for v in versions)}")
+    for name, versions in sorted(report["pinned_kept"].items()):
+        print(f"kept pinned {name}: {', '.join('v' + str(v) for v in versions)} "
+              "(served by a live session)")
     for path in report["tmp_removed"]:
         print(f"swept stale temp dir {path}")
     if not report["removed"] and not report["tmp_removed"]:
@@ -763,6 +856,74 @@ def cmd_bench_dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_cascade(args: argparse.Namespace) -> int:
+    from .serve import run_cascade_benchmark, write_serve_json
+
+    try:
+        ladder = [float(r) for r in args.ladder.split(",") if r.strip()]
+        depths = [int(d) for d in args.depths.split(",") if d.strip()]
+        skews = [float(s) for s in args.skews.split(",") if s.strip()]
+    except ValueError:
+        print("invalid --ladder/--depths/--skews "
+              "(expected e.g. 0.7,0.4,0.0 and 2,3 and 0.0,0.5,0.9)")
+        return 2
+    if not ladder or any(not 0.0 <= r <= 1.0 for r in ladder):
+        print(f"invalid --ladder {args.ladder!r} (ratios must be in [0, 1])")
+        return 2
+    if not depths or any(d < 1 or d > len(ladder) + 1 for d in depths):
+        print(f"invalid --depths {args.depths!r} (each must be in "
+              f"[1, {len(ladder) + 1}] for this ladder)")
+        return 2
+    if not skews or any(not 0.0 <= s <= 1.0 for s in skews):
+        print(f"invalid --skews {args.skews!r} (must be in [0, 1])")
+        return 2
+    document = run_cascade_benchmark(
+        requests=args.requests,
+        repeats=args.repeats,
+        ladder=ladder,
+        depths=depths,
+        skews=skews,
+        gate=args.gate,
+        retention=args.retention,
+        epochs=args.epochs,
+        width=args.width,
+        depth=args.depth,
+        image_size=args.image_size,
+        train_per_class=args.train_per_class,
+        window=args.window,
+        workers=args.workers,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    write_serve_json(document, args.output)
+    print(f"{'stages':>18} {'skew':>5} {'esc':>6} {'cascade(ms)':>12} "
+          f"{'densest(ms)':>12} {'speedup':>8} {'acc ret':>8} {'agree':>6} {'exact':>6}")
+    for row in document["results"]:
+        stages = "/".join(f"{r:.2f}" for r in row["stage_ratios"])
+        print(f"{stages:>18} {row['skew']:>5.2f} {row['fraction_escalated']:>6.2f} "
+              f"{row['cascade_ms']:>12.1f} {row['densest_ms']:>12.1f} "
+              f"{row['speedup']:>7.2f}x {row['accuracy_retention']:>8.3f} "
+              f"{row['retention_vs_densest']:>6.3f} {str(row['bit_identical']):>6}")
+    summary = document["summary"]
+    best = summary["best_speedup_at_target"]
+    print(f"\nrows at >= {summary['retention_floor']:.2f} accuracy retention: "
+          f"{summary['rows_at_target_retention']}; "
+          f"best speedup there: {('%.2fx' % best) if best is not None else 'n/a'}; "
+          f"escalations bit-identical to direct stage execution: "
+          f"{summary['bit_identical_all']}")
+    print(f"recorded {len(document['results'])} measurements to {args.output}")
+    if args.smoke:
+        if not summary["bit_identical_all"]:
+            print("CONTRACT VIOLATION: an escalated response differed from "
+                  "direct execution on the answering stage")
+            return 1
+        if not summary["cascade_beats_densest"]:
+            print("PERF REGRESSION: no cascade row beat the densest-only "
+                  "baseline at the target accuracy retention")
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -798,6 +959,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "measured accuracy/FLOPs in its metadata")
     p_auto.add_argument("--registry", default="artifacts",
                         help="registry root directory for --save")
+    p_auto.add_argument("--family", default=None,
+                        help="with --save: tag the artifact with this model "
+                             "family (plus its mean prune ratio as "
+                             "sparsity_level) so `registry ls --family` and "
+                             "cascade ladders can find it")
     p_auto.set_defaults(func=cmd_autotune)
 
     p_bench = sub.add_parser(
@@ -868,6 +1034,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 = wait forever)")
     p_serve.add_argument("--no-output", action="store_true",
                          help="omit logits from responses (argmax + latency only)")
+    p_serve.add_argument("--cascade", action="store_true",
+                         help="serve a confidence-gated cascade: stage 0 "
+                              "(sparsest) answers every request, low-confidence "
+                              "ones escalate toward the densest stage")
+    p_serve.add_argument("--family", default=None,
+                         help="cascade ladder = newest artifact per name tagged "
+                              "with this metadata family, densest-last "
+                              "(alternative: --model as comma-separated refs, "
+                              "sparsest first)")
+    p_serve.add_argument("--gate", default="msp",
+                         choices=["msp", "entropy", "margin"],
+                         help="confidence statistic the cascade gates on")
+    p_serve.add_argument("--thresholds", default=None,
+                         help="comma-separated per-stage accept thresholds "
+                              "(len(stages)-1 values; omit to calibrate or "
+                              "escalate everything)")
+    p_serve.add_argument("--calibrate", type=int, default=0,
+                         help="fit gate thresholds on N synthetic samples "
+                              "before serving (agreement with the densest "
+                              "stage as the reference)")
+    p_serve.add_argument("--retention", type=float, default=0.99,
+                         help="accuracy-retention target for --calibrate")
     p_serve.set_defaults(func=cmd_serve)
 
     p_bserve = sub.add_parser(
@@ -988,6 +1176,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "falls below the default beyond the slack")
     p_bdisp.set_defaults(func=cmd_bench_dispatch)
 
+    p_bcasc = sub.add_parser(
+        "bench-cascade",
+        help="confidence-gated cascade vs densest-only serving sweep, "
+             "record BENCH_cascade.json",
+    )
+    p_bcasc.add_argument("--output", default="BENCH_cascade.json")
+    p_bcasc.add_argument("--requests", type=int, default=128,
+                         help="requests per traffic stream")
+    p_bcasc.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N timing repeats per stream")
+    p_bcasc.add_argument("--ladder", default="0.7,0.4,0.0",
+                         help="comma-separated prune ratios, sparsest first "
+                              "(0.0 = dense fallback, appended if missing)")
+    p_bcasc.add_argument("--depths", default="2,3",
+                         help="comma-separated ladder depths to sweep "
+                              "(depth d = first d-1 ladder rungs + dense)")
+    p_bcasc.add_argument("--skews", default="0.0,0.5,0.9",
+                         help="comma-separated easy-traffic skew levels "
+                              "(0 = uniform, 1 = only easy requests)")
+    p_bcasc.add_argument("--gate", default="msp",
+                         choices=["msp", "entropy", "margin"],
+                         help="confidence statistic the cascade gates on")
+    p_bcasc.add_argument("--retention", type=float, default=0.99,
+                         help="accuracy-retention target for gate calibration")
+    p_bcasc.add_argument("--epochs", type=int, default=3,
+                         help="training epochs for the shared-weight ladder")
+    p_bcasc.add_argument("--width", type=int, default=32)
+    p_bcasc.add_argument("--depth", type=int, default=3,
+                         help="conv-stack depth of every ladder stage")
+    p_bcasc.add_argument("--image-size", type=int, default=48,
+                         help="input resolution (>= 48 is the regime where "
+                              "sparse stages pay decisively)")
+    p_bcasc.add_argument("--train-per-class", type=int, default=48)
+    p_bcasc.add_argument("--window", type=int, default=8,
+                         help="micro-batch window per stage session")
+    p_bcasc.add_argument("--workers", type=int, default=1,
+                         help="worker threads per stage session")
+    p_bcasc.add_argument("--smoke", action="store_true",
+                         help="CI smoke: shallowest ladder, short streams; "
+                              "exit 1 if any escalated response is not "
+                              "bit-identical to direct stage execution or no "
+                              "cascade row beats the densest-only baseline at "
+                              "the (slack-adjusted) retention floor")
+    p_bcasc.set_defaults(func=cmd_bench_cascade)
+
     p_registry = sub.add_parser(
         "registry", help="inspect and maintain a model-artifact registry"
     )
@@ -1002,6 +1235,17 @@ def build_parser() -> argparse.ArgumentParser:
                             help="registry root directory")
     p_registry.add_argument("--keep", type=int, default=1,
                             help="gc: newest versions to keep per artifact")
+    p_registry.add_argument("--family", default=None,
+                            help="ls: only artifacts tagged with this "
+                                 "metadata family")
+    p_registry.add_argument("--force", action="store_true",
+                            help="rm: delete even versions pinned by live "
+                                 "serving sessions")
+    p_registry.add_argument("--respect-pins", default=True,
+                            action=argparse.BooleanOptionalAction,
+                            help="gc: keep versions pinned by live serving "
+                                 "sessions (default on; --no-respect-pins "
+                                 "collects them anyway)")
     p_registry.set_defaults(func=cmd_registry)
 
     for sub_parser in sub.choices.values():

@@ -43,6 +43,9 @@ __all__ = [
     "dropout",
     "apply_mask",
     "one_hot",
+    "softmax_probs",
+    "predictive_entropy",
+    "top2_margin",
 ]
 
 
@@ -692,6 +695,61 @@ def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
     n = log_probs.shape[0]
     picked = log_probs[np.arange(n), labels]
     return -picked.mean()
+
+
+# ----------------------------------------------------------------------
+# Confidence statistics (plain ndarray in/out; no autograd)
+# ----------------------------------------------------------------------
+def softmax_probs(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax probabilities of a logit array, shift-stabilized.
+
+    Same max-subtraction trick as the fused :func:`cross_entropy`, but on
+    raw ndarrays — this is the serving-side entry point for confidence
+    gates, where logits are plain arrays rather than autograd tensors.
+    """
+    logits = np.asarray(logits)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def predictive_entropy(logits: np.ndarray, axis: int = -1, normalize: bool = True) -> np.ndarray:
+    """Entropy of the softmax distribution along ``axis``.
+
+    Computed from log-probabilities (``shifted - log(sum exp)``) so a
+    saturated class contributes exactly ``0`` instead of ``0 * log(0)``
+    NaN.  With ``normalize=True`` the result is divided by ``log(K)`` so
+    it lies in ``[0, 1]`` regardless of class count — uniform logits give
+    1.0, a one-hot distribution gives 0.0.
+    """
+    logits = np.asarray(logits)
+    k = logits.shape[axis]
+    if k < 2:
+        return np.zeros(np.delete(logits.shape, axis))
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    z = exp.sum(axis=axis, keepdims=True)
+    probs = exp / z
+    log_probs = shifted - np.log(z)
+    entropy = -(probs * log_probs).sum(axis=axis)
+    if normalize:
+        entropy = entropy / np.log(k)
+    return entropy
+
+
+def top2_margin(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Top-1 minus top-2 softmax probability along ``axis``.
+
+    Uses :func:`np.partition` (O(K)) rather than a full sort; a single
+    class yields margin 1.0 (nothing to confuse it with).
+    """
+    probs = softmax_probs(logits, axis=axis)
+    if probs.shape[axis] < 2:
+        return np.ones(np.delete(probs.shape, axis))
+    part = np.partition(probs, -2, axis=axis)
+    top1 = np.take(part, -1, axis=axis)
+    top2 = np.take(part, -2, axis=axis)
+    return top1 - top2
 
 
 # ----------------------------------------------------------------------

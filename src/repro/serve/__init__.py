@@ -9,6 +9,9 @@ becomes an operable system here:
 * :mod:`~repro.serve.session` — :class:`InferenceSession`, one stable
   inference API: bounded request queue, micro-batching scheduler, and
   per-session telemetry (latency quantiles, occupancy, cache hit rate).
+* :mod:`~repro.serve.cascade` — :class:`CascadeSession`, confidence-gated
+  cascade serving over a sparsity-ordered family of registry artifacts
+  (``repro serve --cascade`` / ``repro bench-cascade``).
 * :mod:`~repro.serve.loop` — the ``repro serve`` JSONL request loop.
 * :mod:`~repro.serve.procpool` — :class:`ProcPoolEngine`, the
   process-parallel engine pool with ``multiprocessing.shared_memory``
@@ -39,12 +42,21 @@ from ..core.dispatch import (
 )
 from .bench import (
     ADAPTIVE_SCHEMA,
+    CASCADE_SCHEMA,
     DISPATCH_BENCH_SCHEMA,
     SERVE_SCHEMA,
     run_adaptive_benchmark,
+    run_cascade_benchmark,
     run_dispatch_benchmark,
     run_serve_benchmark,
     write_serve_json,
+)
+from .cascade import (
+    GATES,
+    CalibrationReport,
+    CascadeResult,
+    CascadeSession,
+    gate_confidence,
 )
 from .loop import decode_request, serve_lines, synthetic_request_lines
 from .procpool import ProcPoolClosed, ProcPoolEngine, ProcWorkerError
@@ -52,6 +64,7 @@ from .registry import (
     ARTIFACT_SCHEMA,
     ArtifactIntegrityError,
     ArtifactNotFoundError,
+    ArtifactPinnedError,
     LoadedArtifact,
     ModelRegistry,
     parse_ref,
@@ -70,6 +83,7 @@ __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactNotFoundError",
     "ArtifactIntegrityError",
+    "ArtifactPinnedError",
     "LoadedArtifact",
     "ModelRegistry",
     "parse_ref",
@@ -78,9 +92,15 @@ __all__ = [
     "SessionConfig",
     "SessionClosed",
     "PendingResult",
+    "CascadeSession",
+    "CascadeResult",
+    "CalibrationReport",
+    "GATES",
+    "gate_confidence",
     "SERVE_SCHEMA",
     "ADAPTIVE_SCHEMA",
     "DISPATCH_BENCH_SCHEMA",
+    "CASCADE_SCHEMA",
     "DISPATCH_SCHEMA",
     "DispatchEntry",
     "DispatchTable",
@@ -89,6 +109,7 @@ __all__ = [
     "run_serve_benchmark",
     "run_adaptive_benchmark",
     "run_dispatch_benchmark",
+    "run_cascade_benchmark",
     "write_serve_json",
     "decode_request",
     "serve_lines",

@@ -54,17 +54,21 @@ __all__ = [
     "SERVE_SCHEMA",
     "ADAPTIVE_SCHEMA",
     "DISPATCH_BENCH_SCHEMA",
+    "CASCADE_SCHEMA",
     "RAGGED_REGRESSION_SLACK",
     "DISPATCH_REGRESSION_SLACK",
+    "CASCADE_SMOKE_RETENTION_SLACK",
     "run_serve_benchmark",
     "run_adaptive_benchmark",
     "run_dispatch_benchmark",
+    "run_cascade_benchmark",
     "write_serve_json",
 ]
 
 SERVE_SCHEMA = "repro.bench_serve.v1"
 ADAPTIVE_SCHEMA = "repro.bench_adaptive.v1"
 DISPATCH_BENCH_SCHEMA = "repro.bench_dispatch.v1"
+CASCADE_SCHEMA = "repro.bench_cascade.v1"
 
 #: Minimum ragged-path speedup over the per-input fallback for the CI
 #: smoke verdict.  The regression this guards against — adaptive batches
@@ -77,6 +81,15 @@ RAGGED_REGRESSION_SLACK = 0.8
 #: on the same harness, so a tuned plan can only lose to the heuristic by
 #: timer noise — the slack absorbs exactly that and nothing structural.
 DISPATCH_REGRESSION_SLACK = 0.85
+
+#: Accuracy-retention allowance for the ``bench-cascade`` *smoke* verdict.
+#: On a smoke-sized stream (~48 requests at ~2/3 dense accuracy) a single
+#: flipped answer moves the accuracy ratio by ~1/32 ≈ 0.03, so holding the
+#: smoke grid to the full-run 0.99 bar would make the exit-code guard a
+#: coin flip on sampling noise, not a regression detector.  The slack
+#: covers roughly one flipped answer; the recorded full-size benchmark is
+#: judged at the unslacked target.
+CASCADE_SMOKE_RETENTION_SLACK = 0.05
 
 
 def _request_stream(count: int, image_size: int, seed: int) -> List[np.ndarray]:
@@ -974,6 +987,365 @@ def run_dispatch_benchmark(
             "repeats": repeats,
             "tune_repeats": tune_repeats,
             "seed": seed,
+            "smoke": smoke,
+        },
+        "summary": summary,
+        "results": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# Confidence-gated cascade benchmark
+# ----------------------------------------------------------------------
+def _skewed_stream(
+    pool: np.ndarray,
+    stage0_confidence: np.ndarray,
+    count: int,
+    skew: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Indices into ``pool`` for a traffic mix of difficulty ``skew``.
+
+    The pool is ranked by the *sparsest stage's* gate confidence; the top
+    half is the "easy" population.  Each request draws from the easy half
+    with probability ``skew`` and uniformly from the whole pool otherwise,
+    so ``skew=0`` is unbiased traffic and ``skew→1`` is the
+    mostly-easy regime where a cascade should shine.
+    """
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError(f"skew must be in [0, 1], got {skew}")
+    order = np.argsort(-stage0_confidence, kind="stable")
+    easy = order[: max(1, len(order) // 2)]
+    from_easy = rng.random(count) < skew
+    picks = rng.integers(0, len(pool), size=count)
+    easy_picks = easy[rng.integers(0, len(easy), size=count)]
+    return np.where(from_easy, easy_picks, picks)
+
+
+def _trained_ladder_registry(
+    registry_root: str,
+    ladder: Sequence[float],
+    width: int,
+    depth: int,
+    image_size: int,
+    epochs: int,
+    train_per_class: int,
+    seed: int,
+    family: str,
+):
+    """Train one dense conv stack, register it at every ladder sparsity.
+
+    All rungs share the *same trained weights* — only the dynamic-pruning
+    ratio differs — which is exactly the ``autotune --save`` family shape:
+    one logical model at several sparsity levels.  Returns the registry
+    plus the (calibration, traffic-pool) splits of held-out data.
+    """
+    from ..core.training import fit
+    from ..datasets.synthetic import cifar10_like, make_loaders
+    from .registry import ModelRegistry
+
+    # The held-out split feeds both calibration and the traffic pool; a
+    # small calibration set overfits the gate threshold (a perfect-
+    # agreement prefix on 120 samples says little about the 99th
+    # percentile), so it is sized with the training set, not below it.
+    dataset = cifar10_like(
+        image_size=image_size,
+        train_per_class=train_per_class,
+        test_per_class=max(48, train_per_class),
+        seed=seed,
+    )
+    train_loader, _ = make_loaders(dataset, batch_size=32, seed=seed)
+    dense = build_conv_stack(channel_ratio=0.0, width=width, depth=depth, seed=seed)
+    dense.train()
+    fit(dense, train_loader, epochs=epochs, lr=0.08)
+    dense.eval()
+    state = dense.state_dict()
+
+    registry = ModelRegistry(registry_root)
+    refs: Dict[float, str] = {}
+    for ratio in sorted(set(float(r) for r in ladder), reverse=True):
+        arch = {
+            "family": "conv_stack",
+            "channel_ratio": ratio,
+            "spatial_ratio": 0.0,
+            "width": width,
+            "depth": depth,
+            "seed": seed,
+        }
+        model = build_conv_stack(**{k: v for k, v in arch.items() if k != "family"})
+        model.load_state_dict(state)
+        model.eval()
+        name = f"cascade-r{int(round(ratio * 100)):02d}"
+        saved_name, version = registry.save(
+            name,
+            model,
+            arch=arch,
+            plan=PlanConfig(batch_invariant=True),
+            family=family,
+            sparsity_level=ratio,
+        )
+        refs[ratio] = f"{saved_name}@v{version}"
+
+    test_images, test_labels = dataset.splits()[1].images, dataset.splits()[1].labels
+    half = test_images.shape[0] // 2
+    calibration = (test_images[:half].astype(np.float32), test_labels[:half])
+    pool = (test_images[half:].astype(np.float32), test_labels[half:])
+    return registry, refs, calibration, pool
+
+
+def run_cascade_benchmark(
+    requests: int = 128,
+    repeats: int = 3,
+    ladder: Sequence[float] = (0.7, 0.4, 0.0),
+    depths: Sequence[int] = (2, 3),
+    skews: Sequence[float] = (0.0, 0.5, 0.9),
+    gate: str = "msp",
+    retention: float = 0.99,
+    epochs: int = 3,
+    width: int = 32,
+    depth: int = 3,
+    image_size: int = 48,
+    train_per_class: int = 48,
+    window: int = 8,
+    workers: int = 1,
+    seed: int = 0,
+    smoke: bool = False,
+) -> Dict[str, Any]:
+    """Cascade vs densest-only sweep → ``BENCH_cascade.json``.
+
+    Builds an ``autotune``-family-shaped ladder (one lightly trained conv
+    stack registered at every ``ladder`` sparsity level — shared weights,
+    different dynamic-pruning ratios), calibrates the confidence gate on a
+    held-out split to ``retention`` agreement with the densest stage, then
+    serves skewed single-sample traffic through
+    :class:`~repro.serve.cascade.CascadeSession` and through a
+    densest-model-only :class:`InferenceSession` baseline.
+
+    Grid: ``depths`` × ``skews``.  A depth-``d`` ladder is the ``d - 1``
+    sparsest rungs plus the densest; ``skews`` are traffic mixes from
+    :func:`_skewed_stream`.  Per row it records end-to-end latency (best
+    of ``repeats``), fraction escalated, retention vs. the densest model,
+    true-label accuracy of both arms, per-stage session telemetry, and
+    **bit-identity**: every cascade answer — escalated or not — must be
+    ``array_equal`` to running its answering stage's model directly.
+
+    The calibration reference is the densest stage's argmax (not the true
+    labels), so the densest-only baseline's retention is 1.0 *by
+    definition* and ``retention`` is an apples-to-apples knob: the
+    cascade keeps >= 99% of whatever accuracy the dense model has.
+
+    ``smoke=True`` shrinks the grid for the CI exit-code guard: the two
+    contract checks it asserts are ``summary["bit_identical_all"]`` and
+    ``summary["cascade_beats_densest"]`` (some calibrated row at or above
+    target retention with end-to-end speedup > 1).
+    """
+    import tempfile
+
+    from .cascade import CascadeSession, gate_confidence
+
+    if smoke:
+        requests = min(requests, 48)
+        repeats = min(repeats, 2)
+        # The shallowest ladder is the best operating point on this tiny
+        # grid (no middle-stage tax), so it is the one the guard checks.
+        depths = (min(depths),)
+        skews = (0.5, 0.9)
+
+    ladder = [float(r) for r in ladder]
+    if sorted(ladder, reverse=True) != ladder:
+        raise ValueError(f"ladder must be sparsest-first (descending), got {ladder}")
+    if ladder[-1] != 0.0:
+        ladder = ladder + [0.0]
+    for d in depths:
+        if not 1 <= d <= len(ladder):
+            raise ValueError(f"ladder depth {d} out of range for {len(ladder)} rungs")
+
+    family = f"cascade-bench-{seed}"
+    rng = np.random.default_rng(seed + 17)
+    results: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-cascade-bench-") as registry_root:
+        registry, refs, (calib_x, _calib_y), (pool_x, pool_y) = _trained_ladder_registry(
+            registry_root,
+            ladder,
+            width,
+            depth,
+            image_size,
+            epochs,
+            train_per_class,
+            seed,
+            family,
+        )
+        # A small batch window matters here: escalations arrive staggered
+        # (as stage-0 windows complete), so a long straggler wait at the
+        # denser stages would charge the cascade dead time the
+        # all-at-once densest baseline never pays.
+        session_config = SessionConfig(
+            max_batch=window,
+            batch_window_ms=2.0,
+            queue_depth=requests + 8,
+            workers=workers,
+        )
+        # The machine-readable family metadata must reproduce the ladder.
+        discovered = [row["ref"] for row in registry.family_ladder(family)]
+        expected = [refs[r] for r in ladder]
+        if discovered != expected:
+            raise AssertionError(
+                f"family_ladder({family!r}) returned {discovered}, expected {expected}"
+            )
+
+        densest_ref = refs[0.0]
+        baseline = InferenceSession.from_registry(
+            registry, densest_ref, session=session_config
+        )
+        try:
+            dense_logits = baseline.predict(pool_x)
+            dense_pred = dense_logits.argmax(axis=1)
+            dense_accuracy = float((dense_pred == pool_y).mean())
+
+            for ladder_depth in depths:
+                stage_ratios = ladder[: ladder_depth - 1] + [0.0]
+                cascade = CascadeSession.from_registry(
+                    registry,
+                    refs=[refs[r] for r in stage_ratios],
+                    session=session_config,
+                    gate=gate,
+                )
+                try:
+                    report = cascade.calibrate(calib_x, retention=retention)
+                    # Skew ranks the pool by the sparsest stage's confidence.
+                    stage0_conf = gate_confidence(
+                        gate, cascade.stages[0].predict(pool_x)
+                    )
+                    for skew in skews:
+                        indices = _skewed_stream(
+                            pool_x, stage0_conf, requests, float(skew), rng
+                        )
+                        stream = [pool_x[i : i + 1] for i in indices]
+
+                        handles = [cascade.submit(x) for x in stream]
+                        outputs = [h.result(300.0) for h in handles]
+                        stages_answered = [h.stage for h in handles]
+                        # Bit-identity, untimed: every answer vs direct
+                        # execution on the stage that produced it.
+                        bit_identical = all(
+                            np.array_equal(
+                                cascade.stages[stage].predict(stream[i]), outputs[i]
+                            )
+                            for i, stage in enumerate(stages_answered)
+                        )
+
+                        t_cascade = float("inf")
+                        for _ in range(repeats):
+                            cascade.reset_stats()
+                            start = time.perf_counter()
+                            cascade.infer_many(stream, timeout=300.0)
+                            t_cascade = min(t_cascade, time.perf_counter() - start)
+                        cascade_stats = cascade.stats()
+
+                        t_dense = float("inf")
+                        for _ in range(repeats):
+                            baseline.reset_stats()
+                            start = time.perf_counter()
+                            baseline.infer_many(stream, timeout=300.0)
+                            t_dense = min(t_dense, time.perf_counter() - start)
+                        baseline_stats = baseline.stats()
+
+                        answers = np.concatenate(outputs, axis=0).argmax(axis=1)
+                        retention_vs_densest = float(
+                            (answers == dense_pred[indices]).mean()
+                        )
+                        accuracy = float((answers == pool_y[indices]).mean())
+                        densest_row_accuracy = float(
+                            (dense_pred[indices] == pool_y[indices]).mean()
+                        )
+                        # The acceptance knob: cascade accuracy as a
+                        # fraction of the densest model's on this stream.
+                        # A disagreeing answer is not necessarily a wrong
+                        # one, so this can sit above raw agreement.
+                        accuracy_retention = (
+                            accuracy / densest_row_accuracy
+                            if densest_row_accuracy
+                            else 1.0
+                        )
+                        results.append(
+                            {
+                                "ladder_depth": int(ladder_depth),
+                                "stage_ratios": [float(r) for r in stage_ratios],
+                                "skew": float(skew),
+                                "gate": gate,
+                                "thresholds": report.thresholds,
+                                "requests": int(requests),
+                                "cascade_ms": t_cascade * 1e3,
+                                "densest_ms": t_dense * 1e3,
+                                "speedup": t_dense / t_cascade,
+                                "fraction_escalated": cascade_stats["escalation_rate"],
+                                "accepted_per_stage": [
+                                    row["accepted"] for row in cascade_stats["stages"]
+                                ],
+                                "retention_vs_densest": retention_vs_densest,
+                                "accuracy": accuracy,
+                                "densest_accuracy": densest_row_accuracy,
+                                "accuracy_retention": float(
+                                    min(accuracy_retention, 1.0)
+                                ),
+                                "bit_identical": bool(bit_identical),
+                                "latency_ms": cascade_stats["latency_ms"],
+                                "densest_latency_ms": baseline_stats["latency_ms"],
+                                "per_stage": [
+                                    {
+                                        "entered": row["entered"],
+                                        "accepted": row["accepted"],
+                                        "escalated": row["escalated"],
+                                        "latency_ms": row["latency_ms"],
+                                        "occupancy": row["occupancy"],
+                                    }
+                                    for row in cascade_stats["stages"]
+                                ],
+                            }
+                        )
+                finally:
+                    cascade.close(timeout=120.0)
+        finally:
+            baseline.close(timeout=120.0)
+
+    retention_floor = retention - (CASCADE_SMOKE_RETENTION_SLACK if smoke else 0.0)
+    at_target = [r for r in results if r["accuracy_retention"] >= retention_floor]
+    summary = {
+        "bit_identical_all": all(r["bit_identical"] for r in results),
+        "retention_target": retention,
+        "retention_floor": retention_floor,
+        "rows_at_target_retention": len(at_target),
+        "cascade_beats_densest": any(r["speedup"] > 1.0 for r in at_target),
+        "best_speedup_at_target": max(
+            (r["speedup"] for r in at_target), default=None
+        ),
+        "best_row": (
+            max(at_target, key=lambda r: r["speedup"])
+            if at_target
+            else None
+        ),
+        "dense_pool_accuracy": dense_accuracy,
+    }
+    return {
+        "schema": CASCADE_SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {"python": platform.python_version(), "machine": platform.machine()},
+        "config": {
+            "requests": int(requests),
+            "repeats": int(repeats),
+            "ladder": [float(r) for r in ladder],
+            "depths": [int(d) for d in depths],
+            "skews": [float(s) for s in skews],
+            "gate": gate,
+            "retention": retention,
+            "epochs": int(epochs),
+            "width": int(width),
+            "depth": int(depth),
+            "image_size": int(image_size),
+            "train_per_class": int(train_per_class),
+            "window": int(window),
+            "workers": int(workers),
+            "seed": int(seed),
             "smoke": smoke,
         },
         "summary": summary,

@@ -154,6 +154,14 @@ def serve_lines(
                     "argmax": int(np.argmax(logits[0])),
                     "latency_ms": round((handle.latency or 0.0) * 1e3, 3),
                 }
+                # Cascade handles know which ladder stage answered; plain
+                # session handles don't carry the field.
+                stage = getattr(handle, "stage", None)
+                if stage is not None:
+                    response["stage"] = int(stage)
+                    confidence = getattr(handle, "confidence", None)
+                    if confidence is not None:
+                        response["confidence"] = round(float(confidence), 6)
                 if include_output:
                     response["output"] = [round(float(v), 6) for v in logits[0]]
         out.write(json.dumps(response) + "\n")

@@ -39,6 +39,7 @@ import os
 import re
 import shutil
 import time
+import uuid
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.dispatch import DispatchTable
@@ -54,6 +55,7 @@ __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactNotFoundError",
     "ArtifactIntegrityError",
+    "ArtifactPinnedError",
     "LoadedArtifact",
     "ModelRegistry",
     "parse_ref",
@@ -63,7 +65,9 @@ __all__ = [
 ARTIFACT_SCHEMA = "repro.artifact.v1"
 _MANIFEST = "artifact.json"
 _WEIGHTS = "weights.npz"
+_PINS_DIR = ".pins"
 _VERSION_RE = re.compile(r"^v(\d+)$")
+_PIN_RE = re.compile(r"^pin-(\d+)-[0-9a-f]+\.json$")
 
 
 class ArtifactNotFoundError(KeyError):
@@ -72,6 +76,27 @@ class ArtifactNotFoundError(KeyError):
 
 class ArtifactIntegrityError(ValueError):
     """Stored weights do not match the manifest's recorded content hash."""
+
+
+class ArtifactPinnedError(RuntimeError):
+    """Refused to delete a version a live process has pinned."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pin owner on this host.
+
+    ``kill(pid, 0)`` delivers no signal; ``PermissionError`` means the pid
+    exists but belongs to another user — still alive, still a valid pin.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
 
 
 def _sha256_file(path: str) -> str:
@@ -282,13 +307,16 @@ class ModelRegistry:
                 found.append(int(match.group(1)))
         return sorted(found)
 
-    def list_artifacts(self) -> List[Dict[str, Any]]:
+    def list_artifacts(self, family: Optional[str] = None) -> List[Dict[str, Any]]:
         """One row per stored version, without rebuilding any model.
 
         This is what ``repro registry ls`` prints: enough to re-run a
         serving or benchmark sweep from saved artifacts (name, version,
         arch family, pruning-site count, recorded backend-relevant plan
         knobs) plus the on-disk footprint of each version directory.
+        ``family`` filters to versions whose *metadata* ``family`` key
+        matches (the model-family tag :meth:`save` records, distinct from
+        the arch family) — the view ``repro registry ls --family`` shows.
         """
         rows: List[Dict[str, Any]] = []
         for name in self.names():
@@ -301,6 +329,9 @@ class ModelRegistry:
                     full = os.path.join(path, entry)
                     if os.path.isfile(full):
                         size += os.path.getsize(full)
+                metadata = manifest.get("metadata") or {}
+                if family is not None and metadata.get("family") != family:
+                    continue
                 pruning = manifest.get("pruning") or []
                 dispatch_entries = (manifest.get("dispatch") or {}).get("entries", [])
                 # Winner-strategy histogram of the persisted dispatch table:
@@ -321,7 +352,9 @@ class ModelRegistry:
                         "tuned_geometries": len(dispatch_entries),
                         "tuned_strategies": dict(sorted(tuned_strategies.items())),
                         "plan": manifest.get("plan") or {},
-                        "metadata": manifest.get("metadata") or {},
+                        "metadata": metadata,
+                        "model_family": metadata.get("family"),
+                        "sparsity_level": metadata.get("sparsity_level"),
                         "size_bytes": size,
                         "weights_sha256": (manifest.get("content") or {}).get(
                             "weights_sha256"
@@ -330,6 +363,34 @@ class ModelRegistry:
                     }
                 )
         return rows
+
+    def family_ladder(self, family: str) -> List[Dict[str, Any]]:
+        """Cascade ladder for a model family: sparsest first, densest last.
+
+        Takes the *newest* version of every artifact tagged with the
+        metadata ``family`` key and orders them by descending
+        ``sparsity_level`` (fraction pruned — the most aggressively pruned
+        variant answers first, the densest is the fallback).  Artifacts
+        without a recorded ``sparsity_level`` sort as dense (0.0).  Each
+        row is a :meth:`list_artifacts` row plus a ``"ref"`` key
+        (``name@vN``) ready for session factories.
+        """
+        newest: Dict[str, Dict[str, Any]] = {}
+        for row in self.list_artifacts(family=family):
+            current = newest.get(row["name"])
+            if current is None or row["version"] > current["version"]:
+                newest[row["name"]] = row
+        if not newest:
+            raise ArtifactNotFoundError(
+                f"no artifacts tagged family={family!r} in {self.root}"
+            )
+        ladder = sorted(
+            newest.values(),
+            key=lambda row: (-(row["sparsity_level"] or 0.0), row["name"]),
+        )
+        for row in ladder:
+            row["ref"] = f"{row['name']}@v{row['version']}"
+        return ladder
 
     def resolve(self, name: str, version: Optional[int] = None) -> Tuple[int, str]:
         """Resolve (version, directory), defaulting to the newest version."""
@@ -345,7 +406,71 @@ class ModelRegistry:
         return version, os.path.join(self.root, name, f"v{version}")
 
     # ------------------------------------------------------------------
-    def delete(self, name: str, version: Optional[int] = None) -> List[int]:
+    # GC pinning: a session serving a version drops a pin file in the
+    # version directory; gc/delete refuse to collect while the owning
+    # process is alive.  Pins are plain files (not in-memory state) so
+    # ``repro registry gc`` in another process honors them too.
+    # ------------------------------------------------------------------
+    def pin(self, name: str, version: Optional[int] = None) -> str:
+        """Pin a version against gc; returns an opaque token for :meth:`unpin`.
+
+        The token is the pin file's path.  The file records the owning
+        pid; a pin whose process has exited is *stale* and no longer
+        protects the version (gc sweeps stale pins as it scans).
+        """
+        resolved, path = self.resolve(name, version)
+        pins_dir = os.path.join(path, _PINS_DIR)
+        os.makedirs(pins_dir, exist_ok=True)
+        token = os.path.join(pins_dir, f"pin-{os.getpid()}-{uuid.uuid4().hex[:8]}.json")
+        payload = {
+            "pid": os.getpid(),
+            "name": name,
+            "version": resolved,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        with open(token, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+        return token
+
+    def unpin(self, token: str) -> None:
+        """Release a pin; already-released (or gc-swept) tokens are a no-op."""
+        try:
+            os.remove(token)
+        except OSError:
+            pass
+        try:
+            os.rmdir(os.path.dirname(token))
+        except OSError:
+            pass  # other pins remain, or already gone
+
+    def live_pins(self, name: str, version: int, sweep_stale: bool = False) -> List[str]:
+        """Pin tokens on ``name@vN`` whose owning process is still alive.
+
+        With ``sweep_stale=True``, pin files from dead pids are removed as
+        a side effect (gc does this so crashed sessions cannot pin a
+        version forever).
+        """
+        pins_dir = os.path.join(self.root, name, f"v{version}", _PINS_DIR)
+        if not os.path.isdir(pins_dir):
+            return []
+        live: List[str] = []
+        for entry in sorted(os.listdir(pins_dir)):
+            match = _PIN_RE.match(entry)
+            if not match:
+                continue
+            token = os.path.join(pins_dir, entry)
+            if _pid_alive(int(match.group(1))):
+                live.append(token)
+            elif sweep_stale:
+                try:
+                    os.remove(token)
+                except OSError:
+                    pass
+        return live
+
+    # ------------------------------------------------------------------
+    def delete(self, name: str, version: Optional[int] = None, force: bool = False) -> List[int]:
         """Remove one version of ``name`` (or, with ``version=None``, all).
 
         Returns the removed version numbers.  The artifact's directory is
@@ -353,24 +478,36 @@ class ModelRegistry:
         from :meth:`names` entirely.  Raises
         :class:`ArtifactNotFoundError` for unknown names/versions —
         deletion is an operator action and a silent no-op would hide
-        typos.
+        typos.  Versions pinned by a live process raise
+        :class:`ArtifactPinnedError` unless ``force=True``.
         """
         if version is None:
             removed = self.versions(name)
             if not removed:
                 raise ArtifactNotFoundError(f"no artifact named {name!r} in {self.root}")
-            for v in removed:
-                shutil.rmtree(os.path.join(self.root, name, f"v{v}"))
         else:
-            resolved, path = self.resolve(name, version)
-            shutil.rmtree(path)
-            removed = [resolved]
+            removed = [self.resolve(name, version)[0]]
+        if not force:
+            for v in removed:
+                pins = self.live_pins(name, v, sweep_stale=True)
+                if pins:
+                    raise ArtifactPinnedError(
+                        f"artifact {name}@v{v} is pinned by a live session "
+                        f"({len(pins)} pin(s)); pass force=True / --force to override"
+                    )
+        for v in removed:
+            shutil.rmtree(os.path.join(self.root, name, f"v{v}"))
         base = os.path.join(self.root, name)
         if os.path.isdir(base) and not self.versions(name):
             shutil.rmtree(base, ignore_errors=True)
         return removed
 
-    def gc(self, keep_last: int = 1, tmp_age_seconds: float = 3600.0) -> Dict[str, Any]:
+    def gc(
+        self,
+        keep_last: int = 1,
+        tmp_age_seconds: float = 3600.0,
+        respect_pins: bool = True,
+    ) -> Dict[str, Any]:
         """Prune old artifact versions and stale temp directories.
 
         Keeps the newest ``keep_last`` versions of every artifact
@@ -378,13 +515,20 @@ class ModelRegistry:
         by crashed saves.  Only temp directories untouched for
         ``tmp_age_seconds`` (default one hour) are swept — a fresh one may
         belong to a save in flight in another process, and deleting it
-        would break the atomic-save guarantee.  Returns
-        ``{"removed": {name: [versions]}, "tmp_removed": [paths],
-        "bytes_freed": int}``.
+        would break the atomic-save guarantee.
+
+        With ``respect_pins=True`` (the default) a version pinned by a
+        live session — :meth:`pin` files with a living pid — is never
+        collected even if it falls outside ``keep_last``; such versions
+        are reported under ``"pinned_kept"``.  Stale pins (dead pids) are
+        swept during the scan and do not protect anything.  Returns
+        ``{"removed": {name: [versions]}, "pinned_kept": {name: [versions]},
+        "tmp_removed": [paths], "bytes_freed": int}``.
         """
         if keep_last < 0:
             raise ValueError("keep_last must be >= 0")
         removed: Dict[str, List[int]] = {}
+        pinned_kept: Dict[str, List[int]] = {}
         tmp_removed: List[str] = []
         bytes_freed = 0
         now = time.time()
@@ -409,14 +553,21 @@ class ModelRegistry:
             # no-op, not a negative slice wrapping around the list.
             drop = versions[: max(0, len(versions) - keep_last)]
             for v in drop:
+                if respect_pins and self.live_pins(entry, v, sweep_stale=True):
+                    pinned_kept.setdefault(entry, []).append(v)
+                    continue
                 path = os.path.join(base, f"v{v}")
                 bytes_freed += _dir_size(path)
                 shutil.rmtree(path)
-            if drop:
-                removed[entry] = drop
+                removed.setdefault(entry, []).append(v)
             if os.path.isdir(base) and not os.listdir(base):
                 os.rmdir(base)
-        return {"removed": removed, "tmp_removed": tmp_removed, "bytes_freed": bytes_freed}
+        return {
+            "removed": removed,
+            "pinned_kept": pinned_kept,
+            "tmp_removed": tmp_removed,
+            "bytes_freed": bytes_freed,
+        }
 
     # ------------------------------------------------------------------
     def save(
@@ -428,6 +579,8 @@ class ModelRegistry:
         plan: Optional[PlanConfig] = None,
         metadata: Optional[Dict[str, Any]] = None,
         dispatch: Optional[DispatchTable] = None,
+        family: Optional[str] = None,
+        sparsity_level: Optional[float] = None,
     ) -> Tuple[str, int]:
         """Register a new version of ``name``; returns ``(name, version)``.
 
@@ -439,9 +592,23 @@ class ModelRegistry:
         (:func:`repro.core.dispatch.tune_plan`) in the manifest's
         versioned ``dispatch`` block, covered by its own SHA-256 in
         ``content`` so tampering is caught at load time.
+
+        ``family`` and ``sparsity_level`` (fraction of compute pruned, in
+        ``[0, 1]``) land in the manifest metadata as the machine-readable
+        keys :meth:`family_ladder` uses to assemble cascade ladders —
+        artifacts in the same family are sparsity-ordered variants of one
+        logical model.
         """
         if not re.match(r"^[A-Za-z0-9][A-Za-z0-9._-]*$", name):
             raise ValueError(f"bad artifact name {name!r}")
+        metadata = dict(metadata or {})
+        if family is not None:
+            metadata["family"] = str(family)
+        if sparsity_level is not None:
+            level = float(sparsity_level)
+            if not 0.0 <= level <= 1.0:
+                raise ValueError(f"sparsity_level must be in [0, 1], got {level}")
+            metadata["sparsity_level"] = level
         handle: Optional[InstrumentedModel] = None
         if isinstance(model, InstrumentedModel):
             handle = model
@@ -458,7 +625,7 @@ class ModelRegistry:
             "arch": arch if arch is not None else infer_arch(module),
             "pruning": _pruning_spec(handle) if handle is not None else None,
             "plan": dataclasses.asdict(plan or PlanConfig()),
-            "metadata": metadata or {},
+            "metadata": metadata,
             "dispatch": None if dispatch is None else dispatch.to_manifest(),
         }
 

@@ -138,12 +138,14 @@ class SessionConfig:
 class PendingResult:
     """Future-like handle for one submitted request."""
 
-    __slots__ = ("_event", "_value", "_error", "submitted_at", "latency")
+    __slots__ = ("_event", "_value", "_error", "_cb_lock", "_callbacks", "submitted_at", "latency")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: List[Callable[["PendingResult"], None]] = []
         self.submitted_at = time.perf_counter()
         self.latency: Optional[float] = None
 
@@ -159,12 +161,32 @@ class PendingResult:
         assert self._value is not None
         return self._value
 
+    def add_done_callback(self, fn: Callable[["PendingResult"], None]) -> None:
+        """Run ``fn(self)`` when the result resolves.
+
+        Registered before resolution, the callback fires on the worker
+        thread that resolves the request (so it must not block on the
+        session's own queue — hand off instead, as the cascade router
+        does); registered after, it fires immediately on the calling
+        thread.  Callback exceptions propagate to the resolving thread —
+        callers own their callbacks' safety.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
     # internal -----------------------------------------------------------
     def _resolve(self, value: Optional[np.ndarray], error: Optional[BaseException]) -> None:
         self.latency = time.perf_counter() - self.submitted_at
         self._value = value
         self._error = error
-        self._event.set()
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
 
 class _Request:
@@ -208,6 +230,9 @@ class InferenceSession:
         # worker processes and shared memory) when the session closes.
         # A caller-provided engine stays the caller's to manage.
         self._owns_engine = False
+        # (registry, pin-token) when from_registry() pinned the served
+        # artifact against gc; released on close().
+        self._pin: Optional[Tuple[Any, str]] = None
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.config.queue_depth)
         self._closed = False
         self._lock = threading.Lock()
@@ -284,6 +309,10 @@ class InferenceSession:
         artifact carrying a measured dispatch table attaches it to the
         engine (callers may still override via ``dispatch_table=`` or
         re-measure via ``tuned=True``).
+
+        The served version is **pinned** against ``registry gc`` for the
+        session's lifetime (released on :meth:`close`), so automated
+        retention can never collect a version with live traffic.
         """
         from .registry import parse_ref
 
@@ -296,6 +325,9 @@ class InferenceSession:
         engine = create_engine(model, backend=backend, config=plan, **engine_kwargs)
         built = cls(engine, session)
         built._owns_engine = True
+        pin = getattr(registry, "pin", None)
+        if callable(pin):
+            built._pin = (registry, pin(name, artifact.version))
         return built
 
     # ------------------------------------------------------------------
@@ -661,6 +693,10 @@ class InferenceSession:
             engine_close = getattr(self.engine, "close", None)
             if callable(engine_close):
                 engine_close()
+        if self._pin is not None:
+            registry, token = self._pin
+            self._pin = None
+            registry.unpin(token)
 
     @property
     def closed(self) -> bool:
