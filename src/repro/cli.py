@@ -203,6 +203,7 @@ def cmd_bench_sparse(args: argparse.Namespace) -> int:
         include_resnet=not args.no_resnet,
         seed=args.seed,
         smoke=args.smoke,
+        profile=args.profile,
     )
     print(f"{'model':>12} {'masks':>6} {'ratio':>6} {'size':>5} {'dense(ms)':>10} "
           f"{'sparse(ms)':>11} {'speedup':>8} {'cache h/m':>10}")
@@ -212,6 +213,14 @@ def cmd_bench_sparse(args: argparse.Namespace) -> int:
               f"{row['image_size']:>5} "
               f"{row['dense_ms']:>10.1f} {row['sparse_ms']:>11.1f} "
               f"{row['speedup']:>7.2f}x {cache['hits']:>5}/{cache['misses']}")
+    if args.profile:
+        from .obs import format_profile_table, merge_profiles
+
+        merged = merge_profiles(
+            row.get("profile", []) for row in document["results"]
+        )
+        print("\nper-geometry profile (hottest first):")
+        print(format_profile_table(merged))
     write_bench_json(document, args.output)
     print(f"\nrecorded {len(document['results'])} measurements to {args.output}")
     summary = document["summary"]
@@ -345,6 +354,26 @@ def _cascade_from_args(args: argparse.Namespace):
     return cascade
 
 
+def _write_trace(tracer, path: str) -> None:
+    """Export a tracer's spans as Chrome trace JSON + a coverage line."""
+    from .obs import trace_coverage
+
+    records = tracer.snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        tracer.export_chrome(fh)
+    coverage = trace_coverage(records)
+    connected = sum(1 for entry in coverage.values() if entry["connected"])
+    worst = min(
+        (entry["coverage"] for entry in coverage.values() if entry["connected"]),
+        default=0.0,
+    )
+    print(
+        f"trace: {len(records)} spans across {len(coverage)} request(s) "
+        f"({connected} connected, worst coverage {worst:.1%}) -> {path}",
+        file=sys.stderr,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -372,6 +401,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"cannot serve {args.model or args.family!r}: {error}")
         return 2
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+        from .obs import runtime as obs_runtime
+
+        tracer = obs_runtime.install(Tracer())
     try:
         if args.synthetic:
             lines = synthetic_request_lines(
@@ -392,8 +427,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 out.close()
             if not args.synthetic and args.input != "-":
                 lines.close()
+        # Both artifacts read registry state the session owns, so they
+        # must be written before close() unregisters its metric series.
+        if args.metrics_file:
+            with open(args.metrics_file, "w", encoding="utf-8") as fh:
+                fh.write(session.metrics_text())
+            print(f"metrics exposition -> {args.metrics_file}", file=sys.stderr)
+        if tracer is not None:
+            _write_trace(tracer, args.trace_out)
     finally:
+        if tracer is not None:
+            from .obs import runtime as obs_runtime
+
+            obs_runtime.uninstall()
         session.close()
+    if args.json:
+        # Machine-readable stats land on stderr exactly where the human
+        # summary would — stdout stays a pure response stream.
+        print(_json.dumps(stats, default=str), file=sys.stderr)
+        return 0
     if args.cascade:
         per_stage = ", ".join(
             f"s{i}: {row['entered']}->{row['accepted']}"
@@ -429,7 +481,14 @@ def cmd_registry(args: argparse.Namespace) -> int:
 
     registry = ModelRegistry(args.registry)
     if args.action == "ls":
-        rows = registry.list_artifacts(family=args.family)
+        rows = registry.list_artifacts(
+            family=args.family, include_dispatch=args.profile
+        )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(rows, default=str))
+            return 0
         if not rows:
             suffix = f" tagged family={args.family!r}" if args.family else ""
             print(f"no artifacts in {args.registry}{suffix}")
@@ -445,6 +504,20 @@ def cmd_registry(args: argparse.Namespace) -> int:
                   f"{('%.2f' % sparsity) if sparsity is not None else '-':>5} "
                   f"{row['pruning_sites']:>5} "
                   f"{size_kb:>8.1f}K {sha:>10}  {row['created_at']}")
+            if args.profile and row.get("dispatch_entries"):
+                # The persisted per-geometry measurements the tuner baked
+                # into this artifact — the stored half of the profiling
+                # story (live half: ``bench-* --profile``).
+                for entry in row["dispatch_entries"]:
+                    geo = entry["geometry"]
+                    label = entry["strategy"]
+                    if entry.get("tile_rows"):
+                        label += f"@tile{entry['tile_rows']}"
+                    print(f"    {geo['in_c']}→{geo['out_c']} k{geo['kernel']} "
+                          f"{geo['h']}x{geo['w']} {geo['kind']}/{geo['kept']}: "
+                          f"{label} {entry['winner_ms']:.3f}ms "
+                          f"(baseline {entry['baseline_ms']:.3f}ms, "
+                          f"sites={entry['sites']})")
         print(f"\n{len(rows)} artifact version(s) in {args.registry}")
         return 0
     if args.action == "rm":
@@ -484,6 +557,68 @@ def cmd_registry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Serve synthetic traffic with tracing on; export a Chrome trace.
+
+    The CI observability smoke: drives ``--synthetic N`` requests through
+    the same session/cascade factories ``repro serve`` uses, writes the
+    spans as Chrome trace-event JSON, and fails (exit 1) unless every
+    request produced one connected span tree covering at least
+    ``--min-coverage`` of its end-to-end latency.
+    """
+    import io
+
+    from .obs import Tracer, trace_coverage
+    from .obs import runtime as obs_runtime
+    from .serve import ArtifactNotFoundError, serve_lines, synthetic_request_lines
+
+    if args.cascade and not args.registry:
+        print("--cascade needs --registry (a ladder of saved artifacts)")
+        return 2
+    try:
+        session = _cascade_from_args(args) if args.cascade else _session_from_args(args)
+    except ArtifactNotFoundError as error:
+        print(f"artifact not found: {error.args[0]}")
+        return 2
+    tracer = obs_runtime.install(Tracer())
+    try:
+        lines = synthetic_request_lines(
+            args.synthetic, image_size=args.image_size, seed=args.seed
+        )
+        serve_lines(session, lines, io.StringIO(), include_output=False)
+        metrics_text = session.metrics_text()
+    finally:
+        obs_runtime.uninstall()
+        session.close()
+    records = tracer.drain()
+    import json as _json
+
+    from .obs import chrome_trace_events
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        _json.dump({"traceEvents": chrome_trace_events(records)}, fh, indent=1)
+        fh.write("\n")
+    if args.metrics_file:
+        with open(args.metrics_file, "w", encoding="utf-8") as fh:
+            fh.write(metrics_text)
+    coverage = trace_coverage(records)
+    ok = bool(coverage)
+    for trace_id, entry in sorted(coverage.items()):
+        verdict = "ok" if entry["connected"] and entry["coverage"] >= args.min_coverage else "LOW"
+        if verdict == "LOW":
+            ok = False
+        print(f"  {trace_id}: {entry['spans']} spans, "
+              f"connected={entry['connected']}, "
+              f"coverage {entry['coverage']:.1%} of {entry['duration_ms']:.1f}ms "
+              f"[{verdict}]")
+    print(f"{len(records)} spans across {len(coverage)} trace(s) -> {args.output}")
+    if not ok:
+        print(f"TRACE INCOMPLETE: a request trace was disconnected or covered "
+              f"less than {args.min_coverage:.0%} of its latency")
+        return 1
+    return 0
+
+
 def cmd_bench_serve(args: argparse.Namespace) -> int:
     from .serve import run_serve_benchmark, write_serve_json
 
@@ -516,6 +651,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         workers=workers,
         proc_workers=proc_workers,
+        profile=args.profile,
     )
     write_serve_json(document, args.output)
     print(f"{'model':>11} {'backend':>8} {'window':>6} {'wkrs':>4} {'seq rps':>8} "
@@ -528,6 +664,14 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
               f"{row['throughput_rps']:>8.0f} {row['speedup']:>7.2f}x "
               f"{row['latency_ms']['p50']:>8.1f} {row['latency_ms']['p95']:>8.1f} "
               f"{row['occupancy']:>5.2f} {str(row['bit_identical']):>6}")
+    if args.profile:
+        from .obs import format_profile_table, merge_profiles
+
+        merged = merge_profiles(
+            row.get("profile", []) for row in document["results"]
+        )
+        print("\nper-geometry profile (hottest first):")
+        print(format_profile_table(merged))
     summary = document["summary"]
     best = summary["best_speedup_at_window_ge_8"]
     if best is not None:
@@ -986,6 +1130,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI perf smoke: conv stack at the highest ratio only; "
                               "exit 1 if the grouped path regresses below the "
                               "stacked path's speedup")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="attach the per-op profiler and print a "
+                              "per-geometry time/bytes table (skews timings)")
     p_bench.set_defaults(func=cmd_bench_sparse)
 
     p_quick = sub.add_parser("quick", help="one fast end-to-end sanity run")
@@ -1056,7 +1203,56 @@ def build_parser() -> argparse.ArgumentParser:
                               "stage as the reference)")
     p_serve.add_argument("--retention", type=float, default=0.99,
                          help="accuracy-retention target for --calibrate")
+    p_serve.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="trace every request and write Chrome "
+                              "trace-event JSON here on exit")
+    p_serve.add_argument("--metrics-file", default=None, metavar="FILE",
+                         help="write the Prometheus text exposition here "
+                              "after serving")
+    p_serve.add_argument("--json", action="store_true",
+                         help="emit the final stats dump as one JSON object "
+                              "on stderr instead of the human summary")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="serve synthetic requests with tracing on; export Chrome "
+             "trace JSON and verify span coverage",
+    )
+    p_trace.add_argument("--output", default="TRACE.json",
+                         help="Chrome trace-event JSON output path")
+    p_trace.add_argument("--metrics-file", default=None, metavar="FILE",
+                         help="also write the Prometheus text exposition here")
+    p_trace.add_argument("--synthetic", type=int, default=8,
+                         help="number of synthetic requests to trace")
+    p_trace.add_argument("--image-size", type=int, default=32,
+                         help="synthetic request resolution")
+    p_trace.add_argument("--min-coverage", type=float, default=0.95,
+                         help="fail unless every trace covers at least this "
+                              "fraction of its request latency")
+    p_trace.add_argument("--registry", default=None, help="registry root directory")
+    p_trace.add_argument("--model", default=None, help="artifact name or name@vN")
+    p_trace.add_argument("--backend", default="auto",
+                         help="engine backend (dense, sparse, auto)")
+    p_trace.add_argument("--max-batch", type=int, default=8)
+    p_trace.add_argument("--window-ms", type=float, default=2.0)
+    p_trace.add_argument("--workers", type=int, default=1)
+    p_trace.add_argument("--proc-workers", type=int, default=0,
+                         help="trace through a process-parallel engine pool "
+                              "of N worker processes (0 = in-process)")
+    p_trace.add_argument("--cascade", action="store_true",
+                         help="trace through a confidence-gated cascade "
+                              "(needs --registry with --family or --model)")
+    p_trace.add_argument("--family", default=None,
+                         help="cascade ladder family tag (with --cascade)")
+    p_trace.add_argument("--gate", default="msp",
+                         choices=["msp", "entropy", "margin"])
+    p_trace.add_argument("--thresholds", default=None,
+                         help="comma-separated per-stage accept thresholds")
+    p_trace.add_argument("--calibrate", type=int, default=0,
+                         help="fit gate thresholds on N synthetic samples first")
+    p_trace.add_argument("--retention", type=float, default=0.99)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_bserve = sub.add_parser(
         "bench-serve",
@@ -1081,6 +1277,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="tiny sweep for CI end-to-end checks; exits "
                                "nonzero on any bit-identity violation "
                                "(incl. the procpool backend)")
+    p_bserve.add_argument("--profile", action="store_true",
+                          help="attach the per-op profiler (merged across "
+                               "worker processes) and print a per-geometry "
+                               "table (skews timings)")
     p_bserve.set_defaults(func=cmd_bench_serve)
 
     p_badapt = sub.add_parser(
@@ -1246,6 +1446,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="gc: keep versions pinned by live serving "
                                  "sessions (default on; --no-respect-pins "
                                  "collects them anyway)")
+    p_registry.add_argument("--json", action="store_true",
+                            help="ls: emit the artifact rows as JSON instead "
+                                 "of the human table")
+    p_registry.add_argument("--profile", action="store_true",
+                            help="ls: show each tuned artifact's persisted "
+                                 "per-geometry dispatch measurements")
     p_registry.set_defaults(func=cmd_registry)
 
     for sub_parser in sub.choices.values():

@@ -73,6 +73,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..nn import functional as F
+from ..obs import runtime as _obs
+from ..obs.metrics import global_registry
 from .masks import group_by_kept_count
 from .sparse_exec import (
     STACKED_PATH_MAX_POSITIONS,
@@ -488,6 +490,7 @@ def tune_plan(
     """
     emit = log if log is not None else (lambda msg: None)
     config = plan.config
+    tune_start = perf_counter()
 
     # --- capture pass: one untuned forward recording every conv site ---
     saved_dispatch = plan.dispatch
@@ -756,6 +759,36 @@ def tune_plan(
 
     plan.dispatch = table
     plan.reset_stats()
+
+    tune_end = perf_counter()
+    metrics = global_registry()
+    metrics.counter(
+        "repro_tune_runs_total", help="Completed tune_plan invocations."
+    ).inc()
+    metrics.counter(
+        "repro_tune_geometries_total",
+        help="Unique conv geometries measured by the tuner.",
+    ).inc(len(unique))
+    metrics.histogram(
+        "repro_tune_seconds", help="Wall time of tune_plan runs."
+    ).observe(tune_end - tune_start)
+    if _obs.enabled:
+        tracer = _obs.tracer()
+        ctx = _obs.current()
+        if tracer is not None and ctx is not None:
+            tracer.emit_child(
+                ctx,
+                "tune_plan",
+                tune_start,
+                tune_end,
+                {
+                    "sites": len(records),
+                    "geometries": len(unique),
+                    "duplicates": duplicates,
+                    "untunable": skipped,
+                },
+            )
+
     return TuneReport(
         table=table,
         sites=len(records),

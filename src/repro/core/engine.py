@@ -314,7 +314,7 @@ class SparseEngine(EngineProtocol):
         return self._executor(np.asarray(x, dtype=np.float32))
 
     def stats(self) -> Dict[str, object]:
-        return {
+        stats: Dict[str, object] = {
             "backend": self.backend,
             "dense_dispatches": self.plan.dense_dispatches,
             "sparse_dispatches": self.plan.sparse_dispatches,
@@ -325,6 +325,13 @@ class SparseEngine(EngineProtocol):
             "cache": dict(self.plan.cache_stats),
             "workspace": self.plan.arena_stats(),
         }
+        profiler = getattr(self.plan, "profiler", None)
+        if profiler is not None:
+            # Per-geometry wall-time/bytes rows (opt-in profiling) travel
+            # inside stats() so the procpool's ("stats",) round trip ships
+            # worker-side profiles home with no extra protocol.
+            stats["profile"] = profiler.snapshot()
+        return stats
 
     def reset_stats(self) -> None:
         self.plan.reset_stats()

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..models.resnet import ResNet
 from ..nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU, Sequential, Tensor, no_grad
+from ..obs.profile import PlanProfiler
 from .engine import create_engine
 from .pruning import DynamicPruning, PruningConfig, instrument_model
 from .sparse_exec import PlanConfig, dense_reference_forward
@@ -90,6 +91,7 @@ def _bench_stack(
     granularity: str,
     config: Optional[PlanConfig],
     seed: int = 0,
+    profile: bool = False,
 ) -> List[Dict[str, object]]:
     batch = np.random.default_rng(seed + 1).normal(
         size=(batch_size, 3, image_size, image_size)
@@ -104,6 +106,10 @@ def _bench_stack(
         # the engine itself.
         engine = create_engine(stack, backend="sparse", config=config)
         engine(batch)  # warm the plan and weight-slice cache
+        profiler = None
+        if profile:
+            profiler = PlanProfiler()
+            engine.plan.profiler = profiler
         t_sparse = timed(lambda: engine(batch), repeats)
         t_dense = timed(lambda: dense_reference_forward(stack, batch), repeats)
         rows.append(
@@ -120,6 +126,8 @@ def _bench_stack(
                 "workspace": dict(engine.stats()["workspace"]),
             }
         )
+        if profiler is not None:
+            rows[-1]["profile"] = profiler.snapshot()
     return rows
 
 
@@ -130,6 +138,7 @@ def _bench_resnet(
     repeats: int,
     config: Optional[PlanConfig],
     seed: int = 0,
+    profile: bool = False,
 ) -> List[Dict[str, object]]:
     batch = np.random.default_rng(seed + 2).normal(
         size=(batch_size, 3, image_size, image_size)
@@ -141,6 +150,10 @@ def _bench_resnet(
         instrument_model(model, PruningConfig([ratio] * 3, [0.0] * 3))
         engine = create_engine(model, backend="sparse", config=config)
         engine(batch)
+        profiler = None
+        if profile:
+            profiler = PlanProfiler()
+            engine.plan.profiler = profiler
 
         def dense() -> np.ndarray:
             with no_grad():
@@ -162,6 +175,8 @@ def _bench_resnet(
                 "workspace": dict(engine.stats()["workspace"]),
             }
         )
+        if profiler is not None:
+            rows[-1]["profile"] = profiler.snapshot()
     return rows
 
 
@@ -176,6 +191,7 @@ def run_sparse_benchmark(
     config: Optional[PlanConfig] = None,
     seed: int = 0,
     smoke: bool = False,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Time dense-masked vs sparse-skipped inference across pruning ratios.
 
@@ -191,6 +207,13 @@ def run_sparse_benchmark(
     stack only, highest ratio only, two repeats) and the ``summary``
     block's regression verdict (see below) becomes the job's pass/fail
     signal.
+
+    ``profile=True`` attaches a :class:`~repro.obs.profile.PlanProfiler`
+    to each engine before the timed runs, embedding a per-geometry
+    time/bytes table in every result row as ``row["profile"]`` (this is
+    what ``repro bench-sparse --profile`` renders).  Profiling adds a
+    perf_counter pair and a dict update per conv op, so leave it off for
+    regression-grade numbers.
 
     The ``summary`` block reports, per image size, the best speedup of
     the *grouped* path (``granularity="batch"``: one signature, one
@@ -209,13 +232,17 @@ def run_sparse_benchmark(
     results: List[Dict[str, object]] = []
     for image_size in image_sizes:
         results += _bench_stack(
-            ratios, batch_size, image_size, width, depth, repeats, "input", config, seed
+            ratios, batch_size, image_size, width, depth, repeats, "input",
+            config, seed, profile,
         )
         results += _bench_stack(
-            ratios, batch_size, image_size, width, depth, repeats, "batch", config, seed
+            ratios, batch_size, image_size, width, depth, repeats, "batch",
+            config, seed, profile,
         )
         if include_resnet:
-            results += _bench_resnet(ratios, batch_size, image_size, repeats, config, seed)
+            results += _bench_resnet(
+                ratios, batch_size, image_size, repeats, config, seed, profile
+            )
     return {
         "schema": BENCH_SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -229,6 +256,7 @@ def run_sparse_benchmark(
             "repeats": repeats,
             "seed": seed,
             "smoke": smoke,
+            "profile": profile,
         },
         "summary": summarize_paths(results),
         "results": results,

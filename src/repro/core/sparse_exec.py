@@ -71,11 +71,14 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
+
+from ..obs import runtime as _obs
 
 from ..models.resnet import BasicBlock, ResNet
 from ..nn import (
@@ -1155,6 +1158,26 @@ class _ConvOp:
             # sees it (masks included), then execute normally.
             plan.capture.append((self, x, channel_mask, spatial_mask, ragged))
 
+        # Observability preamble: only when a tracer is installed or a
+        # profiler is attached does this op pay for a timer pair and an
+        # on_dispatch wrapper that remembers which strategy actually ran.
+        # The masks get mutated below (dense-threshold downgrades), so the
+        # geometry key is captured now; it is memoized, so the tuned
+        # lookup's own geometry() call stays one dict probe.
+        on_dispatch = plan.count_dispatch
+        profiler = plan.profiler
+        timing = profiler is not None or _obs.enabled
+        if timing:
+            obs_geo = self.geometry(x, channel_mask, ragged, spatial_mask)
+            obs_kinds: List[str] = []
+
+            def on_dispatch(kind: str, _record=obs_kinds.append, _count=plan.count_dispatch) -> None:
+                _record(kind)
+                _count(kind)
+
+            obs_cache0 = plan.cache.hits
+            obs_start = time.perf_counter()
+
         # Measured dispatch: a tuned plan consults its table before any
         # batch-mean heuristics.  A hit pins this geometry's strategy and
         # tile size (per-geometry constants — batch-invariant by
@@ -1200,7 +1223,7 @@ class _ConvOp:
                     spatial_mask = None
 
         if channel_mask is None and spatial_mask is None:
-            plan.count_dispatch("dense")
+            on_dispatch("dense")
             # Dense fast path on the same zero-copy kernels as the sparse
             # paths: channels-first unfold into the per-thread workspace,
             # then per-sample (Cout, K) @ (K, OH*OW) GEMM slices straight
@@ -1244,7 +1267,7 @@ class _ConvOp:
                 kept_quantum=entry.kept_quantum,
                 strategy=entry.strategy,
                 tile_rows=entry.tile_rows,
-                on_dispatch=plan.count_dispatch,
+                on_dispatch=on_dispatch,
             )
         else:
             use_ragged = ragged and (
@@ -1264,12 +1287,38 @@ class _ConvOp:
                 arena=plan.arena,
                 ragged=use_ragged,
                 kept_quantum=config.kept_quantum,
-                on_dispatch=plan.count_dispatch,
+                on_dispatch=on_dispatch,
             )
         if zero_out is not None:
             out *= zero_out[:, None, :, :]
         if self.relu:
             np.maximum(out, 0.0, out=out)
+        if timing:
+            obs_end = time.perf_counter()
+            strategy = obs_kinds[-1] if obs_kinds else "unknown"
+            nbytes = x.nbytes + self.weight.nbytes + out.nbytes
+            if profiler is not None:
+                profiler.record(obs_geo, strategy, obs_end - obs_start, nbytes)
+            if _obs.enabled:
+                ctx = _obs.current()
+                tracer = _obs.tracer()
+                if ctx is not None and tracer is not None:
+                    tracer.emit_child(
+                        ctx,
+                        "kernel",
+                        obs_start,
+                        obs_end,
+                        {
+                            "op": self.key,
+                            "strategy": strategy,
+                            "tuned": entry is not None,
+                            "kind": obs_geo[7],
+                            "kept": obs_geo[8],
+                            "cache_hits": plan.cache.hits - obs_cache0,
+                            "hw": f"{obs_geo[5]}x{obs_geo[6]}",
+                            "batch": int(x.shape[0]),
+                        },
+                    )
         return out
 
 
@@ -1500,6 +1549,10 @@ class ExecutionPlan:
         self.dispatch: Optional[object] = None
         #: Tuner hook: a list makes every _ConvOp.run record its site.
         self.capture: Optional[List[Tuple]] = None
+        #: Opt-in per-op profiler (:class:`repro.obs.PlanProfiler`) — when
+        #: attached, every conv dispatch records (geometry, strategy, wall
+        #: time, bytes moved).  ``None`` keeps the hot path timer-free.
+        self.profiler: Optional[object] = None
         self.dispatch_fallbacks = 0
         self.dispatch_counts: Dict[str, int] = dict.fromkeys(self.DISPATCH_KINDS, 0)
 

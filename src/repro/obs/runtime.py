@@ -1,0 +1,89 @@
+"""The observability on/off switch and trace-context propagation state.
+
+Everything here exists so that the *disabled* path costs one module
+attribute read.  Hot paths — the session scheduler, the plan's conv ops,
+the procpool dispatch — guard every tracing branch with::
+
+    from ..obs import runtime as _rt
+    ...
+    if _rt.enabled:
+        ...
+
+``enabled`` is the single module-level flag the tentpole contract names:
+it is ``True`` exactly while a :class:`~repro.obs.trace.Tracer` is
+installed.  No tracer, no flag, no work — and tracing never touches the
+numbers flowing through the engine, so bit-identity of every execution
+path is unchanged either way.
+
+Trace context rides a thread-local: the session worker installs the
+current request's engine-span context before calling the engine, kernel
+ops read it to parent their spans, and the worker restores the previous
+value afterwards (workers are re-entrant across predict() callers).
+Worker *processes* install their own process-local tracer on the first
+traced request they see (see :mod:`repro.serve.procpool`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .trace import TraceContext, Tracer
+
+__all__ = [
+    "enabled",
+    "install",
+    "uninstall",
+    "tracer",
+    "current",
+    "set_current",
+    "reset_current",
+]
+
+#: THE module-level flag.  ``True`` iff a tracer is installed.
+enabled = False
+
+_tracer: Optional["Tracer"] = None
+_tls = threading.local()
+_lock = threading.Lock()
+
+
+def install(new_tracer: "Tracer") -> "Tracer":
+    """Install ``new_tracer`` process-wide and raise the enabled flag."""
+    global _tracer, enabled
+    with _lock:
+        _tracer = new_tracer
+        enabled = True
+    return new_tracer
+
+
+def uninstall() -> Optional["Tracer"]:
+    """Drop the active tracer (if any) and lower the enabled flag."""
+    global _tracer, enabled
+    with _lock:
+        old, _tracer = _tracer, None
+        enabled = False
+    return old
+
+
+def tracer() -> Optional["Tracer"]:
+    """The installed tracer, or ``None`` when observability is off."""
+    return _tracer
+
+
+def current() -> Optional["TraceContext"]:
+    """The calling thread's active trace context (``None`` outside spans)."""
+    return getattr(_tls, "ctx", None)
+
+
+def set_current(ctx: Optional["TraceContext"]) -> Optional["TraceContext"]:
+    """Install ``ctx`` as the thread's context; returns the previous one."""
+    previous = getattr(_tls, "ctx", None)
+    _tls.ctx = ctx
+    return previous
+
+
+def reset_current(previous: Optional["TraceContext"]) -> None:
+    """Restore a context saved by :func:`set_current`."""
+    _tls.ctx = previous

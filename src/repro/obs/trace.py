@@ -1,0 +1,229 @@
+"""Per-request tracing: span records, trace contexts, Chrome export.
+
+A *span record* is deliberately a plain tuple::
+
+    (trace_id, span_id, parent_id, name, start_s, end_s, attrs_dict)
+
+because span records must ride the procpool's pipes next to the existing
+``("ok", req_id, slot, shape, dtype)`` result tuples — no classes, no
+pickling surprises, and the parent process can ``absorb()`` a worker's
+records verbatim.  Timestamps are ``time.perf_counter()`` seconds, which
+on Linux is ``CLOCK_MONOTONIC`` — a clock *shared across processes* — so
+worker-side kernel spans align with parent-side request spans without
+any epoch negotiation.
+
+A :class:`TraceContext` is the tiny addressable unit that crosses layer
+boundaries: ``(trace_id, span_id)``.  Layers pre-allocate a child
+context with :meth:`Tracer.derive` *before* handing work down (the
+session derives an ``engine_execute`` context before calling the
+engine; the cascade derives a stage context before submitting to the
+stage session), then emit the span with its measured interval once the
+work returns.  Children therefore always know their parent id even when
+the parent's span record is emitted later.
+
+Export is Chrome trace-event JSON (the ``chrome://tracing`` / Perfetto
+format): one complete ``"ph": "X"`` event per span, microsecond
+timestamps, span attributes in ``args``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from typing import Any, Dict, IO, Iterable, List, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "trace_coverage",
+    "chrome_trace_events",
+]
+
+# Span record tuple layout indices.
+TRACE_ID, SPAN_ID, PARENT_ID, NAME, START, END, ATTRS = range(7)
+
+SpanRecord = Tuple[str, str, Optional[str], str, float, float, Dict[str, Any]]
+
+
+class TraceContext(NamedTuple):
+    """The cross-layer handle: which trace, and which span is the parent."""
+
+    trace_id: str
+    span_id: str
+
+
+class Tracer:
+    """Collects span records; thread-safe; one per process.
+
+    Ids embed the pid (``"<pid hex>-<counter hex>"``) so records produced
+    by procpool workers never collide with the parent's when absorbed
+    into one trace.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._counter = itertools.count(1)
+        self._pid = os.getpid()
+
+    def _next_id(self) -> str:
+        return f"{self._pid:x}-{next(self._counter):x}"
+
+    def new_trace(self) -> TraceContext:
+        """Start a fresh trace; the returned context is the root span's."""
+        return TraceContext(self._next_id(), self._next_id())
+
+    def derive(self, parent: TraceContext) -> TraceContext:
+        """Pre-allocate a child span id under ``parent``'s trace."""
+        return TraceContext(parent.trace_id, self._next_id())
+
+    def emit(
+        self,
+        ctx: TraceContext,
+        parent: Optional[TraceContext],
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record the span ``ctx`` addresses, with a measured interval."""
+        record: SpanRecord = (
+            ctx.trace_id,
+            ctx.span_id,
+            parent.span_id if parent is not None else None,
+            name,
+            float(start),
+            float(end),
+            attrs or {},
+        )
+        with self._lock:
+            self._records.append(record)
+
+    def emit_child(
+        self,
+        parent: TraceContext,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> TraceContext:
+        """Allocate, record, and return a leaf child span in one call."""
+        ctx = self.derive(parent)
+        self.emit(ctx, parent, name, start, end, attrs)
+        return ctx
+
+    def absorb(self, records: Iterable[SpanRecord]) -> None:
+        """Merge span records produced elsewhere (a worker process)."""
+        materialized = [
+            (str(r[0]), str(r[1]), r[2], str(r[3]), float(r[4]), float(r[5]),
+             dict(r[6]) if r[6] else {})
+            for r in records
+        ]
+        with self._lock:
+            self._records.extend(materialized)
+
+    def drain(self) -> List[SpanRecord]:
+        """Remove and return everything recorded so far."""
+        with self._lock:
+            records, self._records = self._records, []
+        return records
+
+    def snapshot(self) -> List[SpanRecord]:
+        """Copy of everything recorded so far, without clearing."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def export_chrome(self, out: IO[str]) -> int:
+        """Write all records as Chrome trace-event JSON; returns span count."""
+        records = self.snapshot()
+        json.dump({"traceEvents": chrome_trace_events(records)}, out, indent=1)
+        out.write("\n")
+        return len(records)
+
+
+def chrome_trace_events(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
+    """Span records → Chrome trace-event dicts (complete ``X`` events).
+
+    Timestamps shift so the earliest span starts at t=0 — Chrome's UI
+    renders raw monotonic-clock microseconds as unusable offsets.  Spans
+    from different traces land on distinct ``tid`` rows so concurrent
+    requests don't visually overlap.
+    """
+    materialized = list(records)
+    if not materialized:
+        return []
+    epoch = min(r[START] for r in materialized)
+    tid_by_trace: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for r in materialized:
+        tid = tid_by_trace.setdefault(r[TRACE_ID], len(tid_by_trace) + 1)
+        args = {"trace_id": r[TRACE_ID], "span_id": r[SPAN_ID]}
+        if r[PARENT_ID] is not None:
+            args["parent_id"] = r[PARENT_ID]
+        args.update(r[ATTRS])
+        events.append(
+            {
+                "name": r[NAME],
+                "ph": "X",
+                "ts": round((r[START] - epoch) * 1e6, 3),
+                "dur": round(max(0.0, r[END] - r[START]) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def trace_coverage(records: Iterable[SpanRecord]) -> Dict[str, Dict[str, Any]]:
+    """Per-trace span accounting: the acceptance-criteria checker.
+
+    For each trace id, finds the root span (no parent), unions every
+    descendant interval clipped to the root's window, and reports what
+    fraction of the root's duration the children account for — plus
+    whether all spans form one connected tree under that root.
+    """
+    by_trace: Dict[str, List[SpanRecord]] = {}
+    for r in records:
+        by_trace.setdefault(r[TRACE_ID], []).append(r)
+
+    report: Dict[str, Dict[str, Any]] = {}
+    for trace_id, spans in by_trace.items():
+        roots = [s for s in spans if s[PARENT_ID] is None]
+        ids = {s[SPAN_ID] for s in spans}
+        connected = all(
+            s[PARENT_ID] is None or s[PARENT_ID] in ids for s in spans
+        )
+        entry: Dict[str, Any] = {
+            "spans": len(spans),
+            "roots": len(roots),
+            "connected": connected and len(roots) == 1,
+            "coverage": 0.0,
+            "duration_ms": 0.0,
+        }
+        if len(roots) == 1:
+            root = roots[0]
+            duration = max(0.0, root[END] - root[START])
+            entry["duration_ms"] = duration * 1e3
+            intervals = sorted(
+                (max(s[START], root[START]), min(s[END], root[END]))
+                for s in spans
+                if s is not root
+            )
+            covered = 0.0
+            cursor = root[START]
+            for start, end in intervals:
+                if end <= cursor:
+                    continue
+                covered += end - max(start, cursor)
+                cursor = end
+            entry["coverage"] = (covered / duration) if duration > 0 else 1.0
+        report[trace_id] = entry
+    return report

@@ -45,6 +45,8 @@ from ..core.pruning import (
     instrument_model,
 )
 from ..core.runtime_bench import build_conv_stack, timed
+from ..obs.profile import PlanProfiler, merge_profiles
+from ..obs.quantiles import median, quantile
 from ..core.sparse_exec import PlanConfig, dense_reference_forward
 from ..models.resnet import ResNet
 from ..models.vgg import vgg16
@@ -107,11 +109,16 @@ def _bench_model(
     windows: Sequence[int],
     repeats: int,
     workers: Sequence[int] = (1,),
+    profile: bool = False,
 ) -> List[Dict[str, Any]]:
     engine = create_engine(
         model, backend="sparse", config=PlanConfig(batch_invariant=True)
     )
     engine(np.concatenate(requests[: max(windows)], axis=0))  # warm plan + cache
+    profiler = None
+    if profile:
+        profiler = PlanProfiler()
+        engine.plan.profiler = profiler
 
     # Per-request reference: outputs double as the bit-exactness oracle —
     # for every window size AND worker count, since neither batch
@@ -142,6 +149,8 @@ def _bench_model(
                 outputs: List[np.ndarray] = []
                 for _ in range(repeats):
                     session.reset_stats()
+                    if profiler is not None:
+                        profiler.reset()
                     start = time.perf_counter()
                     outputs = session.infer_many(requests)
                     best = min(best, time.perf_counter() - start)
@@ -176,6 +185,10 @@ def _bench_model(
                     "cache": cache,
                 }
             )
+            if profiler is not None:
+                # The last repeat's per-geometry table (profiler reset per
+                # repeat, so rows aren't triple-counted).
+                rows[-1]["profile"] = profiler.snapshot()
     return rows
 
 
@@ -185,6 +198,7 @@ def _bench_procpool(
     window: int,
     repeats: int,
     proc_workers: Sequence[int],
+    profile: bool = False,
 ) -> List[Dict[str, Any]]:
     """The true multi-core rows: a process pool behind the same scheduler.
 
@@ -214,6 +228,7 @@ def _bench_procpool(
             backend="procpool",
             config=PlanConfig(batch_invariant=True),
             proc_workers=count,
+            profile=profile,
         )
         try:
             session = InferenceSession(
@@ -240,6 +255,14 @@ def _bench_procpool(
             finally:
                 session.close()
             pool_stats = pool.stats()
+            pool_profile = None
+            if profile:
+                # Per-process snapshots ride home over the stats pipe;
+                # merge them into one fleet-wide table.
+                pool_profile = merge_profiles(
+                    reply.get("profile", [])
+                    for reply in pool.process_stats().values()
+                )
         finally:
             pool.close()
         identical = all(
@@ -269,6 +292,8 @@ def _bench_procpool(
                 "shm_slots": pool_stats["slots"],
             }
         )
+        if pool_profile is not None:
+            rows[-1]["profile"] = pool_profile
     return rows
 
 
@@ -283,6 +308,7 @@ def run_serve_benchmark(
     smoke: bool = False,
     workers: Sequence[int] = (1, 2),
     proc_workers: Sequence[int] = (),
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Throughput/latency sweep over batch windows → ``BENCH_serve.json``.
 
@@ -297,7 +323,11 @@ def run_serve_benchmark(
     conv-stack request stream served by ``N`` worker *processes* over
     shared-memory transport — the sweep that can actually scale past the
     GIL on multi-core hardware.  ``smoke=True`` shrinks the sweep for CI
-    end-to-end runs (one procpool count, preferring 2).
+    end-to-end runs (one procpool count, preferring 2).  ``profile=True``
+    attaches :class:`~repro.obs.profile.PlanProfiler` to every engine
+    (merged across worker processes for the procpool rows) and embeds the
+    per-geometry tables as ``row["profile"]`` — skews the timings, so
+    regression-grade runs leave it off.
     """
     if smoke:
         windows = tuple(w for w in windows if w in (1, 8)) or (1, 8)
@@ -319,11 +349,12 @@ def run_serve_benchmark(
         windows,
         repeats,
         workers,
+        profile,
     )
     if proc_workers:
         proc_window = max([w for w in windows if w >= 8] or [max(windows)])
         results += _bench_procpool(
-            stack, stream, proc_window, repeats, proc_workers
+            stack, stream, proc_window, repeats, proc_workers, profile
         )
     if include_vgg:
         model = vgg16(num_classes=10, width_multiplier=0.125, seed=seed)
@@ -338,6 +369,7 @@ def run_serve_benchmark(
             windows,
             repeats,
             workers,
+            profile,
         )
     if include_resnet:
         model = ResNet(1, num_classes=10, width_multiplier=0.5, seed=seed)
@@ -350,6 +382,7 @@ def run_serve_benchmark(
             windows,
             repeats,
             workers,
+            profile,
         )
 
     wide = [row for row in results if row["window"] >= 8]
@@ -385,6 +418,7 @@ def run_serve_benchmark(
             "smoke": smoke,
             "workers": [int(w) for w in workers],
             "proc_workers": [int(w) for w in proc_workers],
+            "profile": profile,
         },
         "summary": summary,
         "results": results,
@@ -484,7 +518,7 @@ def _spatial_threshold_stack(
     # every depth.
     for index, pruner in enumerate(pruners):
         spatial_scores = _capture_site_scores(stack, pruners, calib)[index][1]
-        pruner.threshold = float(np.quantile(spatial_scores, 1.0 - keep))
+        pruner.threshold = quantile(spatial_scores, 1.0 - keep)
     for pruner in pruners:
         pruner.reset_stats()
     return stack, pruners
@@ -528,10 +562,10 @@ def _mixed_threshold_stack(
         )[index]
         if index % 2 == 0:
             pruner.set_ratios(0.5, 0.0)  # channel-only, ragged kept-counts
-            pruner.threshold = channel_fraction * float(np.median(channel_scores))
+            pruner.threshold = channel_fraction * median(channel_scores)
         else:
             pruner.set_ratios(0.0, 0.5)  # spatial-only, ragged kept-positions
-            pruner.threshold = float(np.quantile(spatial_scores, 1.0 - spatial_keep))
+            pruner.threshold = quantile(spatial_scores, 1.0 - spatial_keep)
     for pruner in pruners:
         pruner.reset_stats()
     return stack

@@ -47,6 +47,7 @@ into the next stage's (bounded, possibly full) queue.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import queue
 import threading
 import time
@@ -55,6 +56,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..nn.functional import predictive_entropy, softmax_probs, top2_margin
+from ..obs import runtime as _obs
+from ..obs.metrics import global_registry
 from .session import InferenceSession, PendingResult, SessionClosed, SessionConfig
 
 __all__ = [
@@ -121,7 +124,16 @@ class CascadeResult:
     stage answered without being gated).
     """
 
-    __slots__ = ("_event", "_value", "_error", "submitted_at", "latency", "stage", "confidence")
+    __slots__ = (
+        "_event",
+        "_value",
+        "_error",
+        "submitted_at",
+        "latency",
+        "stage",
+        "confidence",
+        "trace_id",
+    )
 
     def __init__(self) -> None:
         self._event = threading.Event()
@@ -131,6 +143,8 @@ class CascadeResult:
         self.latency: Optional[float] = None
         self.stage: Optional[int] = None
         self.confidence: Optional[float] = None
+        #: Trace id when a tracer was installed at submit time, else None.
+        self.trace_id: Optional[str] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -160,14 +174,22 @@ class CascadeResult:
 
 
 class _CascadeRequest:
-    __slots__ = ("array", "result")
+    __slots__ = ("array", "result", "ctx", "stage_ctx", "stage_start")
 
     def __init__(self, array: np.ndarray, result: CascadeResult):
         self.array = array
         self.result = result
+        #: Root trace context (the cascade owns the ``request`` span).
+        self.ctx: Any = None
+        #: The current stage hop's span context + submit timestamp.
+        self.stage_ctx: Any = None
+        self.stage_start: float = 0.0
 
 
 _ROUTER_STOP = object()
+
+#: Distinguishes each cascade's metric series in the process registry.
+_CASCADE_SEQ = itertools.count(1)
 
 
 class CascadeSession:
@@ -210,8 +232,25 @@ class CascadeSession:
         self._verified = 0
         self._entered = [0] * len(self.stages)
         self._accepted = [0] * len(self.stages)
-        self._latencies: List[float] = []
-        self._latency_window = max(s.config.latency_window for s in self.stages)
+        # Ladder-level latency lives in the process metrics registry as a
+        # streaming histogram (quantiles without a sample list), next to
+        # the per-stage sessions' own series.
+        self.name = f"cascade-{next(_CASCADE_SEQ)}"
+        labels = {"cascade": self.name}
+        registry = global_registry()
+        self._metric_labels = labels
+        self._c_requests = registry.counter(
+            "repro_cascade_requests_total", labels,
+            help="Requests answered by the cascade",
+        )
+        self._c_escalations = registry.counter(
+            "repro_cascade_escalations_total", labels,
+            help="Stage hops past stage 0",
+        )
+        self._h_latency = registry.histogram(
+            "repro_cascade_latency_seconds", labels,
+            help="Submit-to-final-resolve cascade latency",
+        )
         self._router_queue: "queue.Queue[object]" = queue.Queue()
         self._router = threading.Thread(
             target=self._route, name="repro-cascade-router", daemon=True
@@ -289,6 +328,13 @@ class CascadeSession:
         """Enqueue one request into stage 0; returns a :class:`CascadeResult`."""
         array = InferenceSession._normalize(x)
         record = _CascadeRequest(array, CascadeResult())
+        if _obs.enabled:
+            tracer = _obs.tracer()
+            if tracer is not None:
+                # The cascade owns the root span: one trace shows the full
+                # ladder (every stage hop parents under this context).
+                record.ctx = tracer.new_trace()
+                record.result.trace_id = record.ctx.trace_id
         with self._lock:
             if self._closed:
                 raise SessionClosed("cannot submit to a closed CascadeSession")
@@ -314,7 +360,20 @@ class CascadeSession:
     def _submit_to_stage(self, record: _CascadeRequest, stage_index: int) -> None:
         with self._lock:
             self._entered[stage_index] += 1
-        pending = self.stages[stage_index].submit(record.array)
+        if stage_index > 0:
+            self._c_escalations.inc()
+        trace_ctx = None
+        if record.ctx is not None and _obs.enabled:
+            tracer = _obs.tracer()
+            if tracer is not None:
+                # Pre-derive this hop's span; the stage session parents
+                # its queue_wait/window/engine spans under it instead of
+                # opening a new root.  The span itself is emitted when the
+                # router picks the stage's answer back up.
+                record.stage_ctx = tracer.derive(record.ctx)
+                record.stage_start = time.perf_counter()
+                trace_ctx = record.stage_ctx
+        pending = self.stages[stage_index].submit(record.array, trace_ctx=trace_ctx)
         pending.add_done_callback(
             # The callback runs on a stage worker thread; it must never
             # block, so routing (gate compute, possibly a blocking submit
@@ -341,9 +400,28 @@ class CascadeSession:
     def _route_one(
         self, record: _CascadeRequest, stage_index: int, pending: PendingResult
     ) -> None:
+        # The stage hop's span closes here — router pickup time — so it
+        # also covers the stage callback and the router-queue hand-off.
+        tracer = _obs.tracer() if (record.stage_ctx is not None and _obs.enabled) else None
+        route_start = time.perf_counter() if tracer is not None else 0.0
+        if tracer is not None:
+            tracer.emit(
+                record.stage_ctx,
+                record.ctx,
+                f"stage{stage_index}",
+                record.stage_start,
+                route_start,
+                {"stage": stage_index},
+            )
         if pending._error is not None:
             with self._lock:
                 self._errors += 1
+            if tracer is not None:
+                tracer.emit(
+                    record.ctx, None, "request",
+                    record.result.submitted_at, time.perf_counter(),
+                    {"stage": stage_index, "error": str(pending._error)},
+                )
             record.result._resolve(None, pending._error, stage=stage_index)
             self._finish()
             return
@@ -351,14 +429,28 @@ class CascadeSession:
         assert logits is not None
         last = len(self.stages) - 1
         if stage_index >= last:
-            self._accept(record, stage_index, logits, None)
+            self._accept(record, stage_index, logits, None, route_start)
             return
         # The request's least confident sample speaks for it.
         confidence = float(gate_confidence(self.gate, logits).min())
         if confidence >= self.thresholds[stage_index]:
-            self._accept(record, stage_index, logits, confidence)
+            self._accept(record, stage_index, logits, confidence, route_start)
             return
         self._submit_to_stage(record, stage_index + 1)
+        if tracer is not None:
+            # Escalation hop: gate compute + re-admission into the next
+            # stage's bounded queue, all on the router thread.
+            tracer.emit_child(
+                record.ctx,
+                "escalation",
+                route_start,
+                time.perf_counter(),
+                {
+                    "from_stage": stage_index,
+                    "to_stage": stage_index + 1,
+                    "confidence": confidence,
+                },
+            )
 
     def _accept(
         self,
@@ -366,6 +458,7 @@ class CascadeSession:
         stage_index: int,
         logits: np.ndarray,
         confidence: Optional[float],
+        route_start: float = 0.0,
     ) -> None:
         if self.verify_escalations and stage_index > 0:
             # The serving contract, asserted live: an escalated response
@@ -390,11 +483,25 @@ class CascadeSession:
             self._requests += 1
             self._samples += record.array.shape[0]
             self._accepted[stage_index] += 1
+        self._c_requests.inc()
+        if record.ctx is not None and _obs.enabled:
+            tracer = _obs.tracer()
+            if tracer is not None:
+                done = time.perf_counter()
+                # Gate compute + (optional) verification ran on the router
+                # since the stage span closed; account for it explicitly
+                # so the root stays fully covered.
+                attrs: Dict[str, Any] = {"stage": stage_index}
+                if confidence is not None:
+                    attrs["confidence"] = confidence
+                if route_start:
+                    tracer.emit_child(record.ctx, "gate_accept", route_start, done, attrs)
+                tracer.emit(
+                    record.ctx, None, "request",
+                    record.result.submitted_at, done, attrs,
+                )
         record.result._resolve(logits, None, stage=stage_index, confidence=confidence)
-        with self._lock:
-            self._latencies.append(record.result.latency or 0.0)
-            if len(self._latencies) > self._latency_window:
-                del self._latencies[: -self._latency_window]
+        self._h_latency.observe(record.result.latency or 0.0)
         self._finish()
 
     def _finish(self) -> None:
@@ -510,7 +617,6 @@ class CascadeSession:
         however many stages each request visited.
         """
         with self._lock:
-            latencies = np.asarray(self._latencies, dtype=np.float64)
             entered = list(self._entered)
             accepted = list(self._accepted)
             requests = self._requests
@@ -536,16 +642,18 @@ class CascadeSession:
             row.update(stage.stats())
             stage_rows.append(row)
         stats["stages"] = stage_rows
-        if latencies.size:
-            stats["latency_ms"] = {
-                "p50": float(np.percentile(latencies, 50) * 1e3),
-                "p95": float(np.percentile(latencies, 95) * 1e3),
-                "mean": float(latencies.mean() * 1e3),
-                "max": float(latencies.max() * 1e3),
-            }
-        else:
-            stats["latency_ms"] = {"p50": 0.0, "p95": 0.0, "mean": 0.0, "max": 0.0}
+        # Streaming histogram view (mean/max exact, quantiles estimated).
+        stats["latency_ms"] = {
+            "p50": self._h_latency.percentile(50) * 1e3,
+            "p95": self._h_latency.percentile(95) * 1e3,
+            "mean": self._h_latency.mean() * 1e3,
+            "max": float(self._h_latency.snapshot()["max"]) * 1e3,
+        }
         return stats
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the process registry (ladder + stages)."""
+        return global_registry().expose_text()
 
     def reset_stats(self) -> None:
         """Zero routing counters and every stage's telemetry."""
@@ -556,7 +664,8 @@ class CascadeSession:
             self._verified = 0
             self._entered = [0] * len(self.stages)
             self._accepted = [0] * len(self.stages)
-            self._latencies = []
+        for instrument in (self._c_requests, self._c_escalations, self._h_latency):
+            instrument.reset()
         for stage in self.stages:
             stage.reset_stats()
 
@@ -592,6 +701,14 @@ class CascadeSession:
             for stage in self.stages:
                 remaining = None if timeout is None else max(0.0, timeout)
                 stage.close(remaining)
+        # Retire the ladder's metric series (stage sessions retire theirs).
+        metrics = global_registry()
+        for metric_name in (
+            "repro_cascade_requests_total",
+            "repro_cascade_escalations_total",
+            "repro_cascade_latency_seconds",
+        ):
+            metrics.remove(metric_name, self._metric_labels)
 
     @property
     def closed(self) -> bool:

@@ -162,6 +162,11 @@ def serve_lines(
                     confidence = getattr(handle, "confidence", None)
                     if confidence is not None:
                         response["confidence"] = round(float(confidence), 6)
+                # When tracing is live the handle carries its trace id, so
+                # clients can correlate responses with exported spans.
+                trace_id = getattr(handle, "trace_id", None)
+                if trace_id is not None:
+                    response["trace"] = str(trace_id)
                 if include_output:
                     response["output"] = [round(float(v), 6) for v in logits[0]]
         out.write(json.dumps(response) + "\n")

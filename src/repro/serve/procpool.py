@@ -55,6 +55,8 @@ import numpy as np
 
 from ..core.engine import EngineProtocol, create_engine
 from ..core.sparse_exec import PlanConfig
+from ..obs import runtime as _obs
+from ..obs.trace import TraceContext, Tracer
 
 __all__ = ["ProcPoolEngine", "ProcWorkerError", "ProcPoolClosed"]
 
@@ -98,9 +100,19 @@ def _build_worker_engine(spec: Dict[str, Any]) -> EngineProtocol:
             dispatch_table = artifact.dispatch_table
     else:
         model = spec["model"]
-    return create_engine(
+    engine = create_engine(
         model, backend=spec["backend"], config=config, dispatch_table=dispatch_table
     )
+    if spec.get("profile"):
+        # Opt-in per-op profiling: the worker's plan records per-geometry
+        # wall time + bytes moved, reported home via the ("stats",) round
+        # trip (SparseEngine.stats() includes the profiler snapshot).
+        plan = getattr(engine, "plan", None)
+        if plan is not None:
+            from ..obs.profile import PlanProfiler
+
+            plan.profiler = PlanProfiler()
+    return engine
 
 
 def _worker_main(
@@ -132,9 +144,26 @@ def _worker_main(
             if kind == "stats":
                 conn.send(("stats", engine.stats()))
                 continue
-            # ("req", req_id, slot, shape, dtype)
-            _, req_id, slot, shape, dtype = message
+            # ("req", req_id, slot, shape, dtype[, trace_info]) — the
+            # optional sixth element is ``(trace_id, parent_span_id)``
+            # when the parent is tracing this request.
+            req_id, slot, shape, dtype = message[1:5]
+            trace_info = message[5] if len(message) > 5 else None
+            spans = None
             try:
+                parent_ctx = None
+                if trace_info is not None:
+                    # First traced request: raise this process's own
+                    # tracer.  perf_counter() is CLOCK_MONOTONIC on Linux
+                    # (shared across processes), so worker spans line up
+                    # under the parent's engine_execute span untranslated.
+                    tracer = _obs.tracer()
+                    if tracer is None:
+                        tracer = _obs.install(Tracer())
+                    parent_ctx = TraceContext(trace_info[0], trace_info[1])
+                    proc_ctx = tracer.derive(parent_ctx)
+                    prev_ctx = _obs.set_current(proc_ctx)
+                    proc_start = time.perf_counter()
                 view = np.ndarray(
                     shape, dtype=dtype, buffer=shm.buf, offset=slot * slot_bytes
                 )
@@ -148,8 +177,29 @@ def _worker_main(
                     out.shape, dtype=out.dtype, buffer=shm.buf, offset=slot * slot_bytes
                 )
                 np.copyto(out_view, out)
-                conn.send(("ok", req_id, slot, out.shape, str(out.dtype)))
+                if parent_ctx is not None:
+                    _obs.reset_current(prev_ctx)
+                    tracer.emit(
+                        proc_ctx,
+                        parent_ctx,
+                        "proc_worker",
+                        proc_start,
+                        time.perf_counter(),
+                        {"pid": os.getpid()},
+                    )
+                    # Span records are plain tuples: they ride the pipe
+                    # next to the slot metadata, no extra machinery.
+                    spans = tracer.drain()
+                if spans is not None:
+                    conn.send(("ok", req_id, slot, out.shape, str(out.dtype), spans))
+                else:
+                    conn.send(("ok", req_id, slot, out.shape, str(out.dtype)))
             except BaseException as error:  # noqa: BLE001 - surfaced per request
+                if trace_info is not None:
+                    _obs.set_current(None)
+                    tracer = _obs.tracer()
+                    if tracer is not None:
+                        tracer.drain()
                 conn.send(("err", req_id, slot, f"{type(error).__name__}: {error}"))
     finally:
         shm.close()
@@ -260,6 +310,12 @@ class ProcPoolEngine(EngineProtocol):
         in-process replica and ships the resulting table — never per
         worker, so all replicas elect the same winners.  Registry-started
         pools inherit the artifact's persisted table automatically.
+    profile:
+        Attach a :class:`repro.obs.PlanProfiler` to every worker's plan;
+        per-geometry wall-time/bytes rows come home through
+        :meth:`process_stats` (merge with
+        :func:`repro.obs.merge_profiles`).  Off by default — profiling
+        costs a timer pair per conv op.
     """
 
     backend = "procpool"
@@ -284,6 +340,7 @@ class ProcPoolEngine(EngineProtocol):
         tuned: bool = False,
         calibration: Optional[np.ndarray] = None,
         tune_repeats: int = 3,
+        profile: bool = False,
     ):
         if proc_workers < 1:
             raise ValueError("proc_workers must be >= 1")
@@ -297,6 +354,7 @@ class ProcPoolEngine(EngineProtocol):
             "config": config,
             "registry": registry,
             "ref": ref,
+            "profile": profile,
         }
         if registry is None:
             self._spec["model"] = model
@@ -409,8 +467,19 @@ class ProcPoolEngine(EngineProtocol):
                 registered = True
                 key = f"proc-{handle.index}"
                 self._dispatches[key] = self._dispatches.get(key, 0) + 1
+                # When the dispatching thread carries a trace context (the
+                # session installed its engine_execute span), ship it as a
+                # plain (trace_id, parent_span_id) pair so the worker can
+                # parent its spans under it.
+                message: Tuple[Any, ...] = (
+                    "req", req_id, slot, array.shape, str(array.dtype)
+                )
+                if _obs.enabled:
+                    ctx = _obs.current()
+                    if ctx is not None:
+                        message = message + ((ctx.trace_id, ctx.span_id),)
                 try:
-                    handle.conn.send(("req", req_id, slot, array.shape, str(array.dtype)))
+                    handle.conn.send(message)
                 except (BrokenPipeError, OSError):
                     # The worker just died; the collector's sentinel sweep
                     # resolves this waiter (and releases the slot).
@@ -489,7 +558,13 @@ class ProcPoolEngine(EngineProtocol):
             handle.stats_event.set()
             return
         if kind == "ok":
-            _, req_id, slot, shape, dtype = message
+            req_id, slot, shape, dtype = message[1:5]
+            if len(message) > 5 and message[5]:
+                # Worker-side span records rode home with the result;
+                # absorb them into the parent's trace (if still tracing).
+                tracer = _obs.tracer()
+                if tracer is not None:
+                    tracer.absorb(message[5])
             out = np.array(self._ring.view(slot, shape, dtype))
             self._finish(req_id, slot, out, None)
             return

@@ -307,7 +307,11 @@ class ModelRegistry:
                 found.append(int(match.group(1)))
         return sorted(found)
 
-    def list_artifacts(self, family: Optional[str] = None) -> List[Dict[str, Any]]:
+    def list_artifacts(
+        self,
+        family: Optional[str] = None,
+        include_dispatch: bool = False,
+    ) -> List[Dict[str, Any]]:
         """One row per stored version, without rebuilding any model.
 
         This is what ``repro registry ls`` prints: enough to re-run a
@@ -317,6 +321,10 @@ class ModelRegistry:
         ``family`` filters to versions whose *metadata* ``family`` key
         matches (the model-family tag :meth:`save` records, distinct from
         the arch family) — the view ``repro registry ls --family`` shows.
+        ``include_dispatch`` attaches each tuned artifact's persisted
+        per-geometry dispatch entries (measured winner/baseline ms) as
+        ``row["dispatch_entries"]`` — what ``registry ls --profile``
+        renders.
         """
         rows: List[Dict[str, Any]] = []
         for name in self.names():
@@ -362,6 +370,8 @@ class ModelRegistry:
                         "path": path,
                     }
                 )
+                if include_dispatch:
+                    rows[-1]["dispatch_entries"] = list(dispatch_entries)
         return rows
 
     def family_ladder(self, family: str) -> List[Dict[str, Any]]:

@@ -38,15 +38,24 @@ window (see :attr:`repro.core.sparse_exec.PlanConfig.batch_invariant`).
 Batch composition is an invisible scheduling detail, exactly as a serving
 API must guarantee.
 
-Telemetry: per-request latency quantiles (p50/p95), batch occupancy, and
-the engine's cache/dispatch counters, via :meth:`InferenceSession.stats`.
-:meth:`~InferenceSession.reset_stats` zeroes counters but keeps warmed
-state (compiled plan, cached weight slices).
+Telemetry: every session registers its counters and a streaming latency
+histogram in the process-wide :func:`repro.obs.global_registry` (series
+labeled ``session="session-N"``); :meth:`InferenceSession.stats` is a
+backward-compatible view over those instruments (p50/p95 are streaming
+histogram estimates — no sample list is kept), and
+:meth:`InferenceSession.metrics_text` exposes the whole registry in
+Prometheus text format.  :meth:`~InferenceSession.reset_stats` zeroes
+counters but keeps warmed state (compiled plan, cached weight slices).
+When a :class:`repro.obs.Tracer` is installed, every submitted request
+carries a trace context and the scheduler emits ``request`` /
+``queue_wait`` / ``window_assembly`` / ``engine_execute`` spans around
+the engine's own ``kernel`` spans.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import queue
 import threading
 import time
@@ -57,8 +66,13 @@ import numpy as np
 
 from ..core.engine import EngineProtocol, create_engine
 from ..core.sparse_exec import PlanConfig
+from ..obs import runtime as _obs
+from ..obs.metrics import global_registry
 
 __all__ = ["SessionConfig", "InferenceSession", "PendingResult", "SessionClosed"]
+
+#: Distinguishes each session's metric series in the process registry.
+_SESSION_SEQ = itertools.count(1)
 
 
 class SessionClosed(RuntimeError):
@@ -81,8 +95,10 @@ class SessionConfig:
         blocks (or raises, with ``block=False``) when full, providing
         backpressure instead of unbounded memory growth.
     latency_window:
-        Number of most-recent request latencies kept for the quantile
-        telemetry.
+        Legacy knob from the sample-list era of latency telemetry, kept
+        (and still validated) for config compatibility.  Quantiles now
+        come from a constant-memory streaming histogram, which has no
+        window to size.
     workers:
         Worker threads pulling windows off the shared queue.  ``1``
         preserves the strictly-serial scheduler; ``N > 1`` needs (or
@@ -138,7 +154,16 @@ class SessionConfig:
 class PendingResult:
     """Future-like handle for one submitted request."""
 
-    __slots__ = ("_event", "_value", "_error", "_cb_lock", "_callbacks", "submitted_at", "latency")
+    __slots__ = (
+        "_event",
+        "_value",
+        "_error",
+        "_cb_lock",
+        "_callbacks",
+        "submitted_at",
+        "latency",
+        "trace_id",
+    )
 
     def __init__(self) -> None:
         self._event = threading.Event()
@@ -148,6 +173,8 @@ class PendingResult:
         self._callbacks: List[Callable[["PendingResult"], None]] = []
         self.submitted_at = time.perf_counter()
         self.latency: Optional[float] = None
+        #: Trace id when a tracer was installed at submit time, else None.
+        self.trace_id: Optional[str] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -190,12 +217,24 @@ class PendingResult:
 
 
 class _Request:
-    __slots__ = ("array", "pending", "bucket")
+    __slots__ = ("array", "pending", "bucket", "ctx", "root")
 
-    def __init__(self, array: np.ndarray, pending: PendingResult, bucket: Any = None):
+    def __init__(
+        self,
+        array: np.ndarray,
+        pending: PendingResult,
+        bucket: Any = None,
+        ctx: Any = None,
+        root: bool = False,
+    ):
         self.array = array
         self.pending = pending
         self.bucket = bucket
+        #: Trace context for this request's spans (None when untraced).
+        self.ctx = ctx
+        #: True when this session owns the trace's root ``request`` span
+        #: (False for cascade stage submits — the cascade emits the root).
+        self.root = root
 
 
 _SHUTDOWN = object()
@@ -247,12 +286,40 @@ class InferenceSession:
         self._engine_lock: Optional[threading.Lock] = (
             None if getattr(engine, "thread_safe", False) else threading.Lock()
         )
-        self._latencies: List[float] = []
-        self._requests = 0
-        self._samples = 0
-        self._batches = 0
-        self._batched_samples = 0
-        self._errors = 0
+        # Telemetry lives in the process-wide metrics registry, one series
+        # per session.  The streaming latency histogram replaces the old
+        # trimmed ``_latencies`` list — constant memory, and stats() reads
+        # a locked snapshot instead of racing worker appends.
+        self.name = f"session-{next(_SESSION_SEQ)}"
+        labels = {"session": self.name}
+        registry = global_registry()
+        self._metric_labels = labels
+        self._c_requests = registry.counter(
+            "repro_session_requests_total", labels, help="Requests answered"
+        )
+        self._c_samples = registry.counter(
+            "repro_session_samples_total", labels, help="Samples answered"
+        )
+        self._c_batches = registry.counter(
+            "repro_session_batches_total", labels,
+            help="Fused engine windows executed",
+        )
+        self._c_batched_samples = registry.counter(
+            "repro_session_batched_samples_total", labels,
+            help="Samples that went through fused windows",
+        )
+        self._c_errors = registry.counter(
+            "repro_session_errors_total", labels,
+            help="Requests resolved with an error",
+        )
+        self._g_queue = registry.gauge(
+            "repro_session_queue_depth", labels,
+            help="Requests waiting in the admission queue",
+        )
+        self._h_latency = registry.histogram(
+            "repro_request_latency_seconds", labels,
+            help="Submit-to-resolve request latency",
+        )
         self._worker_batches: Dict[str, int] = {}
         self._bucket_batches: Dict[Any, int] = {}
         self._workers = [
@@ -338,12 +405,19 @@ class InferenceSession:
         x: np.ndarray,
         block: bool = True,
         timeout: Optional[float] = None,
+        trace_ctx: Any = None,
     ) -> PendingResult:
         """Enqueue one request (``(C, H, W)`` or ``(N, C, H, W)``).
 
         Returns a :class:`PendingResult`; the queue bound provides
         backpressure — with ``block=False`` a full queue raises
         ``queue.Full`` immediately.
+
+        With a tracer installed, each request starts its own trace (the
+        session emits the root ``request`` span).  A caller that already
+        owns the trace — the cascade submitting to a stage — passes its
+        span as ``trace_ctx`` and the session parents its scheduler spans
+        there instead of opening a new root.
         """
         array = self._normalize(x)
         if array.shape[0] > self.config.max_batch:
@@ -354,6 +428,15 @@ class InferenceSession:
                 f"is {self.config.max_batch}; split it or use predict()"
             )
         pending = PendingResult()
+        ctx, root = None, False
+        if _obs.enabled:
+            tracer = _obs.tracer()
+            if tracer is not None:
+                if trace_ctx is not None:
+                    ctx = trace_ctx
+                else:
+                    ctx, root = tracer.new_trace(), True
+                pending.trace_id = ctx.trace_id
         # The bucket probe runs before the lock (it may cost a fraction of
         # a forward pass) and on the submitting thread, so N concurrent
         # clients probe in parallel against the thread-safe engine.
@@ -366,7 +449,11 @@ class InferenceSession:
         with self._submit_lock:
             if self._closed:
                 raise SessionClosed("cannot submit to a closed InferenceSession")
-            self._queue.put(_Request(array, pending, bucket), block=block, timeout=timeout)
+            self._queue.put(
+                _Request(array, pending, bucket, ctx, root),
+                block=block,
+                timeout=timeout,
+            )
         return pending
 
     def _request_bucket(self, array: np.ndarray) -> Any:
@@ -422,10 +509,9 @@ class InferenceSession:
         start = time.perf_counter()
         out = self._run_engine(array)
         elapsed = time.perf_counter() - start
-        with self._lock:
-            self._requests += 1
-            self._samples += array.shape[0]
-            self._record_latency(elapsed)
+        self._c_requests.inc()
+        self._c_samples.inc(array.shape[0])
+        self._h_latency.observe(elapsed)
         return out
 
     # ------------------------------------------------------------------
@@ -523,8 +609,75 @@ class InferenceSession:
             size += request.array.shape[0]
         return batch, saw_shutdown
 
-    def _execute(self, batch: List[_Request], worker: str) -> None:
+    def _trace_window(
+        self,
+        batch: List[_Request],
+        worker: str,
+        window_open: float,
+        exec_start: float,
+        done: float,
+        error: Optional[BaseException],
+        primary: Optional[_Request] = None,
+        exec_ctx: Any = None,
+    ) -> None:
+        """Emit the window's scheduler spans (tracer installed, pre-resolve).
+
+        Every traced request gets its own ``queue_wait`` /
+        ``window_assembly`` / ``engine_execute`` children (so each trace
+        stands alone and covers its full latency); the per-conv ``kernel``
+        spans recorded inside the engine parent under the window
+        *primary*'s ``engine_execute`` context, which the worker installed
+        as the thread-current context during the engine call.  Requests
+        that opened their own trace close it here with a root ``request``
+        span running submit → resolve.
+        """
+        tracer = _obs.tracer()
+        if tracer is None:
+            return
+        window_attrs = {
+            "worker": worker,
+            "requests": len(batch),
+            "samples": sum(r.array.shape[0] for r in batch),
+            "bucket": str(batch[0].bucket),
+        }
+        for request in batch:
+            ctx = request.ctx
+            if ctx is None:
+                continue
+            tracer.emit_child(
+                ctx, "queue_wait", request.pending.submitted_at, window_open
+            )
+            tracer.emit_child(ctx, "window_assembly", window_open, exec_start, window_attrs)
+            if request is primary and exec_ctx is not None:
+                # The primary's engine span id was pre-derived before the
+                # engine call so kernel spans could parent under it.
+                tracer.emit(exec_ctx, ctx, "engine_execute", exec_start, done, window_attrs)
+            else:
+                tracer.emit_child(ctx, "engine_execute", exec_start, done, window_attrs)
+            if request.root:
+                root_attrs: Dict[str, Any] = {"session": self.name}
+                if error is not None:
+                    root_attrs["error"] = str(error)
+                tracer.emit(
+                    ctx, None, "request", request.pending.submitted_at, done, root_attrs
+                )
+
+    def _execute(self, batch: List[_Request], worker: str, window_open: float = 0.0) -> None:
         sizes = [r.array.shape[0] for r in batch]
+        # The window primary's engine_execute context becomes the thread's
+        # current trace context for the engine call, so kernel spans nest
+        # under it.  Pre-derived before the call: children must know their
+        # parent id even though the engine_execute span is emitted after.
+        traced = _obs.enabled and any(r.ctx is not None for r in batch)
+        exec_ctx = prev_ctx = primary = None
+        exec_start = 0.0
+        if traced:
+            tracer = _obs.tracer()
+            primary = next(r for r in batch if r.ctx is not None)
+            if tracer is not None:
+                exec_ctx = tracer.derive(primary.ctx)
+            prev_ctx = _obs.set_current(exec_ctx)
+            exec_start = time.perf_counter()
         try:
             # Fusing inside the try keeps the worker alive when a window
             # mixes incompatible shapes (e.g. different resolutions): the
@@ -535,8 +688,13 @@ class InferenceSession:
             )
             out = self._run_engine(fused, batch[0].bucket)
         except BaseException as error:  # noqa: BLE001 - surfaced per request
-            with self._lock:
-                self._errors += len(batch)
+            if traced:
+                _obs.reset_current(prev_ctx)
+                self._trace_window(
+                    batch, worker, window_open, exec_start, time.perf_counter(),
+                    error, primary, exec_ctx,
+                )
+            self._c_errors.inc(len(batch))
             for request in batch:
                 request.pending._resolve(None, error)
             return
@@ -544,17 +702,22 @@ class InferenceSession:
         # stats() the moment their last result() unblocks, and the final
         # window must already be counted by then.
         done = time.perf_counter()
+        if traced:
+            _obs.reset_current(prev_ctx)
+            self._trace_window(
+                batch, worker, window_open, exec_start, done, None, primary, exec_ctx
+            )
+        self._c_requests.inc(len(batch))
+        self._c_samples.inc(sum(sizes))
+        self._c_batches.inc()
+        self._c_batched_samples.inc(sum(sizes))
+        for request in batch:
+            self._h_latency.observe(done - request.pending.submitted_at)
         with self._lock:
-            self._requests += len(batch)
-            self._samples += sum(sizes)
-            self._batches += 1
-            self._batched_samples += sum(sizes)
             self._worker_batches[worker] = self._worker_batches.get(worker, 0) + 1
             bucket = batch[0].bucket
             if bucket is not None:
                 self._bucket_batches[bucket] = self._bucket_batches.get(bucket, 0) + 1
-            for request in batch:
-                self._record_latency(done - request.pending.submitted_at)
         if len(batch) == 1:
             # Sole request in the window: the engine output is exactly its
             # result, no fused buffer to pin — hand it over as-is.
@@ -581,6 +744,9 @@ class InferenceSession:
                 if item is _SHUTDOWN:
                     break
                 first = item  # type: ignore[assignment]
+            # The window opens the moment its seed request is in hand;
+            # queue_wait spans end here, window_assembly spans start here.
+            window_open = time.perf_counter() if _obs.enabled else 0.0
             if shutdown:
                 # Already holding the exit ticket: drain the deferred
                 # stash as lone windows without pulling from the queue —
@@ -589,70 +755,82 @@ class InferenceSession:
             else:
                 batch, saw_shutdown = self._collect(first, stash)
                 shutdown = shutdown or saw_shutdown
-            self._execute(batch, worker)
+            self._execute(batch, worker, window_open)
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
-    def _record_latency(self, seconds: float) -> None:
-        self._latencies.append(seconds)
-        if len(self._latencies) > self.config.latency_window:
-            del self._latencies[: -self.config.latency_window]
-
     def stats(self) -> Dict[str, Any]:
-        """Session telemetry snapshot.
+        """Session telemetry snapshot — a view over the metrics registry.
 
         ``occupancy`` is mean samples-per-window over ``max_batch`` — how
         full the scheduler runs its windows (1.0 = every engine call fully
-        fused).  ``latency_ms`` quantiles cover the last
-        ``latency_window`` requests, submit-to-resolve.  With multiple
+        fused).  ``latency_ms`` quantiles are streaming estimates from the
+        session's fixed-bucket latency histogram (mean and max are exact);
+        no per-request sample list exists anymore, so the old
+        snapshot-vs-append race is gone by construction.  With multiple
         workers the counters are the merged totals; ``per_worker`` breaks
         window counts down by worker thread (it sums to ``batches``).
         """
+        batches = int(self._c_batches.value)
+        batched_samples = int(self._c_batched_samples.value)
         with self._lock:
-            latencies = np.asarray(self._latencies, dtype=np.float64)
-            batches = self._batches
-            stats: Dict[str, Any] = {
-                "requests": self._requests,
-                "samples": self._samples,
-                "batches": batches,
-                "errors": self._errors,
-                "max_batch": self.config.max_batch,
-                "workers": self.config.workers,
-                "per_worker": dict(self._worker_batches),
-                "bucket_windows": {
-                    str(key): count for key, count in sorted(
-                        self._bucket_batches.items(), key=lambda kv: str(kv[0])
-                    )
-                },
-                "mean_batch": (self._batched_samples / batches) if batches else 0.0,
-                "occupancy": (
-                    self._batched_samples / (batches * self.config.max_batch)
-                    if batches
-                    else 0.0
-                ),
+            per_worker = dict(self._worker_batches)
+            bucket_windows = {
+                str(key): count for key, count in sorted(
+                    self._bucket_batches.items(), key=lambda kv: str(kv[0])
+                )
             }
-        if latencies.size:
-            stats["latency_ms"] = {
-                "p50": float(np.percentile(latencies, 50) * 1e3),
-                "p95": float(np.percentile(latencies, 95) * 1e3),
-                "mean": float(latencies.mean() * 1e3),
-                "max": float(latencies.max() * 1e3),
-            }
-        else:
-            stats["latency_ms"] = {"p50": 0.0, "p95": 0.0, "mean": 0.0, "max": 0.0}
+        self._g_queue.set(self._queue.qsize())
+        stats: Dict[str, Any] = {
+            "requests": int(self._c_requests.value),
+            "samples": int(self._c_samples.value),
+            "batches": batches,
+            "errors": int(self._c_errors.value),
+            "max_batch": self.config.max_batch,
+            "workers": self.config.workers,
+            "per_worker": per_worker,
+            "bucket_windows": bucket_windows,
+            "mean_batch": (batched_samples / batches) if batches else 0.0,
+            "occupancy": (
+                batched_samples / (batches * self.config.max_batch)
+                if batches
+                else 0.0
+            ),
+        }
+        stats["latency_ms"] = {
+            "p50": self._h_latency.percentile(50) * 1e3,
+            "p95": self._h_latency.percentile(95) * 1e3,
+            "mean": self._h_latency.mean() * 1e3,
+            "max": float(self._h_latency.snapshot()["max"]) * 1e3,
+        }
         stats["engine"] = self.engine.stats()
         return stats
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the process-wide metrics registry.
+
+        Includes this session's series plus any others registered in the
+        process (other sessions, cascade stages) — exactly what a
+        ``/metrics`` endpoint or ``repro serve --metrics-file`` should
+        publish.
+        """
+        self._g_queue.set(self._queue.qsize())
+        return global_registry().expose_text()
+
     def reset_stats(self) -> None:
         """Zero telemetry and engine counters; keep warmed caches/plans."""
+        for instrument in (
+            self._c_requests,
+            self._c_samples,
+            self._c_batches,
+            self._c_batched_samples,
+            self._c_errors,
+            self._g_queue,
+            self._h_latency,
+        ):
+            instrument.reset()
         with self._lock:
-            self._latencies = []
-            self._requests = 0
-            self._samples = 0
-            self._batches = 0
-            self._batched_samples = 0
-            self._errors = 0
             self._worker_batches = {}
             self._bucket_batches = {}
         self.engine.reset_stats()
@@ -697,6 +875,19 @@ class InferenceSession:
             registry, token = self._pin
             self._pin = None
             registry.unpin(token)
+        # Retire this session's metric series so long-lived processes that
+        # churn sessions don't accumulate dead label sets in the registry.
+        metrics = global_registry()
+        for metric_name in (
+            "repro_session_requests_total",
+            "repro_session_samples_total",
+            "repro_session_batches_total",
+            "repro_session_batched_samples_total",
+            "repro_session_errors_total",
+            "repro_session_queue_depth",
+            "repro_request_latency_seconds",
+        ):
+            metrics.remove(metric_name, self._metric_labels)
 
     @property
     def closed(self) -> bool:
